@@ -1,0 +1,181 @@
+(* The command-line front end of the environment.
+
+     ocapi check <design>
+     ocapi simulate <design> [--cycles N] [--engine E]
+     ocapi synth <design> [--no-share]
+     ocapi emit <design> [--dir D] [--cycles N]
+
+   Designs: hcor | dect | cable (the reference designs of lib/designs). *)
+
+open Cmdliner
+
+type design = { d_sys : Cycle_system.t; d_macro : Dataflow.Kernel.t -> Synthesize.macro_spec option }
+
+let build_design = function
+  | "hcor" ->
+    let bits = Dect_stimuli.burst ~seed:1 () in
+    let tx = Dect_stimuli.transmit bits in
+    let rx = Dect_stimuli.channel ~snr_db:25.0 ~seed:1 tx in
+    let samples =
+      Dect_stimuli.quantize Hcor.sample_format (Array.map (fun x -> x /. 2.0) rx)
+    in
+    Ok
+      {
+        d_sys = (Hcor.create ~stimulus:(Hcor.sample_stimulus samples) ()).Hcor.system;
+        d_macro = (fun _ -> None);
+      }
+  | "dect" ->
+    let stim c =
+      Some
+        (Fixed.of_float ~overflow:Fixed.Saturate Dect_transceiver.sample_format
+           (sin (float c *. 0.37) /. 2.2))
+    in
+    Ok
+      {
+        d_sys = (Dect_transceiver.create ~stimulus:stim ()).Dect_transceiver.system;
+        d_macro = Dect_transceiver.macro_of_kernel;
+      }
+  | other -> Error (Printf.sprintf "unknown design %S (try hcor or dect)" other)
+
+let design_arg =
+  let doc = "Reference design to operate on: hcor or dect." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
+
+let cycles_arg default =
+  let doc = "Number of clock cycles." in
+  Arg.(value & opt int default & info [ "cycles"; "n" ] ~docv:"N" ~doc)
+
+let with_design name f =
+  match build_design name with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok d -> f d
+
+(* check *)
+let check_cmd =
+  let run name =
+    with_design name (fun d ->
+        let report = Flow.check d.d_sys in
+        Format.printf "%a@." Flow.pp_check_report report;
+        if Flow.check_clean report then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the semantic checks on a design.")
+    Term.(const run $ design_arg)
+
+(* simulate *)
+let engine_arg =
+  let doc = "Engine: interp, compiled, rtl or gates." in
+  Arg.(value & opt string "interp" & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
+
+let simulate_cmd =
+  let run name cycles engine =
+    with_design name (fun d ->
+        let show histories =
+          List.iter
+            (fun (p, hist) ->
+              Printf.printf "%-14s %d tokens" p (List.length hist);
+              (match List.rev hist with
+              | (c, v) :: _ -> Printf.printf "; last @%d = %s" c (Fixed.to_string v)
+              | [] -> ());
+              print_newline ())
+            histories
+        in
+        match engine with
+        | "interp" ->
+          show (Flow.simulate d.d_sys ~cycles);
+          0
+        | "compiled" ->
+          show (Flow.simulate_compiled d.d_sys ~cycles);
+          0
+        | "rtl" ->
+          show (Flow.simulate_rtl d.d_sys ~cycles);
+          0
+        | "gates" ->
+          let r =
+            Flow.verify_netlist ~macro_of_kernel:d.d_macro d.d_sys ~cycles
+          in
+          Printf.printf "gate-level run: %d vectors, %d mismatches\n"
+            r.Synthesize.vectors_checked
+            (List.length r.Synthesize.mismatches);
+          if r.Synthesize.mismatches = [] then 0 else 1
+        | other ->
+          Printf.eprintf "unknown engine %S\n" other;
+          1)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a design on one of the engines.")
+    Term.(const run $ design_arg $ cycles_arg 200 $ engine_arg)
+
+(* synth *)
+let no_share_arg =
+  Arg.(value & flag & info [ "no-share" ] ~doc:"Disable operator sharing.")
+
+let optimize_arg =
+  Arg.(value & flag & info [ "optimize" ]
+         ~doc:"Run gate-level optimization after synthesis.")
+
+let synth_cmd =
+  let run name no_share optimize =
+    with_design name (fun d ->
+        let options =
+          { Synthesize.default_options with
+            Synthesize.share_operators = not no_share }
+        in
+        let nl, rep =
+          Synthesize.synthesize ~options ~macro_of_kernel:d.d_macro d.d_sys
+        in
+        Format.printf "%a@." Synthesize.pp_report rep;
+        if optimize then begin
+          let _, st = Netopt.run nl in
+          Format.printf "%a@." Netopt.pp_stats st
+        end;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize a design and print the gate report.")
+    Term.(const run $ design_arg $ no_share_arg $ optimize_arg)
+
+(* emit *)
+let dir_arg =
+  Arg.(value & opt string "_generated" & info [ "dir"; "o" ] ~docv:"DIR"
+         ~doc:"Output directory.")
+
+let emit_cmd =
+  let run name dir cycles =
+    with_design name (fun d ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        List.iter (Printf.printf "wrote %s\n") (Flow.emit_vhdl d.d_sys ~dir);
+        Printf.printf "wrote %s\n" (Flow.emit_testbench d.d_sys ~dir ~cycles);
+        let _, rep, path =
+          Flow.synthesize_to_verilog ~macro_of_kernel:d.d_macro d.d_sys ~dir
+        in
+        Printf.printf "wrote %s (%d gate-equivalents)\n" path
+          rep.Synthesize.total.Netlist.gate_equivalents;
+        (match Flow.emit_ocaml_simulator d.d_sys ~dir ~cycles with
+        | path -> Printf.printf "wrote %s\n" path
+        | exception Compiled_sim.Unsupported msg ->
+          Printf.printf "(standalone simulator skipped: %s)\n" msg);
+        let dot = Filename.concat dir (name ^ "_architecture.dot") in
+        let oc = open_out dot in
+        output_string oc (Cycle_system.to_dot d.d_sys);
+        close_out oc;
+        Printf.printf "wrote %s\n" dot;
+        let vcd = Filename.concat dir (name ^ ".vcd") in
+        Vcd.write d.d_sys ~cycles ~path:vcd;
+        Printf.printf "wrote %s\n" vcd;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Generate VHDL, a test bench, the Verilog netlist and the \
+             standalone simulator.")
+    Term.(const run $ design_arg $ dir_arg $ cycles_arg 60)
+
+let () =
+  let info =
+    Cmd.info "ocapi" ~version:Ocapi.version
+      ~doc:"A programming environment for the design of complex high speed ASICs."
+  in
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; simulate_cmd; synth_cmd; emit_cmd ]))

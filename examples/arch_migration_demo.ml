@@ -1,0 +1,41 @@
+(* The section 3.3 story: the same datapath descriptions under a
+   data-driven target and under central control.
+
+     dune exec examples/arch_migration_demo.exe
+
+   "Originally, a data-flow target architecture was chosen... the
+   extreme latency requirement required the introduction of global
+   exceptions... the target architecture was changed from data driven to
+   central control.  The machine model allowed to reuse the datapath
+   descriptions and only required the control descriptions to be
+   reworked." *)
+
+let () =
+  let samples =
+    Array.init 120 (fun i ->
+        Fixed.of_float ~overflow:Fixed.Saturate Dect_transceiver.sample_format
+          (sin (float i *. 0.9) /. 2.0))
+  in
+  (* One capture of the datapaths: DC removal, 16-tap FIR, slicer. *)
+  let chain = Arch_migration.build_chain () in
+  (* Target 1: local data-driven control (data-flow scheduler). *)
+  let r1, st1 = Arch_migration.run_dataflow chain samples in
+  Printf.printf "data-flow target:     %d bits, %d process firings%s\n"
+    (List.length r1.Arch_migration.r_bits)
+    st1.Dataflow.steps
+    (if st1.Dataflow.deadlocked then " (deadlocked!)" else "");
+  (* Target 2: central control (cycle scheduler). *)
+  let r2, st2 = Arch_migration.run_central chain samples in
+  Printf.printf "central-control target: %d bits in %d clock cycles\n"
+    (List.length r2.Arch_migration.r_bits)
+    st2.Cycle_system.cycles;
+  (* The datapaths were reused unchanged: the results are identical. *)
+  let bits_equal = r1.Arch_migration.r_bits = r2.Arch_migration.r_bits in
+  let soft_equal =
+    List.for_all2 Fixed.equal r1.Arch_migration.r_soft r2.Arch_migration.r_soft
+  in
+  Printf.printf "identical bit decisions:  %b\n" bits_equal;
+  Printf.printf "identical soft outputs:   %b\n" soft_equal;
+  print_endline
+    "(the global hold exception that motivated the migration is\n\
+    \ exercised on the central-control DECT chip in dect_demo.exe)"

@@ -1,0 +1,72 @@
+(** Compiled-code simulation.
+
+    The interpreted simulator of [Cycle_system] walks object structures
+    (hash tables, token lists) every cycle.  For extensive verification
+    the paper regenerates "an application-specific and optimized compiled
+    code simulator" from the same data structure (section 5, fig 7).
+    This module is that code generator: it {e flattens} a system into
+
+    - one [int64] slot per net, register (current and next) and
+      expression node,
+    - straight-line statement arrays per FSM transition, split into a
+      {b block A} (outputs depending only on registers/constants — the
+      static image of the token-production phase) and a {b block B}
+      (input-dependent outputs),
+    - a static component-level schedule of the B blocks derived from the
+      net dependency graph (the static image of the evaluation phase),
+    - a commit list per transition (the register-update phase).
+
+    All formats, alignment shifts, masks and saturation bounds are
+    resolved at compile time; a simulation step is a sweep of closure
+    arrays with no allocation on the hot path.
+
+    Systems whose worst-case (union over transitions) combinational
+    net graph is cyclic at component granularity cannot be statically
+    scheduled and are rejected with {!Unsupported} — simulate those with
+    the interpreted three-phase scheduler.
+
+    {!emit_ocaml} additionally prints the flattened program as a
+    standalone OCaml source file (the paper's "C++ description is
+    regenerated"), embedding recorded stimuli so the emitted simulator
+    can be compiled and diffed against the in-process engines. *)
+
+exception Unsupported of string
+
+type t
+
+(** [compile system] flattens [system].  Requirements beyond the
+    interpreted engine: untimed kernels must declare port formats; every
+    primary input's stimulus should produce a token each cycle (a [None]
+    holds the previous value); combinational component cycles are
+    rejected. *)
+val compile : Cycle_system.t -> t
+
+(** One clock cycle. *)
+val step : t -> unit
+
+(** [run t n] simulates [n] cycles. *)
+val run : t -> int -> unit
+
+val current_cycle : t -> int
+
+(** Probe histories, as in {!Cycle_system.output_history} but keyed by
+    probe name. *)
+val output_history : t -> string -> (int * Fixed.t) list
+
+(** Reset cycle counter, registers, FSM states and histories. *)
+val reset : t -> unit
+
+(** Number of value slots in the flattened program (a size metric). *)
+val slot_count : t -> int
+
+(** Number of compiled statements across all blocks (a size metric). *)
+val statement_count : t -> int
+
+(** [emit_ocaml system ~cycles] returns standalone OCaml source for a
+    simulator of [system]: stimuli for [cycles] cycles are evaluated now
+    and embedded as literals; the emitted program prints one line per
+    probe token, ["<cycle> <probe> <mantissa>"], so its output can be
+    compared against {!output_history}.  Untimed kernels cannot be
+    embedded in emitted source (their behaviour is an opaque closure);
+    systems containing any are rejected with {!Unsupported}. *)
+val emit_ocaml : Cycle_system.t -> cycles:int -> string

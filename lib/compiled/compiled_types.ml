@@ -1,0 +1,2 @@
+(* Exception shared by the compiled-simulation modules. *)
+exception Unsupported of string

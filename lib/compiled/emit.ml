@@ -1,0 +1,572 @@
+(* Standalone OCaml source emission for the compiled simulator (fig 7:
+   "a C++ description can be regenerated to yield an application-specific
+   and optimized compiled code simulator").  The emitted program depends
+   only on the standard library; it prints one line per probe token so
+   its behaviour can be diffed against the in-process engines. *)
+
+let unsupported fmt =
+  Format.kasprintf (fun s -> raise (Compiled_types.Unsupported s)) fmt
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    (String.lowercase_ascii name)
+
+(* --- allocation (textual twin of Compiled_sim's) ----------------------- *)
+
+type alloc = {
+  mutable next_slot : int;
+  net_slot : (string, int) Hashtbl.t;
+  net_fmt : (string, Fixed.format) Hashtbl.t;
+  net_stamp : (string, int) Hashtbl.t;
+  reg_cur : (int, int) Hashtbl.t;
+  reg_next : (int, int) Hashtbl.t;
+  reg_init : (int64 * int) list ref;
+  node_slot : (int, int) Hashtbl.t;
+  sink_net : (string * string, string) Hashtbl.t;
+  driver_net : (string * string, string) Hashtbl.t;
+  roms : (string * int64 array) list ref;  (* emitted name, contents *)
+  rom_names : (string, string) Hashtbl.t;  (* rom name -> emitted name *)
+}
+
+let fresh a =
+  let s = a.next_slot in
+  a.next_slot <- s + 1;
+  s
+
+let slot_of_node a n =
+  match Hashtbl.find_opt a.node_slot (Signal.id n) with
+  | Some s -> s
+  | None ->
+    let s = fresh a in
+    Hashtbl.replace a.node_slot (Signal.id n) s;
+    s
+
+let rom_var a r =
+  let name = Signal.Rom.name r in
+  match Hashtbl.find_opt a.rom_names name with
+  | Some v -> v
+  | None ->
+    let v = Printf.sprintf "rom_%s_%d" (sanitize name) (List.length !(a.roms)) in
+    let contents =
+      Array.init (Signal.Rom.size r) (fun i ->
+          Fixed.mantissa (Signal.Rom.get r i))
+    in
+    a.roms := (v, contents) :: !(a.roms);
+    Hashtbl.replace a.rom_names name v;
+    v
+
+(* --- expression text ----------------------------------------------------- *)
+
+let align_shifts (fa : Fixed.format) (fb : Fixed.format) =
+  let frac = max fa.Fixed.frac fb.Fixed.frac in
+  (frac - fa.Fixed.frac, frac - fb.Fixed.frac)
+
+let shl_txt x k = if k = 0 then x else Printf.sprintf "(shl %s %d)" x k
+
+let wrap_txt (f : Fixed.format) x =
+  match f.Fixed.signedness with
+  | Fixed.Unsigned -> Printf.sprintf "(wrap_u %d %s)" f.Fixed.width x
+  | Fixed.Signed -> Printf.sprintf "(wrap_s %d %s)" f.Fixed.width x
+
+let sat_txt (f : Fixed.format) x =
+  Printf.sprintf "(sat (%LdL) (%LdL) %s)" (Fixed.min_mantissa f)
+    (Fixed.max_mantissa f) x
+
+let round_txt mode k x =
+  if k = 0 then x
+  else if k > 62 then Printf.sprintf "(if %s >= 0L then 0L else -1L)" x
+  else
+    match mode with
+    | Fixed.Truncate -> Printf.sprintf "(Int64.shift_right %s %d)" x k
+    | Fixed.Round_nearest -> Printf.sprintf "(rnd_near %d %s)" k x
+    | Fixed.Round_even -> Printf.sprintf "(rnd_even %d %s)" k x
+
+let resize_txt ~round ~overflow (src : Fixed.format) (dst : Fixed.format) x =
+  let k = src.Fixed.frac - dst.Fixed.frac in
+  let ovf v =
+    match overflow with
+    | Fixed.Wrap -> wrap_txt dst v
+    | Fixed.Saturate -> sat_txt dst v
+  in
+  if k > 0 then ovf (round_txt round k x)
+  else if -k > 62 then
+    Printf.sprintf "(if %s = 0L then 0L else failwith \"resize overflow\")" x
+  else ovf (shl_txt x (-k))
+
+(* Text of the expression for node [n], referencing child slots. *)
+let node_expr_text a comp_name n =
+  let s x = Printf.sprintf "v.(%d)" (slot_of_node a x) in
+  let nf = Signal.fmt n in
+  match Signal.op n with
+  | Signal.Const v -> Printf.sprintf "(%LdL)" (Fixed.mantissa v)
+  | Signal.Input_read i -> begin
+    match Hashtbl.find_opt a.sink_net (comp_name, Signal.Input.name i) with
+    | Some net -> Printf.sprintf "v.(%d)" (Hashtbl.find a.net_slot net)
+    | None ->
+      unsupported "emit: input %s.%s is not connected" comp_name
+        (Signal.Input.name i)
+  end
+  | Signal.Reg_read r ->
+    Printf.sprintf "v.(%d)" (Hashtbl.find a.reg_cur (Signal.Reg.id r))
+  | Signal.Add (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    Printf.sprintf "(Int64.add %s %s)" (shl_txt (s x) ka) (shl_txt (s y) kb)
+  | Signal.Sub (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    Printf.sprintf "(Int64.sub %s %s)" (shl_txt (s x) ka) (shl_txt (s y) kb)
+  | Signal.Mul (x, y) -> Printf.sprintf "(Int64.mul %s %s)" (s x) (s y)
+  | Signal.Neg x -> Printf.sprintf "(Int64.neg %s)" (s x)
+  | Signal.Abs x -> Printf.sprintf "(Int64.abs %s)" (s x)
+  | Signal.And (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    wrap_txt nf
+      (Printf.sprintf "(Int64.logand %s %s)" (shl_txt (s x) ka) (shl_txt (s y) kb))
+  | Signal.Or (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    wrap_txt nf
+      (Printf.sprintf "(Int64.logor %s %s)" (shl_txt (s x) ka) (shl_txt (s y) kb))
+  | Signal.Xor (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    wrap_txt nf
+      (Printf.sprintf "(Int64.logxor %s %s)" (shl_txt (s x) ka) (shl_txt (s y) kb))
+  | Signal.Not x -> wrap_txt nf (Printf.sprintf "(Int64.lognot %s)" (s x))
+  | Signal.Eq (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    Printf.sprintf "(if %s = %s then 1L else 0L)" (shl_txt (s x) ka)
+      (shl_txt (s y) kb)
+  | Signal.Lt (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    Printf.sprintf "(if %s < %s then 1L else 0L)" (shl_txt (s x) ka)
+      (shl_txt (s y) kb)
+  | Signal.Le (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    Printf.sprintf "(if %s <= %s then 1L else 0L)" (shl_txt (s x) ka)
+      (shl_txt (s y) kb)
+  | Signal.Mux (sel, x, y) ->
+    let rx = resize_txt ~round:Fixed.Truncate ~overflow:Fixed.Wrap (Signal.fmt x) nf (s x) in
+    let ry = resize_txt ~round:Fixed.Truncate ~overflow:Fixed.Wrap (Signal.fmt y) nf (s y) in
+    Printf.sprintf "(if %s <> 0L then %s else %s)" (s sel) rx ry
+  | Signal.Resize (round, overflow, x) ->
+    resize_txt ~round ~overflow (Signal.fmt x) nf (s x)
+  | Signal.Rom_read (r, idx) ->
+    let var = rom_var a r in
+    let len = Signal.Rom.size r in
+    let frac = (Signal.fmt idx).Fixed.frac in
+    if frac <= 0 then
+      Printf.sprintf "%s.(Int64.to_int %s mod %d)" var (shl_txt (s idx) (-frac)) len
+    else
+      Printf.sprintf "%s.(Int64.to_int (Int64.div %s %LdL) mod %d)" var (s idx)
+        (Int64.shift_left 1L (min frac 62))
+        len
+  | Signal.Shift_left (x, _) | Signal.Shift_right (x, _) -> s x
+
+(* Pure expression text (guards): same ops but inline recursion. *)
+let rec pure_expr_text a e =
+  let nf = Signal.fmt e in
+  let p x = pure_expr_text a x in
+  match Signal.op e with
+  | Signal.Const v -> Printf.sprintf "(%LdL)" (Fixed.mantissa v)
+  | Signal.Input_read i ->
+    unsupported "emit: guard reads input %s" (Signal.Input.name i)
+  | Signal.Reg_read r ->
+    Printf.sprintf "v.(%d)" (Hashtbl.find a.reg_cur (Signal.Reg.id r))
+  | Signal.Add (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    Printf.sprintf "(Int64.add %s %s)" (shl_txt (p x) ka) (shl_txt (p y) kb)
+  | Signal.Sub (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    Printf.sprintf "(Int64.sub %s %s)" (shl_txt (p x) ka) (shl_txt (p y) kb)
+  | Signal.Mul (x, y) -> Printf.sprintf "(Int64.mul %s %s)" (p x) (p y)
+  | Signal.Neg x -> Printf.sprintf "(Int64.neg %s)" (p x)
+  | Signal.Abs x -> Printf.sprintf "(Int64.abs %s)" (p x)
+  | Signal.And (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    wrap_txt nf
+      (Printf.sprintf "(Int64.logand %s %s)" (shl_txt (p x) ka) (shl_txt (p y) kb))
+  | Signal.Or (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    wrap_txt nf
+      (Printf.sprintf "(Int64.logor %s %s)" (shl_txt (p x) ka) (shl_txt (p y) kb))
+  | Signal.Xor (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    wrap_txt nf
+      (Printf.sprintf "(Int64.logxor %s %s)" (shl_txt (p x) ka) (shl_txt (p y) kb))
+  | Signal.Not x -> wrap_txt nf (Printf.sprintf "(Int64.lognot %s)" (p x))
+  | Signal.Eq (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    Printf.sprintf "(if %s = %s then 1L else 0L)" (shl_txt (p x) ka)
+      (shl_txt (p y) kb)
+  | Signal.Lt (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    Printf.sprintf "(if %s < %s then 1L else 0L)" (shl_txt (p x) ka)
+      (shl_txt (p y) kb)
+  | Signal.Le (x, y) ->
+    let ka, kb = align_shifts (Signal.fmt x) (Signal.fmt y) in
+    Printf.sprintf "(if %s <= %s then 1L else 0L)" (shl_txt (p x) ka)
+      (shl_txt (p y) kb)
+  | Signal.Mux (sel, x, y) ->
+    let rx = resize_txt ~round:Fixed.Truncate ~overflow:Fixed.Wrap (Signal.fmt x) nf (p x) in
+    let ry = resize_txt ~round:Fixed.Truncate ~overflow:Fixed.Wrap (Signal.fmt y) nf (p y) in
+    Printf.sprintf "(if %s <> 0L then %s else %s)" (p sel) rx ry
+  | Signal.Resize (round, overflow, x) ->
+    resize_txt ~round ~overflow (Signal.fmt x) nf (p x)
+  | Signal.Rom_read (r, idx) ->
+    let var = rom_var a r in
+    let len = Signal.Rom.size r in
+    let frac = (Signal.fmt idx).Fixed.frac in
+    if frac <= 0 then
+      Printf.sprintf "%s.(Int64.to_int %s mod %d)" var (shl_txt (p idx) (-frac)) len
+    else
+      Printf.sprintf "%s.(Int64.to_int (Int64.div %s %LdL) mod %d)" var (p idx)
+        (Int64.shift_left 1L (min frac 62))
+        len
+  | Signal.Shift_left (x, _) | Signal.Shift_right (x, _) -> p x
+
+(* --- classification (shared logic) --------------------------------------- *)
+
+(* NOTE: every child must be visited even when the answer is already
+   known — short-circuiting would leave siblings unclassified, and an
+   unclassified input-dependent node would default to block A and read
+   stale values. *)
+let classify_nodes roots =
+  let cls : (int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let rec go n =
+    match Hashtbl.find_opt cls (Signal.id n) with
+    | Some b -> b
+    | None ->
+      let b =
+        match Signal.op n with
+        | Signal.Input_read _ -> true
+        | Signal.Const _ | Signal.Reg_read _ -> false
+        | Signal.Neg x | Signal.Abs x | Signal.Not x
+        | Signal.Resize (_, _, x)
+        | Signal.Rom_read (_, x)
+        | Signal.Shift_left (x, _)
+        | Signal.Shift_right (x, _) -> go x
+        | Signal.Add (x, y) | Signal.Sub (x, y) | Signal.Mul (x, y)
+        | Signal.And (x, y) | Signal.Or (x, y) | Signal.Xor (x, y)
+        | Signal.Eq (x, y) | Signal.Lt (x, y) | Signal.Le (x, y) ->
+          let bx = go x in
+          let by = go y in
+          bx || by
+        | Signal.Mux (s, x, y) ->
+          let bs = go s in
+          let bx = go x in
+          let by = go y in
+          bs || bx || by
+      in
+      Hashtbl.replace cls (Signal.id n) b;
+      b
+  in
+  List.iter (fun r -> ignore (go r)) roots;
+  fun n ->
+    match Hashtbl.find_opt cls (Signal.id n) with Some b -> b | None -> false
+
+(* --- emission -------------------------------------------------------------- *)
+
+let emit_ocaml sys ~cycles =
+  if Cycle_system.untimed_components sys <> [] then
+    unsupported "emit_ocaml: untimed kernels cannot be embedded in source";
+  let a =
+    {
+      next_slot = 0;
+      net_slot = Hashtbl.create 64;
+      net_fmt = Hashtbl.create 64;
+      net_stamp = Hashtbl.create 64;
+      reg_cur = Hashtbl.create 64;
+      reg_next = Hashtbl.create 64;
+      reg_init = ref [];
+      node_slot = Hashtbl.create 1024;
+      sink_net = Hashtbl.create 64;
+      driver_net = Hashtbl.create 64;
+      roms = ref [];
+      rom_names = Hashtbl.create 8;
+    }
+  in
+  let nets = Cycle_system.nets sys in
+  List.iteri
+    (fun i (net_name, (dc, dp), sinks) ->
+      Hashtbl.replace a.net_slot net_name (fresh a);
+      Hashtbl.replace a.net_stamp net_name i;
+      Hashtbl.replace a.driver_net (dc, dp) net_name;
+      List.iter
+        (fun (sc, sp) -> Hashtbl.replace a.sink_net (sc, sp) net_name)
+        sinks)
+    nets;
+  List.iter
+    (fun r ->
+      let id = Signal.Reg.id r in
+      let cur = fresh a and nxt = fresh a in
+      Hashtbl.replace a.reg_cur id cur;
+      Hashtbl.replace a.reg_next id nxt;
+      a.reg_init := (Fixed.mantissa (Signal.Reg.init r), cur) :: !(a.reg_init))
+    (Cycle_system.all_regs sys);
+  let buf = Buffer.create 65536 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let all_timed = Cycle_system.timed_components sys in
+  (* Pre-allocate node slots. *)
+  List.iter
+    (fun (_, fsm) ->
+      List.iter
+        (fun tr ->
+          List.iter
+            (fun sfg ->
+              List.iter
+                (fun root ->
+                  Signal.fold_dag root ~init:() ~f:(fun () n ->
+                      ignore (slot_of_node a n)))
+                (List.map snd (Sfg.outputs sfg) @ List.map snd (Sfg.assigns sfg)))
+            tr.Fsm.t_actions)
+        (Fsm.transitions fsm))
+    all_timed;
+  (* Stimuli: evaluate now, require totality. *)
+  let stim_rows =
+    List.filter_map
+      (fun (name, _fmt, stim) ->
+        match Hashtbl.find_opt a.driver_net (name, "out") with
+        | None -> None
+        | Some net ->
+          let vals =
+            Array.init cycles (fun c ->
+                match stim c with
+                | Some v -> Fixed.mantissa v
+                | None ->
+                  unsupported
+                    "emit_ocaml: stimulus %s produced no token at cycle %d"
+                    name c)
+          in
+          Some (sanitize name, Hashtbl.find a.net_slot net,
+                Hashtbl.find a.net_stamp net, vals))
+      (Cycle_system.primary_inputs sys)
+  in
+  (* Build per-component text, collecting B-phase ordering info. *)
+  let b_written = Hashtbl.create 32 in
+  let b_read = Hashtbl.create 32 in
+  let comp_texts =
+    List.map
+      (fun (cname, fsm) ->
+        let cid = sanitize cname in
+        let transitions = Array.of_list (Fsm.transitions fsm) in
+        let block_a = Buffer.create 1024
+        and block_b = Buffer.create 1024
+        and commits = Buffer.create 256 in
+        let ba fmt = Printf.ksprintf (Buffer.add_string block_a) fmt in
+        let bb fmt = Printf.ksprintf (Buffer.add_string block_b) fmt in
+        let bc fmt = Printf.ksprintf (Buffer.add_string commits) fmt in
+        Array.iteri
+          (fun ti tr ->
+            let roots =
+              List.concat_map
+                (fun sfg ->
+                  List.map snd (Sfg.outputs sfg) @ List.map snd (Sfg.assigns sfg))
+                tr.Fsm.t_actions
+            in
+            let is_b = classify_nodes roots in
+            let emitted = Hashtbl.create 128 in
+            let a_stmts = ref [] and b_stmts = ref [] and c_stmts = ref [] in
+            let emit_node n =
+              Signal.fold_dag n ~init:() ~f:(fun () x ->
+                  if not (Hashtbl.mem emitted (Signal.id x)) then begin
+                    Hashtbl.add emitted (Signal.id x) ();
+                    let txt =
+                      Printf.sprintf "v.(%d) <- %s" (slot_of_node a x)
+                        (node_expr_text a cname x)
+                    in
+                    if is_b x then b_stmts := txt :: !b_stmts
+                    else a_stmts := txt :: !a_stmts;
+                    match Signal.op x with
+                    | Signal.Input_read i -> begin
+                      match
+                        Hashtbl.find_opt a.sink_net (cname, Signal.Input.name i)
+                      with
+                      | Some net -> Hashtbl.replace b_read (cname, net) ()
+                      | None -> ()
+                    end
+                    | _ -> ()
+                  end)
+            in
+            List.iter
+              (fun sfg ->
+                List.iter
+                  (fun (port, e) ->
+                    emit_node e;
+                    match Hashtbl.find_opt a.driver_net (cname, port) with
+                    | None -> ()
+                    | Some net ->
+                      let txt =
+                        Printf.sprintf "v.(%d) <- v.(%d); stamp.(%d) <- !cycle"
+                          (Hashtbl.find a.net_slot net)
+                          (slot_of_node a e)
+                          (Hashtbl.find a.net_stamp net)
+                      in
+                      if is_b e then begin
+                        b_stmts := txt :: !b_stmts;
+                        Hashtbl.replace b_written net cname
+                      end
+                      else a_stmts := txt :: !a_stmts)
+                  (Sfg.outputs sfg);
+                List.iter
+                  (fun (reg, e) ->
+                    emit_node e;
+                    let nxt = Hashtbl.find a.reg_next (Signal.Reg.id reg) in
+                    let cur = Hashtbl.find a.reg_cur (Signal.Reg.id reg) in
+                    let txt =
+                      Printf.sprintf "v.(%d) <- v.(%d)" nxt (slot_of_node a e)
+                    in
+                    if is_b e then b_stmts := txt :: !b_stmts
+                    else a_stmts := txt :: !a_stmts;
+                    c_stmts := Printf.sprintf "v.(%d) <- v.(%d)" cur nxt :: !c_stmts)
+                  (Sfg.assigns sfg))
+              tr.Fsm.t_actions;
+            let body stmts =
+              match List.rev stmts with
+              | [] -> "()"
+              | l -> String.concat ";\n      " l
+            in
+            ba "    | %d ->\n      %s\n" ti (body !a_stmts);
+            bb "    | %d ->\n      %s\n" ti (body !b_stmts);
+            bc "    | %d ->\n      %s;\n      st_%s := %d\n" ti (body !c_stmts)
+              cid
+              (Fsm.state_index tr.Fsm.t_goto))
+          transitions;
+        (* Guard selection per state. *)
+        let sel = Buffer.create 512 in
+        let bs fmt = Printf.ksprintf (Buffer.add_string sel) fmt in
+        List.iter
+          (fun st ->
+            bs "    | %d ->\n" (Fsm.state_index st);
+            let trs =
+              List.filteri (fun _ _ -> true) (Array.to_list transitions)
+              |> List.mapi (fun i tr -> (i, tr))
+              |> List.filter (fun (_, tr) ->
+                     Fsm.state_equal tr.Fsm.t_from st)
+            in
+            let rec chain = function
+              | [] -> "(-1)"
+              | (i, tr) :: rest ->
+                let g = Fsm.guard_expr tr.Fsm.t_guard in
+                Printf.sprintf "if %s <> 0L then %d else %s"
+                  (pure_expr_text a g) i (chain rest)
+            in
+            bs "      %s\n" (chain trs))
+          (Fsm.states fsm);
+        (cname, cid, Buffer.contents sel, Buffer.contents block_a,
+         Buffer.contents block_b, Buffer.contents commits,
+         Fsm.state_index (Fsm.initial_state fsm)))
+      all_timed
+  in
+  (* Topological order of B blocks. *)
+  let names = List.map (fun (n, _, _, _, _, _, _) -> n) comp_texts in
+  let idx = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace idx n i) names;
+  let n_units = List.length names in
+  let succs = Array.make n_units [] and indeg = Array.make n_units 0 in
+  Hashtbl.iter
+    (fun (reader, net) () ->
+      match Hashtbl.find_opt b_written net with
+      | Some writer when writer <> reader ->
+        let w = Hashtbl.find idx writer and r = Hashtbl.find idx reader in
+        succs.(w) <- r :: succs.(w);
+        indeg.(r) <- indeg.(r) + 1
+      | Some _ | None -> ())
+    b_read;
+  let order = ref [] and queue = Queue.create () and visited = ref 0 in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := i :: !order;
+    incr visited;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      succs.(i)
+  done;
+  if !visited <> n_units then
+    unsupported "emit_ocaml: combinational component cycle";
+  let b_order = List.rev !order in
+  (* Probes. *)
+  let probe_rows =
+    List.filter_map
+      (fun pname ->
+        match Hashtbl.find_opt a.sink_net (pname, "in") with
+        | None -> None
+        | Some net ->
+          Some (pname, Hashtbl.find a.net_slot net, Hashtbl.find a.net_stamp net))
+      (Cycle_system.probes sys)
+  in
+  (* --- assemble the file --- *)
+  pf "(* Generated by ocapi-ml: compiled simulator for system %S. *)\n"
+    (Cycle_system.name sys);
+  pf "(* %d cycles of embedded stimuli; prints \"<cycle> <probe> <mantissa>\". *)\n\n"
+    cycles;
+  pf "let v = Array.make %d 0L\n" (max 1 a.next_slot);
+  pf "let stamp = Array.make %d (-1)\n" (max 1 (List.length nets));
+  pf "let cycle = ref 0\n";
+  pf "let shl x k = if k = 0 then x else Int64.shift_left x k\n";
+  pf "let wrap_u w x = Int64.logand x (Int64.sub (Int64.shift_left 1L w) 1L)\n";
+  pf "let wrap_s w x =\n";
+  pf "  let m = Int64.logand x (Int64.sub (Int64.shift_left 1L w) 1L) in\n";
+  pf "  if Int64.logand m (Int64.shift_left 1L (w - 1)) <> 0L then\n";
+  pf "    Int64.sub m (Int64.shift_left 1L w) else m\n";
+  pf "let sat lo hi x = if x < lo then lo else if x > hi then hi else x\n";
+  pf "let rnd_near k x = Int64.shift_right (Int64.add x (Int64.shift_left 1L (k-1))) k\n";
+  pf "let rnd_even k x =\n";
+  pf "  let f = Int64.shift_right x k in\n";
+  pf "  let r = Int64.sub x (Int64.shift_left f k) in\n";
+  pf "  let h = Int64.shift_left 1L (k-1) in\n";
+  pf "  if r > h then Int64.add f 1L else if r < h then f\n";
+  pf "  else if Int64.logand f 1L = 1L then Int64.add f 1L else f\n";
+  pf "let _ = shl 0L 0, wrap_u 1 0L, wrap_s 1 0L, sat 0L 0L 0L, rnd_near 1 0L, rnd_even 1 0L\n\n";
+  List.iter
+    (fun (var, contents) ->
+      pf "let %s = [|" var;
+      Array.iter (fun m -> pf " %LdL;" m) contents;
+      pf " |]\n")
+    (List.rev !(a.roms));
+  List.iter
+    (fun (name, slot, stampi, vals) ->
+      pf "let stim_%s = [|" name;
+      Array.iter (fun m -> pf " %LdL;" m) vals;
+      pf " |]\n";
+      pf "let stim_%s_slot = %d\nlet stim_%s_stamp = %d\n" name slot name stampi)
+    stim_rows;
+  pf "\nlet () = (* register initial values *)\n";
+  List.iter (fun (init, cur) -> pf "  v.(%d) <- %LdL;\n" cur init) !(a.reg_init);
+  pf "  ()\n\n";
+  List.iter
+    (fun (_, cid, sel, ba, bb, bc, init_state) ->
+      pf "let st_%s = ref %d\n" cid init_state;
+      pf "let sel_%s = ref (-1)\n" cid;
+      pf "let select_%s () =\n  sel_%s := (match !st_%s with\n%s    | _ -> (-1))\n"
+        cid cid cid sel;
+      pf "let block_a_%s () =\n  (match !sel_%s with\n%s    | _ -> ())\n" cid cid ba;
+      pf "let block_b_%s () =\n  (match !sel_%s with\n%s    | _ -> ())\n" cid cid bb;
+      pf "let commit_%s () =\n  (match !sel_%s with\n%s    | _ -> ())\n\n" cid cid bc)
+    comp_texts;
+  pf "let step () =\n";
+  List.iter
+    (fun (name, _, _, _) ->
+      pf "  v.(stim_%s_slot) <- stim_%s.(!cycle); stamp.(stim_%s_stamp) <- !cycle;\n"
+        name name name)
+    stim_rows;
+  List.iter (fun (_, cid, _, _, _, _, _) -> pf "  select_%s ();\n" cid) comp_texts;
+  List.iter (fun (_, cid, _, _, _, _, _) -> pf "  block_a_%s ();\n" cid) comp_texts;
+  List.iter
+    (fun i ->
+      let _, cid, _, _, _, _, _ = List.nth comp_texts i in
+      pf "  block_b_%s ();\n" cid)
+    b_order;
+  List.iter
+    (fun (pname, slot, stampi) ->
+      pf "  (if stamp.(%d) = !cycle then Printf.printf \"%%d %s %%Ld\\n\" !cycle v.(%d));\n"
+        stampi pname slot)
+    probe_rows;
+  List.iter (fun (_, cid, _, _, _, _, _) -> pf "  commit_%s ();\n" cid) comp_texts;
+  pf "  incr cycle\n\n";
+  pf "let () = for _ = 1 to %d do step () done\n" cycles;
+  Buffer.contents buf

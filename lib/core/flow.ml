@@ -1,0 +1,144 @@
+type check_report = {
+  system_issues : Cycle_system.check_issue list;
+  sfg_issues : (string * Sfg.check_issue list) list;
+  fsm_issues : (string * Fsm.check_issue list) list;
+}
+
+let check sys =
+  let system_issues = Cycle_system.check sys in
+  let sfg_issues =
+    List.concat_map
+      (fun (cname, fsm) ->
+        List.filter_map
+          (fun sfg ->
+            match Sfg.check sfg with
+            | [] -> None
+            | issues -> Some (cname ^ "/" ^ Sfg.name sfg, issues))
+          (Fsm.all_sfgs fsm))
+      (Cycle_system.timed_components sys)
+  in
+  let fsm_issues =
+    List.filter_map
+      (fun (cname, fsm) ->
+        match Fsm.check fsm with
+        | [] -> None
+        | issues -> Some (cname, issues))
+      (Cycle_system.timed_components sys)
+  in
+  { system_issues; sfg_issues; fsm_issues }
+
+let check_clean r =
+  r.system_issues = [] && r.sfg_issues = [] && r.fsm_issues = []
+
+let pp_check_report ppf r =
+  if check_clean r then Format.fprintf ppf "all checks clean"
+  else begin
+    Format.fprintf ppf "@[<v>";
+    List.iter
+      (fun i -> Format.fprintf ppf "system: %a@," Cycle_system.pp_issue i)
+      r.system_issues;
+    List.iter
+      (fun (name, issues) ->
+        List.iter
+          (fun i -> Format.fprintf ppf "%s: %a@," name Sfg.pp_issue i)
+          issues)
+      r.sfg_issues;
+    List.iter
+      (fun (name, issues) ->
+        List.iter
+          (fun i -> Format.fprintf ppf "%s: %a@," name Fsm.pp_issue i)
+          issues)
+      r.fsm_issues;
+    Format.fprintf ppf "@]"
+  end
+
+let probe_histories sys =
+  List.filter_map
+    (fun p ->
+      match Cycle_system.find_component sys p with
+      | Some c -> Some (p, Cycle_system.output_history sys c)
+      | None -> None)
+    (Cycle_system.probes sys)
+
+let simulate ?(two_phase = false) sys ~cycles =
+  Cycle_system.reset sys;
+  Cycle_system.run ~two_phase sys cycles;
+  let result = probe_histories sys in
+  Cycle_system.reset sys;
+  result
+
+let simulate_compiled sys ~cycles =
+  Cycle_system.reset sys;
+  let prog = Compiled_sim.compile sys in
+  Compiled_sim.run prog cycles;
+  List.map
+    (fun p -> (p, Compiled_sim.output_history prog p))
+    (Cycle_system.probes sys)
+
+let simulate_rtl sys ~cycles =
+  Cycle_system.reset sys;
+  let rtl = Rtl.of_system sys in
+  Rtl.reset rtl;
+  Rtl.run rtl cycles;
+  let result =
+    List.map (fun p -> (p, Rtl.output_history rtl p)) (Cycle_system.probes sys)
+  in
+  Cycle_system.reset sys;
+  result
+
+let engines_agree sys ~cycles =
+  let interp = simulate sys ~cycles in
+  let compiled = simulate_compiled sys ~cycles in
+  let rtl = simulate_rtl sys ~cycles in
+  let same a b =
+    List.for_all2
+      (fun (p1, h1) (p2, h2) ->
+        p1 = p2
+        && List.length h1 = List.length h2
+        && List.for_all2
+             (fun (c1, v1) (c2, v2) -> c1 = c2 && Fixed.equal v1 v2)
+             h1 h2)
+      a b
+  in
+  List.filter_map
+    (fun (label, ok) -> if ok then None else Some label)
+    [
+      ("interpreted-vs-compiled", same interp compiled);
+      ("interpreted-vs-rtl", same interp rtl);
+    ]
+
+let write_file dir name contents =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let emit_vhdl sys ~dir =
+  List.map (fun (name, contents) -> write_file dir name contents)
+    (Vhdl.of_system sys)
+
+let emit_testbench sys ~dir ~cycles =
+  let vectors = Testbench.record sys ~cycles in
+  write_file dir
+    ("tb_" ^ Verilog.sanitize (Cycle_system.name sys) ^ ".vhd")
+    (Testbench.vhdl sys vectors)
+
+let emit_ocaml_simulator sys ~dir ~cycles =
+  Cycle_system.reset sys;
+  let src = Compiled_sim.emit_ocaml sys ~cycles in
+  write_file dir
+    (Verilog.sanitize (Cycle_system.name sys) ^ "_sim.ml")
+    src
+
+let synthesize_to_verilog ?options ?macro_of_kernel sys ~dir =
+  let nl, report = Synthesize.synthesize ?options ?macro_of_kernel sys in
+  let path =
+    write_file dir
+      (Verilog.sanitize (Cycle_system.name sys) ^ "_netlist.v")
+      (Verilog.of_netlist nl)
+  in
+  (nl, report, path)
+
+let verify_netlist ?options ?macro_of_kernel sys ~cycles =
+  Synthesize.verify ?options ?macro_of_kernel sys ~cycles

@@ -1,0 +1,86 @@
+(** The design flows of the programming environment (figs 7 and 8).
+
+    A design is captured once as a {!Cycle_system.t}; this module is the
+    front door to everything that can be done with it:
+
+    - {b simulate} it interpreted (three-phase cycle scheduler) or
+      compiled (flattened closure program),
+    - {b elaborate} it for event-driven RT simulation,
+    - {b generate} VHDL, a standalone OCaml simulator, a self-checking
+      test bench,
+    - {b synthesize} it to a gate-level netlist and print that netlist
+      as structural Verilog,
+    - {b verify} the synthesized netlist against the reference
+      simulation with the recorded test-bench vectors. *)
+
+(** {1 Static checks} *)
+
+type check_report = {
+  system_issues : Cycle_system.check_issue list;
+  sfg_issues : (string * Sfg.check_issue list) list;  (** per SFG *)
+  fsm_issues : (string * Fsm.check_issue list) list;  (** per component *)
+}
+
+(** Run the semantic checks of the environment: interconnect audit,
+    SFG dangling-input/dead-code detection, FSM determinism and
+    reachability sampling. *)
+val check : Cycle_system.t -> check_report
+
+val pp_check_report : Format.formatter -> check_report -> unit
+
+(** True when no issue of any kind was found. *)
+val check_clean : check_report -> bool
+
+(** {1 Simulation} *)
+
+(** Interpreted simulation for [cycles]; returns the probe histories by
+    probe name.  Resets the system first. *)
+val simulate :
+  ?two_phase:bool ->
+  Cycle_system.t ->
+  cycles:int ->
+  (string * (int * Fixed.t) list) list
+
+(** Compiled simulation of the same system; same result shape. *)
+val simulate_compiled :
+  Cycle_system.t -> cycles:int -> (string * (int * Fixed.t) list) list
+
+(** Event-driven RT simulation; same result shape. *)
+val simulate_rtl :
+  Cycle_system.t -> cycles:int -> (string * (int * Fixed.t) list) list
+
+(** [engines_agree sys ~cycles] runs interpreted, compiled and RTL
+    simulation and returns the list of engine pairs that disagree
+    (empty = all equivalent). *)
+val engines_agree : Cycle_system.t -> cycles:int -> string list
+
+(** {1 Code generation} *)
+
+(** Write the generated VHDL files into [dir]; returns the paths. *)
+val emit_vhdl : Cycle_system.t -> dir:string -> string list
+
+(** Write a self-checking VHDL test bench recorded over [cycles]. *)
+val emit_testbench : Cycle_system.t -> dir:string -> cycles:int -> string
+
+(** Write the standalone compiled OCaml simulator source. *)
+val emit_ocaml_simulator : Cycle_system.t -> dir:string -> cycles:int -> string
+
+(** {1 Synthesis} *)
+
+(** Synthesize and write the structural Verilog netlist; returns the
+    netlist, the synthesis report and the file path. *)
+val synthesize_to_verilog :
+  ?options:Synthesize.options ->
+  ?macro_of_kernel:(Dataflow.Kernel.t -> Synthesize.macro_spec option) ->
+  Cycle_system.t ->
+  dir:string ->
+  Netlist.t * Synthesize.report * string
+
+(** Gate-level verification against the reference simulation
+    (see {!Synthesize.verify}). *)
+val verify_netlist :
+  ?options:Synthesize.options ->
+  ?macro_of_kernel:(Dataflow.Kernel.t -> Synthesize.macro_spec option) ->
+  Cycle_system.t ->
+  cycles:int ->
+  Synthesize.verify_result

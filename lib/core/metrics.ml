@@ -1,0 +1,137 @@
+type engine =
+  | Interpreted_objects
+  | Compiled_code
+  | Rt_event_driven
+  | Gate_netlist
+
+let engine_label = function
+  | Interpreted_objects -> "OCaml (interpreted obj)"
+  | Compiled_code -> "OCaml (compiled)"
+  | Rt_event_driven -> "VHDL (RT)"
+  | Gate_netlist -> "Verilog (netlist)"
+
+let all_engines =
+  [ Interpreted_objects; Compiled_code; Rt_event_driven; Gate_netlist ]
+
+type measurement = {
+  m_engine : engine;
+  m_cycles : int;
+  m_seconds : float;
+  m_cycles_per_second : float;
+  m_process_bytes : int;
+  m_source_lines : int;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* Process size is the engine's resident state (slots, signals, event
+   structures): the words reachable from the engine root after
+   construction and a short warm-up, before the timed run — the recorded
+   probe histories of a long run would otherwise dominate. *)
+let resident_bytes root = Obj.reachable_words (Obj.repr root) * (Sys.word_size / 8)
+
+let measure ?(ocaml_source_lines = 0) ?macro_of_kernel sys engine ~cycles =
+  let seconds, source_lines, process_bytes =
+    match engine with
+    | Interpreted_objects ->
+      Cycle_system.reset sys;
+      Cycle_system.run sys (min 16 cycles) (* warm-up *);
+      Cycle_system.reset sys;
+      let resident = resident_bytes sys in
+      let s = timed (fun () -> Cycle_system.run sys cycles) in
+      (s, ocaml_source_lines, resident)
+    | Compiled_code ->
+      Cycle_system.reset sys;
+      let prog = Compiled_sim.compile sys in
+      Compiled_sim.run prog (min 16 cycles);
+      Compiled_sim.reset prog;
+      let resident = resident_bytes prog in
+      let s = timed (fun () -> Compiled_sim.run prog cycles) in
+      ignore (Sys.opaque_identity prog);
+      (* The size of the regenerated program stands in for the paper's
+         generated-C++ line count. *)
+      (s, Compiled_sim.statement_count prog, resident)
+    | Rt_event_driven ->
+      Cycle_system.reset sys;
+      let rtl = Rtl.of_system sys in
+      Rtl.reset rtl;
+      Rtl.run rtl (min 16 cycles);
+      Rtl.reset rtl;
+      let resident = resident_bytes rtl in
+      let s = timed (fun () -> Rtl.run rtl cycles) in
+      ignore (Sys.opaque_identity rtl);
+      (s, Vhdl.line_count (Vhdl.of_system sys), resident)
+    | Gate_netlist ->
+      let vectors = Testbench.record sys ~cycles in
+      let nl, _report = Synthesize.synthesize ?macro_of_kernel sys in
+      let sim = Netlist.Sim.create nl in
+      let per_cycle = Array.make (max 1 cycles) [] in
+      List.iter
+        (fun (c, name, v) ->
+          if c < cycles then per_cycle.(c) <- (name, v) :: per_cycle.(c))
+        vectors.Testbench.tb_inputs;
+      Netlist.Sim.settle sim;
+      let resident = resident_bytes sim in
+      let s =
+        timed (fun () ->
+            for c = 0 to cycles - 1 do
+              List.iter
+                (fun (name, v) ->
+                  Netlist.Sim.set_input sim name (Fixed.mantissa v))
+                per_cycle.(c);
+              Netlist.Sim.settle sim;
+              Netlist.Sim.clock sim
+            done)
+      in
+      ignore (Sys.opaque_identity sim);
+      (s, Verilog.line_count (Verilog.of_netlist nl), resident)
+  in
+  Cycle_system.reset sys;
+  {
+    m_engine = engine;
+    m_cycles = cycles;
+    m_seconds = seconds;
+    m_cycles_per_second =
+      (if seconds > 0. then float_of_int cycles /. seconds else infinity);
+    m_process_bytes = process_bytes;
+    m_source_lines = source_lines;
+  }
+
+let source_lines_of_files paths =
+  List.fold_left
+    (fun acc path ->
+      let ic = open_in path in
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      acc + !n)
+    0 paths
+
+let human_speed v =
+  if v >= 1e6 then Printf.sprintf "%.1fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fK" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+let pp_table ppf ~design ~gates ms =
+  Format.fprintf ppf
+    "@[<v>%-8s %-7s %-26s %10s %14s %12s@,%s@," "Design" "Size" "Type"
+    "Src lines" "Speed (cyc/s)" "Process"
+    (String.make 82 '-');
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "%-8s %-7s %-26s %10d %14s %9.1fMB@," design
+        (Printf.sprintf "%dK" (gates / 1000))
+        (engine_label m.m_engine) m.m_source_lines
+        (human_speed m.m_cycles_per_second)
+        (float_of_int m.m_process_bytes /. 1048576.);
+      ignore m.m_seconds)
+    ms;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,56 @@
+(** The Table 1 measurement harness.
+
+    For a design, measures the three columns of the paper's Table 1 —
+    source code size (lines), simulation speed (cycles/second) and
+    process size (bytes of live heap attributable to the engine) — for
+    each simulation engine:
+
+    - [Interpreted_objects] — the three-phase cycle scheduler walking
+      the object structure ("C++ (interpreted obj)"),
+    - [Compiled_code] — the flattened closure program ("C++ (compiled)"),
+    - [Rt_event_driven] — the delta-cycle RTL kernel ("VHDL (RT)"),
+    - [Gate_netlist] — the synthesized netlist under the event-driven
+      gate simulator ("VHDL/Verilog (netlist)"). *)
+
+type engine =
+  | Interpreted_objects
+  | Compiled_code
+  | Rt_event_driven
+  | Gate_netlist
+
+val engine_label : engine -> string
+val all_engines : engine list
+
+type measurement = {
+  m_engine : engine;
+  m_cycles : int;
+  m_seconds : float;
+  m_cycles_per_second : float;
+  m_process_bytes : int;  (** live-heap growth retained by the engine *)
+  m_source_lines : int;  (** description size for this representation *)
+}
+
+(** [measure ?ocaml_source_lines ?macro_of_kernel sys engine ~cycles]
+    builds the engine, runs [cycles] cycles (after a short warm-up) and
+    reports.  [ocaml_source_lines] is the size of the OCaml capture, used
+    for the two C++-column rows; the RT row reports generated-VHDL lines
+    and the netlist row generated-Verilog lines. *)
+val measure :
+  ?ocaml_source_lines:int ->
+  ?macro_of_kernel:(Dataflow.Kernel.t -> Synthesize.macro_spec option) ->
+  Cycle_system.t ->
+  engine ->
+  cycles:int ->
+  measurement
+
+(** [source_lines_of_files paths] — physical line count of on-disk OCaml
+    sources, for the [ocaml_source_lines] argument. *)
+val source_lines_of_files : string list -> int
+
+(** Render measurements in the paper's Table 1 layout. *)
+val pp_table :
+  Format.formatter ->
+  design:string ->
+  gates:int ->
+  measurement list ->
+  unit

@@ -1,0 +1,36 @@
+(** The public facade of ocapi-ml.
+
+    Everything the environment offers, re-exported under one roof:
+
+    {[
+      let open Ocapi in
+      let fmt = Fixed.signed ~width:12 ~frac:8 in
+      ...
+    ]}
+
+    All modules are also usable directly (the libraries are unwrapped);
+    this module exists for discoverability and for the examples. *)
+
+module Fixed = Fixed
+module Bitvector = Bitvector
+module Clock = Clock
+module Signal = Signal
+module Sfg = Sfg
+module Fsm = Fsm
+module Dataflow = Dataflow
+module Cycle_system = Cycle_system
+module Compiled_sim = Compiled_sim
+module Rtl = Rtl
+module Vhdl = Vhdl
+module Verilog = Verilog
+module Testbench = Testbench
+module Vcd = Vcd
+module Netlist = Netlist
+module Sop = Sop
+module Wordgen = Wordgen
+module Synthesize = Synthesize
+module Netopt = Netopt
+module Flow = Flow
+module Metrics = Metrics
+
+let version = "1.0.0"

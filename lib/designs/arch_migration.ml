@@ -1,0 +1,131 @@
+let sample_fmt = Dect_transceiver.sample_format
+let x_fmt = Fixed.signed ~width:8 ~frac:4
+let est_fmt = Fixed.signed ~width:10 ~frac:8
+let sum_fmt = Fixed.signed ~width:14 ~frac:6
+
+type chain = { c_dc : Sfg.t; c_fir : Sfg.t; c_slice : Sfg.t }
+
+(* The datapath descriptions, captured once; both targets reuse these
+   objects unchanged. *)
+let build_chain () =
+  let clk = Clock.default in
+  let est = Signal.Reg.create clk "mig_est" est_fmt in
+  let c_dc =
+    Sfg.build "mig_dc" (fun b ->
+        let s = Sfg.Builder.input b "s" sample_fmt in
+        let diff = Signal.(s -: reg_q est) in
+        Sfg.Builder.assign_resized b est
+          Signal.(reg_q est +: shift_right diff 5);
+        Sfg.Builder.output b "y"
+          (Signal.resize ~overflow:Fixed.Saturate x_fmt diff))
+  in
+  let w =
+    Array.init 16 (fun i ->
+        Signal.Reg.create clk (Printf.sprintf "mig_w%d" i) x_fmt)
+  in
+  let c_fir =
+    Sfg.build "mig_fir" (fun b ->
+        let x = Sfg.Builder.input b "x" x_fmt in
+        let n =
+          Array.init 16 (fun i ->
+              if i = 0 then x else Signal.reg_q w.(i - 1))
+        in
+        Array.iteri (fun i reg -> Sfg.Builder.assign_resized b reg n.(i)) w;
+        let acc =
+          Array.to_list
+            (Array.mapi
+               (fun i xi ->
+                 Signal.(
+                   xi *: const Dect_transceiver.equalizer_coefficients.(i)))
+               n)
+        in
+        let rec tree = function
+          | [] -> invalid_arg "tree"
+          | [ e ] -> e
+          | es ->
+            let rec pair = function
+              | [] -> []
+              | [ e ] -> [ e ]
+              | a :: b :: rest -> Signal.add a b :: pair rest
+            in
+            tree (pair es)
+        in
+        Sfg.Builder.output b "soft"
+          (Signal.resize ~overflow:Fixed.Saturate sum_fmt (tree acc)))
+  in
+  let c_slice =
+    Sfg.build "mig_slice" (fun b ->
+        let soft = Sfg.Builder.input b "soft" sum_fmt in
+        Sfg.Builder.output b "bit" Signal.(soft >=: consti sum_fmt 0);
+        Sfg.Builder.output b "soft_out" (Signal.resize sum_fmt soft))
+  in
+  { c_dc; c_fir; c_slice }
+
+type result = { r_bits : bool list; r_soft : Fixed.t list }
+
+let reset_chain chain =
+  List.iter
+    (fun sfg -> List.iter Signal.Reg.reset (Sfg.regs_written sfg))
+    [ chain.c_dc; chain.c_fir; chain.c_slice ]
+
+(* Data-flow target: local, data-driven control. *)
+let run_dataflow chain samples =
+  reset_chain chain;
+  let g = Dataflow.create "mig_dataflow" in
+  let src = Dataflow.add_process g (Dataflow.Kernel.source "src" (Array.to_list samples)) in
+  let dc = Dataflow.add_process g (Sfg_kernel.kernel_of_sfg chain.c_dc) in
+  let fir = Dataflow.add_process g (Sfg_kernel.kernel_of_sfg chain.c_fir) in
+  let slc = Dataflow.add_process g (Sfg_kernel.kernel_of_sfg chain.c_slice) in
+  let bit_sink, bits_drained = Dataflow.Kernel.sink "bits" in
+  let soft_sink, soft_drained = Dataflow.Kernel.sink "softs" in
+  let bsink = Dataflow.add_process g bit_sink in
+  let ssink = Dataflow.add_process g soft_sink in
+  ignore (Dataflow.connect g (src, "out") (dc, "s"));
+  ignore (Dataflow.connect g (dc, "y") (fir, "x"));
+  ignore (Dataflow.connect g (fir, "soft") (slc, "soft"));
+  ignore (Dataflow.connect g (slc, "bit") (bsink, "in"));
+  ignore (Dataflow.connect g (slc, "soft_out") (ssink, "in"));
+  let stats = Dataflow.run g in
+  let result =
+    {
+      r_bits = List.map Fixed.is_true (bits_drained ());
+      r_soft = soft_drained ();
+    }
+  in
+  (result, stats)
+
+(* Central-control target: the same SFGs as clock-cycle-true components
+   under the cycle scheduler. *)
+let run_central chain samples =
+  reset_chain chain;
+  let timed name sfg =
+    let fsm = Fsm.create name in
+    let s0 = Fsm.initial fsm "run" in
+    Fsm.(s0 |-- always |+ sfg |-> s0);
+    fsm
+  in
+  let sys = Cycle_system.create "mig_central" in
+  let c_dc = Cycle_system.add_timed sys "dc" (timed "dc_ctl" chain.c_dc) in
+  let c_fir = Cycle_system.add_timed sys "fir" (timed "fir_ctl" chain.c_fir) in
+  let c_slc = Cycle_system.add_timed sys "slice" (timed "slice_ctl" chain.c_slice) in
+  let stim =
+    Cycle_system.add_input sys "s_in" sample_fmt (fun c ->
+        if c < Array.length samples then Some samples.(c) else None)
+  in
+  let p_bit = Cycle_system.add_output sys "bit_out" in
+  let p_soft = Cycle_system.add_output sys "soft_probe" in
+  ignore (Cycle_system.connect sys (stim, "out") [ (c_dc, "s") ]);
+  ignore (Cycle_system.connect sys (c_dc, "y") [ (c_fir, "x") ]);
+  ignore (Cycle_system.connect sys (c_fir, "soft") [ (c_slc, "soft") ]);
+  ignore (Cycle_system.connect sys (c_slc, "bit") [ (p_bit, "in") ]);
+  ignore (Cycle_system.connect sys (c_slc, "soft_out") [ (p_soft, "in") ]);
+  Cycle_system.run sys (Array.length samples);
+  let result =
+    {
+      r_bits =
+        List.map (fun (_, v) -> Fixed.is_true v)
+          (Cycle_system.output_history sys p_bit);
+      r_soft = List.map snd (Cycle_system.output_history sys p_soft);
+    }
+  in
+  (result, Cycle_system.stats sys)

@@ -1,0 +1,41 @@
+(** The section 3.3 architecture-migration story, reproduced.
+
+    "Originally, a data-flow target architecture was chosen...  the
+    extreme latency requirement required the introduction of global
+    exceptions...  the target architecture was changed from data driven
+    to central control.  The machine model allowed to reuse the datapath
+    descriptions and only required the control descriptions to be
+    reworked."
+
+    This module builds the same receive chain — DC removal, a 16-tap
+    FIR equalizer, a slicer, captured {e once} as SFGs — under both
+    targets:
+
+    - {!run_dataflow}: the SFGs become untimed processes
+      ({!Sfg_kernel.kernel_of_sfg}) scheduled by the data-flow scheduler
+      with local, data-driven control;
+    - {!run_central}: the same SFGs become clock-cycle-true components
+      under the cycle scheduler (the central-control target), where a
+      global exception is just a hold of the instruction stream.
+
+    Both runs produce identical bit decisions (tested), demonstrating
+    that only the control had to be reworked. *)
+
+type chain
+(** One set of datapath descriptions (SFGs + their registers). *)
+
+(** Fresh datapath descriptions (DC-removal SFG, FIR SFG, slicer SFG),
+    using the DECT formats and equalizer coefficients. *)
+val build_chain : unit -> chain
+
+type result = {
+  r_bits : bool list;  (** sliced decisions, in order *)
+  r_soft : Fixed.t list;  (** equalizer outputs, in order *)
+}
+
+(** Run the chain over the samples under data-flow control; also
+    returns the scheduler's statistics. *)
+val run_dataflow : chain -> Fixed.t array -> result * Dataflow.run_stats
+
+(** Run the same chain under the central cycle scheduler. *)
+val run_central : chain -> Fixed.t array -> result * Cycle_system.stats

@@ -1,0 +1,84 @@
+(* DECT S-field sync word (PP -> FP direction), 0xE98A MSB first. *)
+let sync_word =
+  Array.of_list
+    (List.map
+       (fun c -> c = '1')
+       [ '1'; '1'; '1'; '0'; '1'; '0'; '0'; '1'; '1'; '0'; '0'; '0'; '1'; '0';
+         '1'; '0' ])
+
+let preamble = Array.init 16 (fun i -> i mod 2 = 0)
+
+let burst ?payload ~seed () =
+  let payload =
+    match payload with
+    | Some p -> p
+    | None ->
+      let rng = Random.State.make [| seed; 0xdec7 |] in
+      Array.init 388 (fun _ -> Random.State.bool rng)
+  in
+  Array.concat [ preamble; sync_word; payload ]
+
+let transmit bits = Array.map (fun b -> if b then 1.0 else -1.0) bits
+
+(* Box-Muller white Gaussian noise. *)
+let gaussian rng =
+  let u1 = max 1e-12 (Random.State.float rng 1.0) in
+  let u2 = Random.State.float rng 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let channel ?(taps = [| 1.0; 0.45; -0.2 |]) ?(snr_db = 20.0) ~seed samples =
+  let rng = Random.State.make [| seed; 0xc4a7 |] in
+  let n = Array.length samples in
+  let nt = Array.length taps in
+  let sigma = sqrt (10.0 ** (-.snr_db /. 10.0)) in
+  Array.init n (fun i ->
+      let acc = ref 0.0 in
+      for k = 0 to nt - 1 do
+        if i - k >= 0 then acc := !acc +. (taps.(k) *. samples.(i - k))
+      done;
+      !acc +. (sigma *. gaussian rng))
+
+let fir coefficients samples =
+  let nc = Array.length coefficients in
+  Array.init (Array.length samples) (fun i ->
+      let acc = ref 0.0 in
+      for k = 0 to nc - 1 do
+        if i - k >= 0 then acc := !acc +. (coefficients.(k) *. samples.(i - k))
+      done;
+      !acc)
+
+let slice samples = Array.map (fun s -> s >= 0.0) samples
+
+let correlate bits pattern =
+  let np = Array.length pattern in
+  Array.init (Array.length bits) (fun n ->
+      if n < np - 1 then 0
+      else begin
+        let score = ref 0 in
+        for k = 0 to np - 1 do
+          if bits.(n - np + 1 + k) = pattern.(k) then incr score
+        done;
+        !score
+      end)
+
+let find_sync bits ~threshold =
+  let scores = correlate bits sync_word in
+  let n = Array.length scores in
+  let rec scan i =
+    if i >= n then None
+    else if scores.(i) >= threshold then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let crc16 bits =
+  let poly = 0x1021 in
+  Array.fold_left
+    (fun crc bit ->
+      let fb = (crc lsr 15) land 1 <> 0 <> bit in
+      let crc = (crc lsl 1) land 0xffff in
+      if fb then crc lxor poly else crc)
+    0 bits
+
+let quantize fmt samples =
+  Array.map (fun s -> Fixed.of_float ~overflow:Fixed.Saturate fmt s) samples

@@ -1,0 +1,59 @@
+(** Synthetic DECT burst generation — the "Matlab level" of the flow.
+
+    The paper's chip receives DECT burst signals through an RF front-end
+    and a multipath radio channel (fig 1); the equalization algorithm is
+    "described and verified inside a high level design environment such
+    as Matlab".  We have neither the RF hardware nor the Matlab model,
+    so this module is the substitution: a floating-point burst
+    generator, multipath channel and golden receiver chain that exercise
+    the same code paths (DESIGN.md, substitution table).
+
+    A burst is the DECT S-field structure: 16 preamble bits
+    (1010...), the 16-bit sync word, then payload bits.  Symbols are
+    transmitted as ±1.0, distorted by an FIR multipath channel and AWGN,
+    and quantized by the receiver front end. *)
+
+(** The DECT PP->FP S-field sync word, MSB first. *)
+val sync_word : bool array
+
+(** Preamble bits (alternating, 16 bits). *)
+val preamble : bool array
+
+(** [burst ~payload ~seed] — preamble @ sync @ payload bits.  When
+    [payload] is omitted, [seed] generates a pseudo-random payload of
+    the standard 388 bits. *)
+val burst : ?payload:bool array -> seed:int -> unit -> bool array
+
+(** [transmit bits] maps bits to ±1.0 symbols. *)
+val transmit : bool array -> float array
+
+(** [channel ~taps ~snr_db ~seed samples] convolves with the multipath
+    impulse response and adds white Gaussian noise.  The default used by
+    the examples is [taps = [|1.0; 0.45; -0.2|]]. *)
+val channel :
+  ?taps:float array -> ?snr_db:float -> seed:int -> float array -> float array
+
+(** {1 Golden receiver (floating point)} *)
+
+(** [fir coefficients samples] — direct-form FIR, same alignment as the
+    hardware equalizer (output[n] uses samples[n], n-1, ...). *)
+val fir : float array -> float array -> float array
+
+(** Hard decisions: sign slicer. *)
+val slice : float array -> bool array
+
+(** [correlate bits pattern] — at each position ending at index [n],
+    the number of agreeing bits over the pattern length (the HCOR
+    metric). *)
+val correlate : bool array -> bool array -> int array
+
+(** [find_sync bits ~threshold] — first index where the correlation of
+    the last 16 bits against {!sync_word} reaches [threshold]. *)
+val find_sync : bool array -> threshold:int -> int option
+
+(** CRC-16 (X.25 polynomial 0x1021, init 0) over a bit sequence, MSB
+    first — the golden model for the CRC datapath. *)
+val crc16 : bool array -> int
+
+(** Quantize samples into a fixed-point format (receiver ADC). *)
+val quantize : Fixed.format -> float array -> Fixed.t array

@@ -1,0 +1,79 @@
+(* Registry: kernel name -> (spec, backing store). *)
+type instance = {
+  words : int;
+  data_fmt : Fixed.format;
+  store : Fixed.t array;
+}
+
+let registry : (string, instance) Hashtbl.t = Hashtbl.create 8
+
+let kernel ~name ~words ~data_fmt ~addr_fmt =
+  let store = Array.make words (Fixed.zero data_fmt) in
+  Hashtbl.replace registry name { words; data_fmt; store };
+  (* Writes are staged by the behaviour and applied by the commit hook:
+     the event-driven RT engine may run the behaviour several times per
+     cycle while signals settle, and only the settled staging counts. *)
+  let pending = ref None in
+  Dataflow.Kernel.create name
+    ~formats:
+      [
+        ("addr", addr_fmt);
+        ("wdata", data_fmt);
+        ("we", Fixed.bit_format);
+        ("rdata", data_fmt);
+      ]
+    ~commit:(fun () ->
+      match !pending with
+      | Some (addr, v) ->
+        store.(addr) <- v;
+        pending := None
+      | None -> ())
+    ~reset:(fun () ->
+      pending := None;
+      Array.fill store 0 words (Fixed.zero data_fmt))
+    ~inputs:[ ("addr", 1); ("wdata", 1); ("we", 1) ]
+    ~outputs:[ ("rdata", 1) ]
+    (fun consumed ->
+      let one port =
+        match List.assoc_opt port consumed with
+        | Some [ v ] -> v
+        | Some _ | None ->
+          raise (Dataflow.Dataflow_error ("ram " ^ name ^ ": bad port " ^ port))
+      in
+      let addr = Fixed.to_int (one "addr") mod words in
+      let addr = if addr < 0 then addr + words else addr in
+      let out = store.(addr) in
+      if Fixed.is_true (one "we") then
+        pending :=
+          Some
+            ( addr,
+              Fixed.resize ~round:Fixed.Truncate ~overflow:Fixed.Wrap data_fmt
+                (one "wdata") )
+      else pending := None;
+      [ ("rdata", [ out ]) ])
+
+let macro_of_kernel (k : Dataflow.Kernel.t) =
+  match Hashtbl.find_opt registry k.Dataflow.Kernel.k_name with
+  | Some inst ->
+    Some
+      (Synthesize.Ram_macro
+         {
+           words = inst.words;
+           width = inst.data_fmt.Fixed.width;
+           addr_port = "addr";
+           wdata_port = "wdata";
+           we_port = "we";
+           rdata_port = "rdata";
+         })
+  | None -> None
+
+let peek ~name i =
+  match Hashtbl.find_opt registry name with
+  | Some inst when i >= 0 && i < inst.words -> Some inst.store.(i)
+  | Some _ | None -> None
+
+let clear ~name =
+  match Hashtbl.find_opt registry name with
+  | Some inst ->
+    Array.fill inst.store 0 inst.words (Fixed.zero inst.data_fmt)
+  | None -> ()

@@ -1,0 +1,31 @@
+(** RAM cells, modeled "at high level" (paper section 4).
+
+    "In the DECT transceiver, such a loop of detailed (timed) and high
+    level (untimed) components occurs for instance in the RAM cells that
+    are attached to the datapaths.  In that case, the RAM cells are
+    described at high level while the datapaths are described at clock
+    cycle true level."
+
+    A RAM cell is an untimed kernel with ports [addr], [wdata], [we] and
+    [rdata]; per cycle it returns the {e pre-write} word at [addr] and,
+    when [we] is set, commits [wdata] — the exact behaviour of the
+    [Netlist.ram] macro cell, so synthesis is a drop-in replacement. *)
+
+(** [kernel ~name ~words ~data_fmt ~addr_fmt] — the untimed process.
+    Port formats are declared, so all static back ends work. *)
+val kernel :
+  name:string ->
+  words:int ->
+  data_fmt:Fixed.format ->
+  addr_fmt:Fixed.format ->
+  Dataflow.Kernel.t
+
+(** Macro mapping for {!Synthesize.synthesize}: recognizes kernels
+    created by {!kernel} (by name) and maps them to RAM macro cells. *)
+val macro_of_kernel : Dataflow.Kernel.t -> Synthesize.macro_spec option
+
+(** Direct read access to the backing store (test/debug only). *)
+val peek : name:string -> int -> Fixed.t option
+
+(** Reset the contents of a RAM created by {!kernel} to zeros. *)
+val clear : name:string -> unit

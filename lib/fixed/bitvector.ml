@@ -1,0 +1,200 @@
+(* Bits are stored LSB first: bits.(0) is the least significant bit. *)
+type t = { fmt : Fixed.format; bits : bool array }
+
+let width v = Array.length v.bits
+let bit v i = v.bits.(i)
+
+let of_fixed x =
+  let fmt = Fixed.fmt x in
+  let m = Fixed.mantissa x in
+  let bits =
+    Array.init fmt.Fixed.width (fun i ->
+        Int64.logand (Int64.shift_right_logical m i) 1L = 1L)
+  in
+  { fmt; bits }
+
+let to_fixed v =
+  let w = width v in
+  let m = ref 0L in
+  for i = 0 to w - 1 do
+    if v.bits.(i) then m := Int64.logor !m (Int64.shift_left 1L i)
+  done;
+  (* Negative weight for the sign bit. *)
+  (match v.fmt.Fixed.signedness with
+  | Fixed.Signed ->
+    if v.bits.(w - 1) then m := Int64.sub !m (Int64.shift_left 1L w)
+  | Fixed.Unsigned -> ());
+  Fixed.create v.fmt !m
+
+let sign_bit v =
+  match v.fmt.Fixed.signedness with
+  | Fixed.Signed -> v.bits.(width v - 1)
+  | Fixed.Unsigned -> false
+
+(* Re-represent [v] with [width] bits and [frac] fraction bits: shift in
+   zeros at the bottom for the fraction change, extend with the sign (or
+   zero) at the top.  Requires frac >= v.fmt.frac and enough width. *)
+let extend v ~target_width ~frac =
+  let shift = frac - v.fmt.Fixed.frac in
+  let s = sign_bit v in
+  let w = width v in
+  let bits =
+    Array.init target_width (fun i ->
+        let j = i - shift in
+        if j < 0 then false else if j < w then v.bits.(j) else s)
+  in
+  let fmt =
+    Fixed.format v.fmt.Fixed.signedness ~width:target_width ~frac
+  in
+  { fmt; bits }
+
+(* Ripple-carry addition of equal-length bit arrays. *)
+let ripple_add a b carry_in =
+  let n = Array.length a in
+  let out = Array.make n false in
+  let carry = ref carry_in in
+  for i = 0 to n - 1 do
+    let x = a.(i) and y = b.(i) and c = !carry in
+    out.(i) <- x <> y <> c;
+    carry := (x && y) || (x && c) || (y && c)
+  done;
+  out
+
+let invert bits = Array.map not bits
+
+let binop_format op a b = op a.fmt b.fmt
+
+let add a b =
+  let fmt = binop_format Fixed.add_format a b in
+  let a' = extend a ~target_width:fmt.Fixed.width ~frac:fmt.Fixed.frac in
+  let b' = extend b ~target_width:fmt.Fixed.width ~frac:fmt.Fixed.frac in
+  { fmt; bits = ripple_add a'.bits b'.bits false }
+
+let sub a b =
+  let fmt = Fixed.add_format a.fmt (Fixed.neg_format b.fmt) in
+  let a' = extend a ~target_width:fmt.Fixed.width ~frac:fmt.Fixed.frac in
+  let b' = extend b ~target_width:fmt.Fixed.width ~frac:fmt.Fixed.frac in
+  { fmt; bits = ripple_add a'.bits (invert b'.bits) true }
+
+let is_zero bits = Array.for_all (fun b -> not b) bits
+
+(* Two's-complement negation in place of the same width. *)
+let negate_bits bits = ripple_add (invert bits) (Array.map (fun _ -> false) bits) true
+
+let neg a =
+  let fmt = Fixed.neg_format a.fmt in
+  let a' = extend a ~target_width:fmt.Fixed.width ~frac:fmt.Fixed.frac in
+  { fmt; bits = negate_bits a'.bits }
+
+(* Shift-and-add multiplication on magnitudes, then fix the sign. *)
+let mul a b =
+  let fmt = Fixed.mul_format a.fmt b.fmt in
+  let w = fmt.Fixed.width in
+  let neg_result = sign_bit a <> sign_bit b in
+  let magnitude v =
+    let v' = extend v ~target_width:w ~frac:v.fmt.Fixed.frac in
+    if sign_bit v then negate_bits v'.bits else v'.bits
+  in
+  let ma = magnitude a and mb = magnitude b in
+  let acc = ref (Array.make w false) in
+  for i = 0 to w - 1 do
+    if mb.(i) then begin
+      (* acc += ma << i *)
+      let shifted = Array.init w (fun j -> j >= i && ma.(j - i)) in
+      acc := ripple_add !acc shifted false
+    end
+  done;
+  let bits = if neg_result then negate_bits !acc else !acc in
+  { fmt; bits }
+
+let bitwise op a b =
+  let fmt = binop_format Fixed.logic_format a b in
+  let a' = extend a ~target_width:fmt.Fixed.width ~frac:fmt.Fixed.frac in
+  let b' = extend b ~target_width:fmt.Fixed.width ~frac:fmt.Fixed.frac in
+  { fmt; bits = Array.init fmt.Fixed.width (fun i -> op a'.bits.(i) b'.bits.(i)) }
+
+let logand a b = bitwise ( && ) a b
+let logor a b = bitwise ( || ) a b
+let logxor a b = bitwise ( <> ) a b
+let lognot a = { a with bits = invert a.bits }
+
+let compare_value a b =
+  let d = sub a b in
+  if is_zero d.bits then 0 else if d.bits.(width d - 1) then -1 else 1
+
+let bool_bv b =
+  { fmt = Fixed.bit_format; bits = [| b |] }
+
+let eq a b = bool_bv (compare_value a b = 0)
+let lt a b = bool_bv (compare_value a b < 0)
+
+let resize ?(round = Fixed.Truncate) ?(overflow = Fixed.Wrap) fmt v =
+  let k = v.fmt.Fixed.frac - fmt.Fixed.frac in
+  (* Work in a widened intermediate: room for the left shift (-k), the
+     target width, and rounding carries. *)
+  let inter_w =
+    max (width v + max 0 (-k)) (fmt.Fixed.width + max k 0) + 2
+  in
+  let v' = extend v ~target_width:inter_w ~frac:v.fmt.Fixed.frac in
+  let rounded =
+    if k <= 0 then (extend v ~target_width:inter_w ~frac:fmt.Fixed.frac).bits
+    else begin
+      let bits = v'.bits in
+      let floor = Array.init inter_w (fun i ->
+          if i + k < inter_w then bits.(i + k) else bits.(inter_w - 1))
+      in
+      let round_up =
+        match round with
+        | Fixed.Truncate -> false
+        | Fixed.Round_nearest -> bits.(k - 1)
+        | Fixed.Round_even ->
+          let half = bits.(k - 1) in
+          let rest = ref false in
+          for i = 0 to k - 2 do
+            if bits.(i) then rest := true
+          done;
+          if not half then false
+          else if !rest then true
+          else floor.(0) (* tie: round up iff floor is odd *)
+      in
+      if round_up then
+        ripple_add floor (Array.make inter_w false) true
+      else floor
+    end
+  in
+  let w = fmt.Fixed.width in
+  match overflow with
+  | Fixed.Wrap ->
+    { fmt; bits = Array.init w (fun i -> rounded.(i)) }
+  | Fixed.Saturate ->
+    (* Check that bits w-1 .. inter_w-1 are a pure sign extension
+       (signed) or all zero (unsigned). *)
+    let ok =
+      match fmt.Fixed.signedness with
+      | Fixed.Unsigned ->
+        let over = ref false in
+        for i = w to inter_w - 1 do
+          if rounded.(i) then over := true
+        done;
+        (not !over)
+      | Fixed.Signed ->
+        let s = rounded.(inter_w - 1) in
+        let over = ref false in
+        for i = w - 1 to inter_w - 1 do
+          if rounded.(i) <> s then over := true
+        done;
+        not !over
+    in
+    if ok then { fmt; bits = Array.init w (fun i -> rounded.(i)) }
+    else
+      let negative = rounded.(inter_w - 1) in
+      let bits =
+        match fmt.Fixed.signedness, negative with
+        | Fixed.Unsigned, true -> Array.make w false
+        | Fixed.Unsigned, false -> Array.make w true
+        | Fixed.Signed, true ->
+          Array.init w (fun i -> i = w - 1)
+        | Fixed.Signed, false ->
+          Array.init w (fun i -> i <> w - 1)
+      in
+      { fmt; bits }

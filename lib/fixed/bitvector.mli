@@ -1,0 +1,44 @@
+(** Naive bit-vector arithmetic, the representation the paper {e avoids}.
+
+    Section 3 claims that "the simulation of the quantization rather than
+    the bit-vector representation allows significant simulation speedups".
+    This module is the slow comparator for that claim (bench C3) and a
+    differential-test oracle for {!Fixed}: every operation is computed
+    bit by bit (ripple-carry addition, shift-and-add multiplication) on a
+    boolean array, exactly as a register-transfer bit-true simulator
+    would. *)
+
+type t
+(** A two's-complement (or unsigned) bit vector with a fixed-point
+    interpretation identical to a {!Fixed.format}. *)
+
+val of_fixed : Fixed.t -> t
+val to_fixed : t -> Fixed.t
+val width : t -> int
+
+(** [bit v i] is bit [i], LSB first. *)
+val bit : t -> int -> bool
+
+(** Full-precision operations mirroring {!Fixed.add} / [sub] / [mul] /
+    [neg]: the result converts back to exactly the same {!Fixed.t}. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+(** Numeric comparison computed by bitwise subtraction. *)
+val compare_value : t -> t -> int
+
+val eq : t -> t -> t
+val lt : t -> t -> t
+
+(** [resize ?round ?overflow fmt v] mirrors {!Fixed.resize}, computed on
+    the bit representation. Defaults match {!Fixed.resize}. *)
+val resize :
+  ?round:Fixed.rounding -> ?overflow:Fixed.overflow -> Fixed.format -> t -> t

@@ -1,0 +1,315 @@
+exception Fsm_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Fsm_error s)) fmt
+
+type state = { s_fsm_id : int; s_index : int; s_name : string }
+
+type guard = Always | When of Signal.t
+
+type transition = {
+  t_from : state;
+  t_guard : guard;
+  t_actions : Sfg.t list;
+  t_goto : state;
+}
+
+type t = {
+  id : int;
+  name : string;
+  mutable f_states : state list;  (* reversed *)
+  mutable f_initial : state option;
+  mutable f_transitions : transition list;  (* reversed *)
+  mutable f_current : state option;
+}
+
+let fsm_counter = ref 0
+
+let create name =
+  incr fsm_counter;
+  {
+    id = !fsm_counter;
+    name;
+    f_states = [];
+    f_initial = None;
+    f_transitions = [];
+    f_current = None;
+  }
+
+let always = Always
+
+let cnd e =
+  if (Signal.fmt e).Fixed.width <> 1 then
+    error "cnd: guard must be 1 bit wide, got %s"
+      (Fixed.format_to_string (Signal.fmt e));
+  (match Signal.input_deps e with
+  | [] -> ()
+  | i :: _ ->
+    error "cnd: guard depends on input %s; guards may only read registers"
+      (Signal.Input.name i));
+  When e
+
+let guard_expr = function Always -> Signal.vdd | When e -> e
+let is_always = function Always -> true | When _ -> false
+
+let gnot = function
+  | Always -> When (Signal.not_ Signal.vdd)
+  | When e -> When (Signal.not_ e)
+
+let gand a b =
+  match a, b with
+  | Always, g | g, Always -> g
+  | When x, When y -> When (Signal.and_ x y)
+
+let gor a b =
+  match a, b with
+  | Always, _ | _, Always -> Always
+  | When x, When y -> When (Signal.or_ x y)
+
+let add_state t name =
+  if List.exists (fun s -> s.s_name = name) t.f_states then
+    error "fsm %s: duplicate state %s" t.name name;
+  let s = { s_fsm_id = t.id; s_index = List.length t.f_states; s_name = name } in
+  t.f_states <- s :: t.f_states;
+  s
+
+let initial t name =
+  (match t.f_initial with
+  | Some s -> error "fsm %s: initial state already declared (%s)" t.name s.s_name
+  | None -> ());
+  let s = add_state t name in
+  t.f_initial <- Some s;
+  t.f_current <- Some s;
+  s
+
+let state t name = add_state t name
+
+(* The table of live FSMs lets the operator spelling find the machine a
+   state belongs to without threading it through the expression. *)
+let registry : (int, t) Hashtbl.t = Hashtbl.create 16
+
+let add_transition t ~from ~guard ~actions ~goto =
+  if from.s_fsm_id <> t.id || goto.s_fsm_id <> t.id then
+    error "fsm %s: transition uses a state of another machine" t.name;
+  t.f_transitions <-
+    { t_from = from; t_guard = guard; t_actions = actions; t_goto = goto }
+    :: t.f_transitions
+
+type partial_transition = {
+  p_from : state;
+  p_guard : guard;
+  p_actions : Sfg.t list;  (* reversed *)
+}
+
+let ( |-- ) s g = { p_from = s; p_guard = g; p_actions = [] }
+let ( |+ ) p sfg = { p with p_actions = sfg :: p.p_actions }
+
+let ( |-> ) p goto =
+  match Hashtbl.find_opt registry p.p_from.s_fsm_id with
+  | None -> error "(|->): source state's machine is not registered"
+  | Some t ->
+    add_transition t ~from:p.p_from ~guard:p.p_guard
+      ~actions:(List.rev p.p_actions) ~goto
+
+let name t = t.name
+let states t = List.rev t.f_states
+
+let initial_state t =
+  match t.f_initial with
+  | Some s -> s
+  | None -> error "fsm %s: no initial state" t.name
+
+let state_name s = s.s_name
+let state_index s = s.s_index
+let state_equal a b = a.s_fsm_id = b.s_fsm_id && a.s_index = b.s_index
+let transitions t = List.rev t.f_transitions
+
+let transitions_from t s =
+  List.filter (fun tr -> state_equal tr.t_from s) (transitions t)
+
+let all_sfgs t =
+  let seen = Hashtbl.create 16 in
+  List.concat_map (fun tr -> tr.t_actions) (transitions t)
+  |> List.filter (fun sfg ->
+         let key = Sfg.name sfg in
+         if Hashtbl.mem seen key then false
+         else begin
+           Hashtbl.add seen key ();
+           true
+         end)
+
+let all_regs t =
+  let seen = Hashtbl.create 16 in
+  let add acc r =
+    let id = Signal.Reg.id r in
+    if Hashtbl.mem seen id then acc
+    else begin
+      Hashtbl.add seen id ();
+      r :: acc
+    end
+  in
+  let from_sfgs =
+    List.fold_left
+      (fun acc sfg ->
+        let acc = List.fold_left add acc (Sfg.regs_written sfg) in
+        List.fold_left add acc (Sfg.regs_read sfg))
+      [] (all_sfgs t)
+  in
+  let from_guards =
+    List.fold_left
+      (fun acc tr ->
+        match tr.t_guard with
+        | Always -> acc
+        | When e -> List.fold_left add acc (Signal.regs_read e))
+      from_sfgs (transitions t)
+  in
+  List.rev from_guards
+
+let current t =
+  match t.f_current with
+  | Some s -> s
+  | None -> error "fsm %s: no current state (no initial declared)" t.name
+
+let guard_enabled env g =
+  match g with
+  | Always -> true
+  | When e -> Fixed.is_true (Signal.eval env e)
+
+let select t =
+  let cur = current t in
+  let env = Signal.Env.create () in
+  List.find_opt (fun tr -> guard_enabled env tr.t_guard) (transitions_from t cur)
+
+let advance t tr = t.f_current <- Some tr.t_goto
+
+let reset t =
+  match t.f_initial with
+  | Some s -> t.f_current <- Some s
+  | None -> error "fsm %s: cannot reset, no initial state" t.name
+
+type check_issue =
+  | Unreachable_state of string
+  | Nondeterministic of string
+  | Incomplete of string
+  | No_initial
+
+let pp_issue ppf = function
+  | Unreachable_state s -> Format.fprintf ppf "unreachable state %s" s
+  | Nondeterministic s ->
+    Format.fprintf ppf "state %s: several guards enabled simultaneously" s
+  | Incomplete s -> Format.fprintf ppf "state %s: no guard enabled (implicit hold)" s
+  | No_initial -> Format.fprintf ppf "no initial state declared"
+
+(* Registers read by any guard of the machine. *)
+let guard_regs t =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun tr ->
+      match tr.t_guard with
+      | Always -> []
+      | When e -> Signal.regs_read e)
+    (transitions t)
+  |> List.filter (fun r ->
+         let id = Signal.Reg.id r in
+         if Hashtbl.mem seen id then false
+         else begin
+           Hashtbl.add seen id ();
+           true
+         end)
+
+let check ?(samples = 100) ?(flag_overlaps = false) t =
+  let issues = ref [] in
+  (match t.f_initial with
+  | None -> issues := No_initial :: !issues
+  | Some init ->
+    (* Reachability over the transition graph. *)
+    let n = List.length t.f_states in
+    let reachable = Array.make n false in
+    let rec visit s =
+      if not reachable.(s.s_index) then begin
+        reachable.(s.s_index) <- true;
+        List.iter (fun tr -> visit tr.t_goto) (transitions_from t s)
+      end
+    in
+    visit init;
+    List.iter
+      (fun s ->
+        if not reachable.(s.s_index) then
+          issues := Unreachable_state s.s_name :: !issues)
+      (states t));
+  (* Randomized determinism / completeness over guard-register space. *)
+  let regs = guard_regs t in
+  let saved = List.map (fun r -> (r, Signal.Reg.value r)) regs in
+  let rng = Random.State.make [| 0x0ca91; List.length regs |] in
+  let env = Signal.Env.create () in
+  let nondet = Hashtbl.create 4 and incomplete = Hashtbl.create 4 in
+  for _ = 1 to samples do
+    List.iter
+      (fun r ->
+        let f = Signal.Reg.fmt r in
+        let lo = Fixed.min_mantissa f and hi = Fixed.max_mantissa f in
+        let range = Int64.add (Int64.sub hi lo) 1L in
+        let m = Int64.add lo (Random.State.int64 rng range) in
+        Signal.Reg.set_value r (Fixed.create f m))
+      regs;
+    List.iter
+      (fun s ->
+        let enabled =
+          List.filter
+            (fun tr -> guard_enabled env tr.t_guard)
+            (transitions_from t s)
+        in
+        match enabled with
+        | [] ->
+          if transitions_from t s <> [] then
+            Hashtbl.replace incomplete s.s_name ()
+        | [ _ ] -> ()
+        | _ :: _ :: _ ->
+          if flag_overlaps then Hashtbl.replace nondet s.s_name ())
+      (states t)
+  done;
+  List.iter (fun (r, v) -> Signal.Reg.set_value r v) saved;
+  Hashtbl.iter (fun s () -> issues := Nondeterministic s :: !issues) nondet;
+  Hashtbl.iter (fun s () -> issues := Incomplete s :: !issues) incomplete;
+  List.rev !issues
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>fsm %s:" t.name;
+  List.iter
+    (fun tr ->
+      let g =
+        match tr.t_guard with
+        | Always -> "always"
+        | When e -> Format.asprintf "%a" Signal.pp e
+      in
+      Format.fprintf ppf "@ %s --[%s / %s]--> %s" tr.t_from.s_name g
+        (String.concat "," (List.map Sfg.name tr.t_actions))
+        tr.t_goto.s_name)
+    (transitions t);
+  Format.fprintf ppf "@]"
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph %S {\n  rankdir=LR;\n  node [shape=circle];\n" t.name;
+  (match t.f_initial with
+  | Some s -> pf "  %S [shape=doublecircle];\n" s.s_name
+  | None -> ());
+  List.iter
+    (fun tr ->
+      let g =
+        match tr.t_guard with
+        | Always -> "always"
+        | When e -> Format.asprintf "%a" Signal.pp e
+      in
+      pf "  %S -> %S [label=\"%s / %s\"];\n" tr.t_from.s_name tr.t_goto.s_name
+        (String.escaped g)
+        (String.escaped (String.concat "," (List.map Sfg.name tr.t_actions))))
+    (transitions t);
+  pf "}\n";
+  Buffer.contents buf
+
+(* Register machines in the operator-spelling registry at creation. *)
+let create name =
+  let t = create name in
+  Hashtbl.replace registry t.id t;
+  t

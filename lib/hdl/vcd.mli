@@ -1,0 +1,14 @@
+(** VCD waveform dumping.
+
+    A practical extension beyond the paper: record every interconnect
+    token of a simulation and print a Value Change Dump file that any
+    waveform viewer (GTKWave, Surfer) opens.  One VCD time unit is one
+    clock cycle; each net becomes a wire of its carried format's width,
+    holding two's-complement mantissa bits. *)
+
+(** [record sys ~cycles] resets the system, traces every net, runs the
+    interpreted simulation and returns the VCD text. *)
+val record : Cycle_system.t -> cycles:int -> string
+
+(** [write sys ~cycles ~path] — same, written to a file. *)
+val write : Cycle_system.t -> cycles:int -> path:string -> unit

@@ -1,0 +1,15 @@
+(** Structural Verilog emission of gate-level netlists.
+
+    The paper's Table 1 includes a "Verilog (netlist)" simulation of the
+    synthesized DECT chip; this printer produces that netlist view from
+    an {!Netlist.t}: one module with wire declarations, primitive gate
+    instances, DFF always-blocks and behavioural ROM/RAM macros. *)
+
+val of_netlist : Netlist.t -> string
+
+(** Make a name a legal HDL identifier (shared with the test-bench
+    generator). *)
+val sanitize : string -> string
+
+(** Line count of the generated text (code-size metric). *)
+val line_count : string -> int

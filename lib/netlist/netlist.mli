@@ -1,0 +1,176 @@
+(** Gate-level netlists and their event-driven simulation.
+
+    The synthesis strategy of the paper (section 6, fig 8) produces a
+    gate-level netlist per component, which is then linked into a system
+    netlist and verified with generated test benches.  This module is
+    the netlist substrate: gate primitives, two macro cells (ROM and
+    RAM, as the DECT chip's "7 RAM cells" are macros, not gates), a
+    builder API working in single-bit nets grouped into named buses, and
+    an event-driven gate simulator — the "VHDL/Verilog (netlist)"
+    comparator rows of Table 1.
+
+    Wires carry booleans; buses are [int array]s of net indices, LSB
+    first.  Multi-bit numbers on buses are two's-complement mantissas,
+    matching [Fixed] bit semantics. *)
+
+exception Netlist_error of string
+
+type t
+type net = int
+
+type gate_kind =
+  | Buf
+  | Not
+  | And
+  | Or
+  | Xor
+  | Nand
+  | Nor
+  | Mux2  (** inputs [sel; a; b]: [a] when [sel] else [b] *)
+  | Const0
+  | Const1
+
+(** {1 Building} *)
+
+val create : string -> t
+val name : t -> string
+
+(** A fresh, undriven net. *)
+val new_net : t -> net
+
+(** [gate t kind inputs] adds a gate and returns its output net. *)
+val gate : t -> gate_kind -> net list -> net
+
+(** [buf_into t ~dst src] drives the pre-allocated (and so far undriven)
+    net [dst] with a buffer from [src].  This is the forward-reference
+    mechanism used by operator-sharing synthesis, where a unit's operand
+    nets exist before their selection logic does.
+    @raise Netlist_error if [dst] already has a driver. *)
+val buf_into : t -> dst:net -> net -> unit
+
+(** [dff_into t ?init ~q d] adds a D flip-flop whose output is the
+    pre-allocated net [q]. *)
+val dff_into : t -> ?init:bool -> q:net -> net -> unit
+
+(** [gate_into t kind inputs ~dst] adds a gate driving the pre-allocated
+    net [dst] (used by the netlist optimizer's rebuild, where feedback
+    through flip-flops and gated selection networks makes a topological
+    emission order impossible). *)
+val gate_into : t -> gate_kind -> net list -> dst:net -> unit
+
+(** [dff t ?init d] adds a D flip-flop; returns its output net [q].
+    [init] is the reset value (default false). *)
+val dff : t -> ?init:bool -> net -> net
+
+(** [dff_en t ?init ~enable d] — a DFF that holds its value when
+    [enable] is low (built as dff + recirculating mux). *)
+val dff_en : t -> ?init:bool -> enable:net -> net -> net
+
+(** [rom t ~name ~contents addr] adds a ROM macro cell: [addr] is an
+    unsigned bus (LSB first), the result bus has [width] bits per word.
+    Reads wrap modulo the table size. *)
+val rom : t -> name:string -> width:int -> contents:int64 array -> net array -> net array
+
+(** [ram t ~name ~words ~width ~addr ~wdata ~we] adds a RAM macro cell
+    with combinational read (old value) and write on the clock edge.
+    Returns the read-data bus. *)
+val ram :
+  t ->
+  name:string ->
+  words:int ->
+  width:int ->
+  addr:net array ->
+  wdata:net array ->
+  we:net ->
+  net array
+
+(** Declare a primary input bus of [width] bits, named. *)
+val input_bus : t -> string -> int -> net array
+
+(** Declare nets as a named primary output bus. *)
+val output_bus : t -> string -> net array -> unit
+
+val find_input : t -> string -> net array
+val find_output : t -> string -> net array
+
+(** {1 Bus helpers} *)
+
+val const_bus : t -> width:int -> int64 -> net array
+
+(** Sign- or zero-extend / truncate a bus (two's complement). *)
+val extend_bus : t -> signed:bool -> net array -> int -> net array
+
+(** {1 Statistics} *)
+
+type gate_counts = {
+  combinational : int;  (** primitive gates *)
+  flip_flops : int;
+  rom_bits : int;
+  ram_bits : int;
+  (* Two-input-NAND equivalents including sequential and macro cells;
+     the figure comparable to the paper's "Kgate" sizes. *)
+  gate_equivalents : int;
+}
+
+val counts : t -> gate_counts
+val net_count : t -> int
+
+(** [combinational_depth t] is [(depth, cyclic)]: the longest acyclic
+    chain of combinational elements (gates and macro-cell read paths)
+    between registers / primary ports, and the number of elements that
+    sit on combinational cycles and were excluded (operator-sharing
+    selection networks create such {e false} cycles; they are gated off
+    at run time but defeat a static longest-path count). *)
+val combinational_depth : t -> int * int
+
+(** {1 Introspection} (used by the Verilog printer) *)
+
+val fold_gates :
+  t -> init:'a -> f:('a -> gate_kind -> net array -> net -> 'a) -> 'a
+
+val fold_dffs : t -> init:'a -> f:('a -> bool -> d:net -> q:net -> 'a) -> 'a
+
+(** ROMs as (name, word width, contents, address bus, output bus). *)
+val roms_list : t -> (string * int * int64 array * net array * net array) list
+
+(** RAMs as (name, words, width, addr, wdata, we, rdata). *)
+val rams_list :
+  t -> (string * int * int * net array * net array * net * net array) list
+
+val inputs_list : t -> (string * net array) list
+val outputs_list : t -> (string * net array) list
+
+(** {1 Simulation} *)
+
+module Sim : sig
+  type netlist := t
+  type t
+
+  exception Did_not_settle of string
+
+  val create : netlist -> t
+
+  (** [set_input sim name mantissa] drives an input bus with the low
+      bits of a two's-complement mantissa. *)
+  val set_input : t -> string -> int64 -> unit
+
+  (** Propagate until stable (event-driven).  Bounded; raises
+      {!Did_not_settle} on oscillation. *)
+  val settle : t -> unit
+
+  (** Read an output bus as a two's-complement mantissa ([signed]
+      controls sign extension of the top bit). *)
+  val get_output : t -> signed:bool -> string -> int64
+
+  (** Clock edge: latch all DFFs and apply RAM writes. *)
+  val clock : t -> unit
+
+  (** [cycle sim inputs] = set all inputs, settle, returns unit; callers
+      sample outputs and then call {!clock}. *)
+
+  val reset : t -> unit
+
+  type stats = { evaluations : int; events : int }
+
+  val stats : t -> stats
+end

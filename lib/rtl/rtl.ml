@@ -1,0 +1,530 @@
+exception Delta_overflow of string
+exception Rtl_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Rtl_error s)) fmt
+
+type rtl_signal = {
+  sg_id : int;
+  sg_name : string;
+  mutable sg_value : Fixed.t;
+  sg_initial : Fixed.t;
+  mutable sg_driven_this_cycle : bool;  (* sticky: ever driven *)
+}
+
+type assignment = rtl_signal * Fixed.t
+
+type process_ = {
+  pr_id : int;
+  pr_name : string;
+  pr_sensitivity : rtl_signal list;
+  pr_exec : unit -> assignment list;
+}
+
+type probe_rec = {
+  pb_name : string;
+  pb_signal : rtl_signal;
+  mutable pb_history : (int * Fixed.t) list;  (* reversed *)
+}
+
+type t = {
+  mutable signals : rtl_signal list;  (* reversed *)
+  mutable processes : process_ list;  (* reversed *)
+  (* signal id -> processes sensitive to it *)
+  mutable wakeups : (int, process_ list) Hashtbl.t;
+  clk : rtl_signal;
+  stims : (rtl_signal * (int -> Fixed.t option)) list;
+  probes : probe_rec list;
+  resets : (unit -> unit) list;  (* restore component-local state *)
+  kernel_commits : (unit -> unit) list;
+  kernel_procs : process_ list;
+  regs : Signal.Reg.t list;
+  mutable cycle_count : int;
+  mutable initialized : bool;
+  mutable n_events : int;
+  mutable n_transactions : int;
+  mutable n_deltas : int;
+  mutable n_activations : int;
+  max_deltas : int;
+}
+
+(* --- construction -------------------------------------------------------- *)
+
+let sig_counter = ref 0
+
+let make_signal name init =
+  incr sig_counter;
+  {
+    sg_id = !sig_counter;
+    sg_name = name;
+    sg_value = init;
+    sg_initial = init;
+    sg_driven_this_cycle = false;
+  }
+
+let proc_counter = ref 0
+
+let make_process name sensitivity exec =
+  incr proc_counter;
+  { pr_id = !proc_counter; pr_name = name; pr_sensitivity = sensitivity;
+    pr_exec = exec }
+
+(* Formats of every net, reusing the conventions of the compiled engine:
+   timed outputs carry the producing expression's format. *)
+let net_formats sys =
+  let fmts = Hashtbl.create 64 in
+  let driver_index = Hashtbl.create 64 in
+  List.iter
+    (fun (net, (dc, dp), _) -> Hashtbl.replace driver_index (dc, dp) net)
+    (Cycle_system.nets sys);
+  let set net f =
+    match Hashtbl.find_opt fmts net with
+    | None -> Hashtbl.replace fmts net f
+    | Some f0 ->
+      if not (Fixed.equal_format f0 f) then
+        error "net %s driven with inconsistent formats" net
+  in
+  List.iter
+    (fun (name, fmt, _) ->
+      match Hashtbl.find_opt driver_index (name, "out") with
+      | Some net -> set net fmt
+      | None -> ())
+    (Cycle_system.primary_inputs sys);
+  List.iter
+    (fun (name, k) ->
+      List.iter
+        (fun (port, _) ->
+          match Hashtbl.find_opt driver_index (name, port) with
+          | Some net -> set net (Dataflow.Kernel.port_format k port)
+          | None -> ())
+        k.Dataflow.Kernel.k_outputs)
+    (Cycle_system.untimed_components sys);
+  List.iter
+    (fun (cname, fsm) ->
+      List.iter
+        (fun sfg ->
+          List.iter
+            (fun (port, e) ->
+              match Hashtbl.find_opt driver_index (cname, port) with
+              | Some net -> set net (Signal.fmt e)
+              | None -> ())
+            (Sfg.outputs sfg))
+        (Fsm.all_sfgs fsm))
+    (Cycle_system.timed_components sys);
+  (fmts, driver_index)
+
+let of_system sys =
+  let fmts, driver_index = net_formats sys in
+  let sink_index = Hashtbl.create 64 in
+  List.iter
+    (fun (net, _, sinks) ->
+      List.iter (fun (sc, sp) -> Hashtbl.replace sink_index (sc, sp) net) sinks)
+    (Cycle_system.nets sys);
+  let signals = ref [] in
+  let add_signal name init =
+    let s = make_signal name init in
+    signals := s :: !signals;
+    s
+  in
+  (* One RTL signal per net. *)
+  let net_signal = Hashtbl.create 64 in
+  List.iter
+    (fun (net, _, _) ->
+      let fmt =
+        match Hashtbl.find_opt fmts net with
+        | Some f -> f
+        | None -> Fixed.bit_format (* conservatively a bit; refined below *)
+      in
+      Hashtbl.replace net_signal net (add_signal net (Fixed.zero fmt)))
+    (Cycle_system.nets sys);
+  let clk = add_signal "clk" (Fixed.of_bool false) in
+  let processes = ref [] in
+  let resets = ref [] in
+  let kernel_commits = ref [] in
+  let kernel_procs = ref [] in
+  let add_process p = processes := p :: !processes in
+  (* Timed components: comb + seq process pairs. *)
+  List.iter
+    (fun (cname, fsm) ->
+      let regs = Fsm.all_regs fsm in
+      (* Shadow and next signals per register. *)
+      let shadow =
+        List.map
+          (fun r ->
+            (Signal.Reg.id r, add_signal (cname ^ "." ^ Signal.Reg.name r)
+                                (Signal.Reg.init r)))
+          regs
+      in
+      let next_sig =
+        List.map
+          (fun r ->
+            ( Signal.Reg.id r,
+              add_signal (cname ^ "." ^ Signal.Reg.name r ^ "_next")
+                (Signal.Reg.init r) ))
+          regs
+      in
+      let state_fmt = Fixed.unsigned ~width:16 ~frac:0 in
+      let state_sig =
+        add_signal (cname ^ ".state")
+          (Fixed.of_int state_fmt (Fsm.state_index (Fsm.initial_state fsm)))
+      in
+      let next_state_sig =
+        add_signal (cname ^ ".state_next") state_sig.sg_initial
+      in
+      (* Input nets feeding this component, by SFG input name. *)
+      let input_net port = Hashtbl.find_opt sink_index (cname, port) in
+      let all_input_nets =
+        List.concat_map
+          (fun sfg ->
+            List.filter_map
+              (fun i -> input_net (Signal.Input.name i))
+              (Sfg.inputs sfg))
+          (Fsm.all_sfgs fsm)
+        |> List.sort_uniq String.compare
+      in
+      let comb_sensitivity =
+        List.map (fun net -> Hashtbl.find net_signal net) all_input_nets
+        @ List.map snd shadow
+        @ [ state_sig ]
+      in
+      let transitions = Array.of_list (Fsm.transitions fsm) in
+      let comb_exec () =
+        (* Mirror register shadows into the shared Reg objects so that
+           Signal.eval sees the event-driven state. *)
+        List.iter
+          (fun r ->
+            match List.assoc_opt (Signal.Reg.id r) shadow with
+            | Some s -> Signal.Reg.set_value r s.sg_value
+            | None -> ())
+          regs;
+        let state = Fixed.to_int state_sig.sg_value in
+        (* Select the transition as the FSM would. *)
+        let env0 = Signal.Env.create () in
+        let selected =
+          Array.to_list transitions
+          |> List.find_opt (fun tr ->
+                 Fsm.state_index tr.Fsm.t_from = state
+                 && Fixed.is_true
+                      (Signal.eval env0 (Fsm.guard_expr tr.Fsm.t_guard)))
+        in
+        match selected with
+        | None ->
+          (* Hold: next state and next regs keep current values. *)
+          (next_state_sig, state_sig.sg_value)
+          :: List.map
+               (fun r ->
+                 let nx = List.assoc (Signal.Reg.id r) next_sig in
+                 let sh = List.assoc (Signal.Reg.id r) shadow in
+                 (nx, sh.sg_value))
+               regs
+        | Some tr ->
+          let env = Signal.Env.create () in
+          List.iter
+            (fun sfg ->
+              List.iter
+                (fun i ->
+                  match input_net (Signal.Input.name i) with
+                  | Some net ->
+                    Signal.Env.bind env i
+                      (Hashtbl.find net_signal net).sg_value
+                  | None -> ())
+                (Sfg.inputs sfg))
+            tr.Fsm.t_actions;
+          let memo = Hashtbl.create 64 in
+          let outs =
+            List.concat_map
+              (fun sfg ->
+                List.filter_map
+                  (fun (port, e) ->
+                    match Hashtbl.find_opt driver_index (cname, port) with
+                    | None -> None
+                    | Some net ->
+                      Some
+                        ( Hashtbl.find net_signal net,
+                          Signal.eval_memo memo env e ))
+                  (Sfg.outputs sfg))
+              tr.Fsm.t_actions
+          in
+          let assigned =
+            List.concat_map
+              (fun sfg ->
+                List.map
+                  (fun (r, e) ->
+                    ( List.assoc (Signal.Reg.id r) next_sig,
+                      Signal.eval_memo memo env e ))
+                  (Sfg.assigns sfg))
+              tr.Fsm.t_actions
+          in
+          (* Unassigned registers hold their value. *)
+          let holds =
+            List.filter_map
+              (fun r ->
+                let nx = List.assoc (Signal.Reg.id r) next_sig in
+                if List.exists (fun (s, _) -> s == nx) assigned then None
+                else
+                  let sh = List.assoc (Signal.Reg.id r) shadow in
+                  Some (nx, sh.sg_value))
+              regs
+          in
+          ((next_state_sig,
+            Fixed.of_int state_fmt (Fsm.state_index tr.Fsm.t_goto))
+          :: outs)
+          @ assigned @ holds
+      in
+      add_process (make_process (cname ^ "_comb") comb_sensitivity comb_exec);
+      (* Sequential process: latch on the rising clock edge. *)
+      let prev_clk = ref false in
+      let seq_exec () =
+        let now = Fixed.is_true clk.sg_value in
+        let rising = now && not !prev_clk in
+        prev_clk := now;
+        if rising then
+          (state_sig, next_state_sig.sg_value)
+          :: List.map
+               (fun r ->
+                 let nx = List.assoc (Signal.Reg.id r) next_sig in
+                 let sh = List.assoc (Signal.Reg.id r) shadow in
+                 (sh, nx.sg_value))
+               regs
+        else []
+      in
+      add_process (make_process (cname ^ "_seq") [ clk ] seq_exec);
+      resets :=
+        (fun () ->
+          prev_clk := false;
+          Fsm.reset fsm)
+        :: !resets)
+    (Cycle_system.timed_components sys);
+  (* Untimed kernels: combinational processes. *)
+  List.iter
+    (fun (cname, k) ->
+      let ins =
+        List.filter_map
+          (fun (port, _) ->
+            match Hashtbl.find_opt sink_index (cname, port) with
+            | Some net -> Some (port, Hashtbl.find net_signal net)
+            | None -> None)
+          k.Dataflow.Kernel.k_inputs
+      in
+      let outs =
+        List.filter_map
+          (fun (port, _) ->
+            match Hashtbl.find_opt driver_index (cname, port) with
+            | Some net -> Some (port, Hashtbl.find net_signal net)
+            | None -> None)
+          k.Dataflow.Kernel.k_outputs
+      in
+      kernel_commits := k.Dataflow.Kernel.k_commit :: !kernel_commits;
+      resets := k.Dataflow.Kernel.k_reset :: !resets;
+      let exec () =
+        if k.Dataflow.Kernel.k_ready () then begin
+          let consumed = List.map (fun (port, s) -> (port, [ s.sg_value ])) ins in
+          let produced = k.Dataflow.Kernel.k_behavior consumed in
+          List.filter_map
+            (fun (port, s) ->
+              match List.assoc_opt port produced with
+              | Some [ v ] -> Some (s, v)
+              | Some _ | None -> None)
+            outs
+        end
+        else []
+      in
+      let p = make_process (cname ^ "_comb") (List.map snd ins) exec in
+      kernel_procs := p :: !kernel_procs;
+      add_process p)
+    (Cycle_system.untimed_components sys);
+  (* Primary inputs and probes. *)
+  let stims =
+    List.filter_map
+      (fun (name, _fmt, stim) ->
+        match Hashtbl.find_opt driver_index (name, "out") with
+        | Some net -> Some (Hashtbl.find net_signal net, stim)
+        | None -> None)
+      (Cycle_system.primary_inputs sys)
+  in
+  let probes =
+    List.filter_map
+      (fun pname ->
+        match Hashtbl.find_opt sink_index (pname, "in") with
+        | Some net ->
+          Some
+            {
+              pb_name = pname;
+              pb_signal = Hashtbl.find net_signal net;
+              pb_history = [];
+            }
+        | None -> None)
+      (Cycle_system.probes sys)
+  in
+  let wakeups = Hashtbl.create 256 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun s ->
+          let existing =
+            match Hashtbl.find_opt wakeups s.sg_id with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace wakeups s.sg_id (p :: existing))
+        p.pr_sensitivity)
+    !processes;
+  {
+    signals = !signals;
+    processes = !processes;
+    wakeups;
+    clk;
+    stims;
+    probes;
+    resets = !resets;
+    kernel_commits = !kernel_commits;
+    kernel_procs = !kernel_procs;
+    regs = Cycle_system.all_regs sys;
+    cycle_count = 0;
+    initialized = false;
+    n_events = 0;
+    n_transactions = 0;
+    n_deltas = 0;
+    n_activations = 0;
+    max_deltas = 1000;
+  }
+
+(* --- the event-driven kernel ---------------------------------------------- *)
+
+(* Apply assignments, wake sensitive processes of changed signals, loop. *)
+let settle t initial_assignments =
+  let pending = ref initial_assignments in
+  let deltas = ref 0 in
+  while !pending <> [] do
+    incr deltas;
+    t.n_deltas <- t.n_deltas + 1;
+    if !deltas > t.max_deltas then
+      raise
+        (Delta_overflow
+           (Printf.sprintf "no convergence after %d delta cycles (cycle %d)"
+              t.max_deltas t.cycle_count));
+    (* Apply transactions; collect processes woken by events. *)
+    let woken = Hashtbl.create 16 in
+    List.iter
+      (fun (s, v) ->
+        t.n_transactions <- t.n_transactions + 1;
+        s.sg_driven_this_cycle <- true;
+        if not (Fixed.equal s.sg_value v) then begin
+          s.sg_value <- v;
+          t.n_events <- t.n_events + 1;
+          match Hashtbl.find_opt t.wakeups s.sg_id with
+          | Some procs ->
+            List.iter (fun p -> Hashtbl.replace woken p.pr_id p) procs
+          | None -> ()
+        end)
+      !pending;
+    (* Execute woken processes, gathering next-delta assignments. *)
+    let next = ref [] in
+    Hashtbl.iter
+      (fun _ p ->
+        t.n_activations <- t.n_activations + 1;
+        next := p.pr_exec () @ !next)
+      woken;
+    pending := !next
+  done
+
+let initialize t =
+  (* VHDL semantics: every process executes once at time zero. *)
+  if not t.initialized then begin
+    t.initialized <- true;
+    let assignments =
+      List.concat_map
+        (fun p ->
+          t.n_activations <- t.n_activations + 1;
+          p.pr_exec ())
+        t.processes
+    in
+    settle t assignments
+  end
+
+let cycle t =
+  initialize t;
+  (* Drive primary inputs, settle. *)
+  let input_assignments =
+    List.filter_map
+      (fun (s, stim) ->
+        match stim t.cycle_count with
+        | Some v -> Some (s, v)
+        | None -> None)
+      t.stims
+  in
+  settle t input_assignments;
+  (* Sample probes that saw a transaction, before the clock edge — the
+     combinational outputs of this cycle are stable now, computed from
+     this cycle's inputs and the pre-edge register values, exactly as a
+     test bench would sample them. *)
+  List.iter
+    (fun pb ->
+      if pb.pb_signal.sg_driven_this_cycle then
+        pb.pb_history <- (t.cycle_count, pb.pb_signal.sg_value) :: pb.pb_history)
+    t.probes;
+  (* Rising edge, settle. *)
+  settle t [ (t.clk, Fixed.of_bool true) ];
+  (* Kernel state commits happen at the edge; committed state may change
+     combinational reads, so kernel processes re-execute and settle. *)
+  if t.kernel_commits <> [] then begin
+    List.iter (fun f -> f ()) t.kernel_commits;
+    let assignments =
+      List.concat_map
+        (fun p ->
+          t.n_activations <- t.n_activations + 1;
+          p.pr_exec ())
+        t.kernel_procs
+    in
+    settle t assignments
+  end;
+  (* Falling edge, settle. *)
+  settle t [ (t.clk, Fixed.of_bool false) ];
+  t.cycle_count <- t.cycle_count + 1
+
+let run t n =
+  for _ = 1 to n do
+    cycle t
+  done
+
+let current_cycle t = t.cycle_count
+
+let output_history t name =
+  match List.find_opt (fun pb -> pb.pb_name = name) t.probes with
+  | Some pb -> List.rev pb.pb_history
+  | None -> error "output_history: no probe %s" name
+
+let reset t =
+  t.cycle_count <- 0;
+  t.initialized <- false;
+  t.n_events <- 0;
+  t.n_transactions <- 0;
+  t.n_deltas <- 0;
+  t.n_activations <- 0;
+  List.iter
+    (fun s ->
+      s.sg_value <- s.sg_initial;
+      s.sg_driven_this_cycle <- false)
+    t.signals;
+  List.iter Signal.Reg.reset t.regs;
+  List.iter (fun f -> f ()) t.resets;
+  List.iter (fun pb -> pb.pb_history <- []) t.probes
+
+let signal_count t = List.length t.signals
+let process_count t = List.length t.processes
+
+type stats = {
+  cycles : int;
+  events : int;
+  transactions : int;
+  deltas : int;
+  activations : int;
+}
+
+let stats t =
+  {
+    cycles = t.cycle_count;
+    events = t.n_events;
+    transactions = t.n_transactions;
+    deltas = t.n_deltas;
+    activations = t.n_activations;
+  }

@@ -1,0 +1,61 @@
+(** Event-driven register-transfer simulation (the "VHDL (RT)" baseline).
+
+    Table 1 of the paper compares the C++ engines against RT-VHDL
+    simulation by a commercial event-driven simulator.  This module is
+    that comparator, built rather than bought: a design is elaborated
+    into VHDL-style {e processes} over {e signals} and simulated with an
+    event-driven kernel — sensitivity lists, transactions, events and
+    delta cycles.
+
+    Elaboration follows the classic two-process VHDL coding style the
+    paper's code generator targets (fig 8):
+    - per timed component, one {e combinational process} sensitive to
+      its input nets, its state and its registers' shadow signals; it
+      selects the FSM transition and drives output nets, next-state and
+      next-register signals;
+    - per timed component, one {e sequential process} sensitive to the
+      clock; on the rising edge it latches next-state/next-register;
+    - untimed kernels become combinational processes (they must be
+      idempotent within a cycle, as a RAM model is);
+    - a test-bench process drives the clock and the primary inputs.
+
+    One simulated clock cycle = drive inputs, settle; rising edge,
+    settle; falling edge, settle.  "Settle" is the delta-cycle loop; an
+    unbounded delta chain (a combinational loop) raises
+    {!Delta_overflow}. *)
+
+exception Delta_overflow of string
+exception Rtl_error of string
+
+type t
+
+(** Elaborate a system for event-driven simulation.  The RTL engine
+    shares the register objects of the source system: run only one
+    engine at a time and call {!reset} before a run. *)
+val of_system : Cycle_system.t -> t
+
+(** Simulate one clock cycle (input drive + both clock edges). *)
+val cycle : t -> unit
+
+val run : t -> int -> unit
+val current_cycle : t -> int
+
+(** Probe history, keyed by the probe component's name. *)
+val output_history : t -> string -> (int * Fixed.t) list
+
+val reset : t -> unit
+
+(** {1 Size and activity metrics} *)
+
+val signal_count : t -> int
+val process_count : t -> int
+
+type stats = {
+  cycles : int;
+  events : int;  (** signal value changes *)
+  transactions : int;  (** signal assignments, changed or not *)
+  deltas : int;  (** delta cycles executed *)
+  activations : int;  (** process executions *)
+}
+
+val stats : t -> stats

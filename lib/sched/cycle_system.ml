@@ -1,0 +1,697 @@
+exception Deadlock of string list
+exception System_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (System_error s)) fmt
+
+type kind =
+  | Timed of Fsm.t
+  | Untimed of Dataflow.Kernel.t
+  | Primary_input of Fixed.format * (int -> Fixed.t option)
+  | Primary_output
+
+type component = { c_id : int; c_name : string; c_kind : kind }
+
+type net = {
+  n_id : int;
+  n_name : string;
+  n_driver : component * string;
+  n_sinks : (component * string) list;
+  mutable n_token : Fixed.t option;
+  mutable n_traced : bool;
+  mutable n_history : (int * Fixed.t) list;  (* reversed *)
+}
+
+type t = {
+  s_name : string;
+  clock : Clock.t;
+  mutable comps : component list;  (* reversed *)
+  mutable s_nets : net list;  (* reversed *)
+  mutable cycle_count : int;
+  mutable probe_histories : (int * (int * Fixed.t) list) list;
+      (* component id -> reversed history *)
+  mutable inputs_seen : (int * string * Fixed.t) list;  (* reversed *)
+  mutable tokens_transferred : int;
+  mutable eval_iterations : int;
+  mutable untimed_fires : int;
+}
+
+let create ?(clock = Clock.default) s_name =
+  {
+    s_name;
+    clock;
+    comps = [];
+    s_nets = [];
+    cycle_count = 0;
+    probe_histories = [];
+    inputs_seen = [];
+    tokens_transferred = 0;
+    eval_iterations = 0;
+    untimed_fires = 0;
+  }
+
+let name t = t.s_name
+let component_name c = c.c_name
+
+let add t c_name c_kind =
+  if List.exists (fun c -> c.c_name = c_name) t.comps then
+    error "system %s: duplicate component %s" t.s_name c_name;
+  let c = { c_id = List.length t.comps; c_name; c_kind } in
+  t.comps <- c :: t.comps;
+  c
+
+let add_timed t name fsm = add t name (Timed fsm)
+
+let add_untimed t kernel =
+  List.iter
+    (fun (p, r) ->
+      if r <> 1 then
+        error "untimed %s: port %s has rate %d; the cycle scheduler moves \
+               one token per net per cycle"
+          kernel.Dataflow.Kernel.k_name p r)
+    (kernel.Dataflow.Kernel.k_inputs @ kernel.Dataflow.Kernel.k_outputs);
+  add t kernel.Dataflow.Kernel.k_name (Untimed kernel)
+
+let add_input t name fmt stim = add t name (Primary_input (fmt, stim))
+
+let add_output t name =
+  let c = add t name Primary_output in
+  t.probe_histories <- (c.c_id, []) :: t.probe_histories;
+  c
+
+let find_component t name = List.find_opt (fun c -> c.c_name = name) t.comps
+
+(* --- port inventories -------------------------------------------------- *)
+
+let timed_input_ports fsm =
+  List.concat_map
+    (fun sfg -> List.map Signal.Input.name (Sfg.inputs sfg))
+    (Fsm.all_sfgs fsm)
+  |> List.sort_uniq String.compare
+
+let timed_output_ports fsm =
+  List.concat_map
+    (fun sfg -> List.map fst (Sfg.outputs sfg))
+    (Fsm.all_sfgs fsm)
+  |> List.sort_uniq String.compare
+
+let input_ports c =
+  match c.c_kind with
+  | Timed fsm -> timed_input_ports fsm
+  | Untimed k -> List.map fst k.Dataflow.Kernel.k_inputs
+  | Primary_input _ -> []
+  | Primary_output -> [ "in" ]
+
+let output_ports c =
+  match c.c_kind with
+  | Timed fsm -> timed_output_ports fsm
+  | Untimed k -> List.map fst k.Dataflow.Kernel.k_outputs
+  | Primary_input _ -> [ "out" ]
+  | Primary_output -> []
+
+let connect t (src, src_port) sinks =
+  if not (List.mem src_port (output_ports src)) then
+    error "connect: %s has no output port %s" src.c_name src_port;
+  List.iter
+    (fun (dst, dst_port) ->
+      if not (List.mem dst_port (input_ports dst)) then
+        error "connect: %s has no input port %s" dst.c_name dst_port;
+      if
+        List.exists
+          (fun n ->
+            List.exists
+              (fun (c, p) -> c.c_id = dst.c_id && p = dst_port)
+              n.n_sinks)
+          t.s_nets
+      then error "connect: %s.%s already driven" dst.c_name dst_port)
+    sinks;
+  let n =
+    {
+      n_id = List.length t.s_nets;
+      n_name = Printf.sprintf "%s.%s" src.c_name src_port;
+      n_driver = (src, src_port);
+      n_sinks = sinks;
+      n_token = None;
+      n_traced = false;
+      n_history = [];
+    }
+  in
+  t.s_nets <- n :: t.s_nets;
+  n
+
+(* --- checks ------------------------------------------------------------ *)
+
+type check_issue =
+  | Unconnected_input of string * string
+  | Unconnected_output of string * string
+  | Unknown_port of string * string
+
+let pp_issue ppf = function
+  | Unconnected_input (c, p) ->
+    Format.fprintf ppf "dangling input: %s.%s has no driver" c p
+  | Unconnected_output (c, p) ->
+    Format.fprintf ppf "unconnected output: %s.%s drives nothing" c p
+  | Unknown_port (c, p) -> Format.fprintf ppf "unknown port %s.%s" c p
+
+let check t =
+  let issues = ref [] in
+  let sink_connected c p =
+    List.exists
+      (fun n ->
+        List.exists (fun (sc, sp) -> sc.c_id = c.c_id && sp = p) n.n_sinks)
+      t.s_nets
+  in
+  let driver_connected c p =
+    List.exists
+      (fun n -> (fst n.n_driver).c_id = c.c_id && snd n.n_driver = p)
+      t.s_nets
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          if not (sink_connected c p) then
+            issues := Unconnected_input (c.c_name, p) :: !issues)
+        (input_ports c);
+      List.iter
+        (fun p ->
+          if not (driver_connected c p) then
+            issues := Unconnected_output (c.c_name, p) :: !issues)
+        (output_ports c))
+    t.comps;
+  List.rev !issues
+
+(* --- per-cycle machinery ------------------------------------------------ *)
+
+(* State of one marked SFG during a cycle. *)
+type marked_sfg = {
+  m_comp : component;
+  m_sfg : Sfg.t;
+  m_env : Signal.Env.t;  (* shared per component *)
+  m_produced : (string, unit) Hashtbl.t;
+  mutable m_complete : bool;
+}
+
+let nets_in_order t = List.rev t.s_nets
+
+let net_of_driver t c port =
+  List.find_opt
+    (fun n -> (fst n.n_driver).c_id = c.c_id && snd n.n_driver = port)
+    t.s_nets
+
+(* Deliver a token to a net: store it, trace it, and bind it into the
+   environments of all timed sinks (matching marked-SFG inputs by name). *)
+let push_token t marked n v =
+  (match n.n_token with
+  | Some _ -> error "net %s: two tokens in one cycle" n.n_name
+  | None -> ());
+  n.n_token <- Some v;
+  t.tokens_transferred <- t.tokens_transferred + 1;
+  if n.n_traced then n.n_history <- (t.cycle_count, v) :: n.n_history;
+  List.iter
+    (fun (sink, port) ->
+      match sink.c_kind with
+      | Timed _ ->
+        List.iter
+          (fun m ->
+            if m.m_comp.c_id = sink.c_id then
+              List.iter
+                (fun i ->
+                  if Signal.Input.name i = port then
+                    Signal.Env.bind m.m_env i v)
+                (Sfg.inputs m.m_sfg))
+          marked
+      | Untimed _ | Primary_input _ | Primary_output -> ())
+    n.n_sinks
+
+let deliver_outputs t marked m outputs =
+  List.iter
+    (fun (port, v) ->
+      Hashtbl.replace m.m_produced port ();
+      match net_of_driver t m.m_comp port with
+      | Some n -> push_token t marked n v
+      | None -> () (* unconnected output: token falls on the floor *))
+    outputs
+
+(* Untimed kernel firing inside a cycle: all input nets carry a token. *)
+let untimed_ready t c k fired =
+  (not (Hashtbl.mem fired c.c_id))
+  && k.Dataflow.Kernel.k_ready ()
+  && List.for_all
+       (fun (port, _) ->
+         List.exists
+           (fun n ->
+             n.n_token <> None
+             && List.exists
+                  (fun (sc, sp) -> sc.c_id = c.c_id && sp = port)
+                  n.n_sinks)
+           t.s_nets)
+       k.Dataflow.Kernel.k_inputs
+
+let fire_untimed t marked c k fired =
+  let consumed =
+    List.map
+      (fun (port, _) ->
+        let n =
+          List.find
+            (fun n ->
+              List.exists
+                (fun (sc, sp) -> sc.c_id = c.c_id && sp = port)
+                n.n_sinks)
+            t.s_nets
+        in
+        match n.n_token with
+        | Some v -> (port, [ v ])
+        | None -> error "untimed %s: token vanished" c.c_name)
+      k.Dataflow.Kernel.k_inputs
+  in
+  let produced = k.Dataflow.Kernel.k_behavior consumed in
+  Dataflow.Kernel.validate_production k produced;
+  Hashtbl.replace fired c.c_id ();
+  t.untimed_fires <- t.untimed_fires + 1;
+  List.iter
+    (fun (port, values) ->
+      match values, net_of_driver t c port with
+      | [ v ], Some n -> push_token t marked n v
+      | [ _ ], None -> ()
+      | _, _ -> error "untimed %s: port %s must produce one token" c.c_name port)
+    produced
+
+let primary_outputs_collect t =
+  List.iter
+    (fun n ->
+      match n.n_token with
+      | None -> ()
+      | Some v ->
+        List.iter
+          (fun (sink, _) ->
+            match sink.c_kind with
+            | Primary_output ->
+              t.probe_histories <-
+                List.map
+                  (fun (id, h) ->
+                    if id = sink.c_id then (id, (t.cycle_count, v) :: h)
+                    else (id, h))
+                  t.probe_histories
+            | Timed _ | Untimed _ | Primary_input _ -> ())
+          n.n_sinks)
+    (nets_in_order t)
+
+let clear_nets t = List.iter (fun n -> n.n_token <- None) t.s_nets
+
+(* Mark the SFGs selected by each FSM and remember the transitions. *)
+let select_transitions t =
+  let marked = ref [] and chosen = ref [] in
+  List.iter
+    (fun c ->
+      match c.c_kind with
+      | Timed fsm -> begin
+        match Fsm.select fsm with
+        | None -> ()
+        | Some tr ->
+          chosen := (fsm, tr) :: !chosen;
+          let env = Signal.Env.create () in
+          List.iter
+            (fun sfg ->
+              marked :=
+                {
+                  m_comp = c;
+                  m_sfg = sfg;
+                  m_env = env;
+                  m_produced = Hashtbl.create 8;
+                  m_complete = false;
+                }
+                :: !marked)
+            tr.Fsm.t_actions
+      end
+      | Untimed _ | Primary_input _ | Primary_output -> ())
+    (List.rev t.comps);
+  (List.rev !marked, List.rev !chosen)
+
+let drive_primary_inputs t marked =
+  List.iter
+    (fun c ->
+      match c.c_kind with
+      | Primary_input (_, stim) -> begin
+        match stim t.cycle_count with
+        | None -> ()
+        | Some v -> begin
+          t.inputs_seen <- (t.cycle_count, c.c_name, v) :: t.inputs_seen;
+          match net_of_driver t c "out" with
+          | Some n -> push_token t marked n v
+          | None -> ()
+        end
+      end
+      | Timed _ | Untimed _ | Primary_output -> ())
+    (List.rev t.comps)
+
+let commit_fired_kernels t fired =
+  List.iter
+    (fun c ->
+      match c.c_kind with
+      | Untimed k ->
+        if Hashtbl.mem fired c.c_id then k.Dataflow.Kernel.k_commit ()
+      | Timed _ | Primary_input _ | Primary_output -> ())
+    t.comps
+
+let commit_and_advance t marked chosen =
+  List.iter
+    (fun m -> List.iter Signal.Reg.commit (Sfg.regs_written m.m_sfg))
+    marked;
+  List.iter (fun (fsm, tr) -> Fsm.advance fsm tr) chosen;
+  primary_outputs_collect t;
+  clear_nets t;
+  t.cycle_count <- t.cycle_count + 1
+
+let untimed_list t =
+  List.filter_map
+    (fun c ->
+      match c.c_kind with
+      | Untimed k -> Some (c, k)
+      | Timed _ | Primary_input _ | Primary_output -> None)
+    (List.rev t.comps)
+
+let deadlock_report marked =
+  List.filter_map
+    (fun m ->
+      if m.m_complete then None
+      else Some (Printf.sprintf "%s/%s" m.m_comp.c_name (Sfg.name m.m_sfg)))
+    marked
+
+(* The three-phase cycle of section 4. *)
+let cycle t =
+  let marked, chosen = select_transitions t in
+  let fired_untimed = Hashtbl.create 8 in
+  drive_primary_inputs t marked;
+  (* Phase 1: token production — partial firing with nothing bound except
+     primary inputs produces exactly the outputs that depend only on
+     registers and constants (and already-arrived primary inputs). *)
+  let fire_marked m =
+    if not m.m_complete then begin
+      let before = Hashtbl.length m.m_produced in
+      let outputs, status =
+        Sfg.fire_partial m.m_sfg m.m_env ~produced:(Hashtbl.mem m.m_produced)
+      in
+      deliver_outputs t marked m outputs;
+      (match status with `Complete -> m.m_complete <- true | `Partial -> ());
+      Hashtbl.length m.m_produced > before
+      || (m.m_complete && status = `Complete)
+    end
+    else false
+  in
+  List.iter (fun m -> ignore (fire_marked m)) marked;
+  (* Phases 2a/2b: iterative evaluation. *)
+  let untimed = untimed_list t in
+  let progress = ref true in
+  while
+    !progress
+    && (List.exists (fun m -> not m.m_complete) marked
+       || List.exists
+            (fun (c, k) -> untimed_ready t c k fired_untimed)
+            untimed)
+  do
+    t.eval_iterations <- t.eval_iterations + 1;
+    progress := false;
+    List.iter
+      (fun m ->
+        if not m.m_complete then begin
+          let got = Hashtbl.length m.m_produced in
+          let was_complete = m.m_complete in
+          ignore (fire_marked m);
+          if Hashtbl.length m.m_produced > got || m.m_complete <> was_complete
+          then progress := true
+        end)
+      marked;
+    List.iter
+      (fun (c, k) ->
+        if untimed_ready t c k fired_untimed then begin
+          fire_untimed t marked c k fired_untimed;
+          progress := true
+        end)
+      untimed
+  done;
+  (match deadlock_report marked with
+  | [] -> ()
+  | waiting ->
+    clear_nets t;
+    raise (Deadlock waiting));
+  (* Phase 3: register update. *)
+  commit_fired_kernels t fired_untimed;
+  commit_and_advance t marked chosen
+
+(* The classic two-phase discipline: no token-production phase; an SFG
+   fires only once all of its inputs are bound. *)
+let cycle_two_phase t =
+  let marked, chosen = select_transitions t in
+  let fired_untimed = Hashtbl.create 8 in
+  drive_primary_inputs t marked;
+  let try_fire m =
+    if
+      (not m.m_complete)
+      && List.for_all
+           (fun i -> Signal.Env.is_bound m.m_env i)
+           (Sfg.inputs m.m_sfg)
+    then begin
+      let outputs = Sfg.fire m.m_sfg m.m_env in
+      m.m_complete <- true;
+      deliver_outputs t marked m outputs;
+      true
+    end
+    else false
+  in
+  (* Zero-input SFGs can fire immediately. *)
+  let untimed = untimed_list t in
+  let progress = ref true in
+  while !progress do
+    t.eval_iterations <- t.eval_iterations + 1;
+    progress := false;
+    List.iter (fun m -> if try_fire m then progress := true) marked;
+    List.iter
+      (fun (c, k) ->
+        if untimed_ready t c k fired_untimed then begin
+          fire_untimed t marked c k fired_untimed;
+          progress := true
+        end)
+      untimed
+  done;
+  (match deadlock_report marked with
+  | [] -> ()
+  | waiting ->
+    clear_nets t;
+    raise (Deadlock waiting));
+  commit_fired_kernels t fired_untimed;
+  commit_and_advance t marked chosen
+
+let run ?(two_phase = false) t n =
+  for _ = 1 to n do
+    if two_phase then cycle_two_phase t else cycle t
+  done
+
+let all_regs t =
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun c ->
+      match c.c_kind with
+      | Timed fsm -> Fsm.all_regs fsm
+      | Untimed _ | Primary_input _ | Primary_output -> [])
+    (List.rev t.comps)
+  |> List.filter (fun r ->
+         let id = Signal.Reg.id r in
+         if Hashtbl.mem seen id then false
+         else begin
+           Hashtbl.add seen id ();
+           true
+         end)
+
+let reset t =
+  t.cycle_count <- 0;
+  t.tokens_transferred <- 0;
+  t.eval_iterations <- 0;
+  t.untimed_fires <- 0;
+  t.inputs_seen <- [];
+  t.probe_histories <- List.map (fun (id, _) -> (id, [])) t.probe_histories;
+  List.iter
+    (fun n ->
+      n.n_token <- None;
+      n.n_history <- [])
+    t.s_nets;
+  List.iter Signal.Reg.reset (all_regs t);
+  List.iter
+    (fun c ->
+      match c.c_kind with
+      | Timed fsm -> Fsm.reset fsm
+      | Untimed k -> k.Dataflow.Kernel.k_reset ()
+      | Primary_input _ | Primary_output -> ())
+    t.comps
+
+let current_cycle t = t.cycle_count
+
+let output_history t probe =
+  match List.assoc_opt probe.c_id t.probe_histories with
+  | Some h -> List.rev h
+  | None -> error "output_history: %s is not a probe" probe.c_name
+
+let trace_net _t net = net.n_traced <- true
+let net_history _t net = List.rev net.n_history
+
+let trace_all t = List.iter (fun n -> n.n_traced <- true) t.s_nets
+
+let traced_histories t =
+  List.filter_map
+    (fun n ->
+      if n.n_traced then Some (n.n_name, List.rev n.n_history) else None)
+    (nets_in_order t)
+let input_history t = List.rev t.inputs_seen
+
+let timed_components t =
+  List.filter_map
+    (fun c ->
+      match c.c_kind with
+      | Timed fsm -> Some (c.c_name, fsm)
+      | Untimed _ | Primary_input _ | Primary_output -> None)
+    (List.rev t.comps)
+
+let primary_inputs t =
+  List.filter_map
+    (fun c ->
+      match c.c_kind with
+      | Primary_input (fmt, stim) -> Some (c.c_name, fmt, stim)
+      | Timed _ | Untimed _ | Primary_output -> None)
+    (List.rev t.comps)
+
+let probes t =
+  List.filter_map
+    (fun c ->
+      match c.c_kind with
+      | Primary_output -> Some c.c_name
+      | Timed _ | Untimed _ | Primary_input _ -> None)
+    (List.rev t.comps)
+
+let untimed_components t =
+  List.filter_map
+    (fun c ->
+      match c.c_kind with
+      | Untimed k -> Some (c.c_name, k)
+      | Timed _ | Primary_input _ | Primary_output -> None)
+    (List.rev t.comps)
+
+let nets t =
+  List.map
+    (fun n ->
+      let d, dp = n.n_driver in
+      ( n.n_name,
+        (d.c_name, dp),
+        List.map (fun (c, p) -> (c.c_name, p)) n.n_sinks ))
+    (nets_in_order t)
+
+let net_formats t =
+  let fmts = Hashtbl.create 64 in
+  let driver_index = Hashtbl.create 64 in
+  List.iter
+    (fun (net, (dc, dp), _) -> Hashtbl.replace driver_index (dc, dp) net)
+    (nets t);
+  let set net f =
+    match Hashtbl.find_opt fmts net with
+    | None -> Hashtbl.replace fmts net f
+    | Some f0 ->
+      if not (Fixed.equal_format f0 f) then
+        error "net %s driven with inconsistent formats %s and %s" net
+          (Fixed.format_to_string f0) (Fixed.format_to_string f)
+  in
+  List.iter
+    (fun (name, fmt, _) ->
+      match Hashtbl.find_opt driver_index (name, "out") with
+      | Some net -> set net fmt
+      | None -> ())
+    (primary_inputs t);
+  List.iter
+    (fun (name, k) ->
+      List.iter
+        (fun (port, _) ->
+          match Hashtbl.find_opt driver_index (name, port) with
+          | Some net -> set net (Dataflow.Kernel.port_format k port)
+          | None -> ())
+        k.Dataflow.Kernel.k_outputs)
+    (untimed_components t);
+  List.iter
+    (fun (cname, fsm) ->
+      List.iter
+        (fun sfg ->
+          List.iter
+            (fun (port, e) ->
+              match Hashtbl.find_opt driver_index (cname, port) with
+              | Some net -> set net (Signal.fmt e)
+              | None -> ())
+            (Sfg.outputs sfg))
+        (Fsm.all_sfgs fsm))
+    (timed_components t);
+  (* Static back ends compile input reads with the declared input format;
+     reject nets whose carried format differs from a sink's declaration. *)
+  List.iter
+    (fun (net, _, sinks) ->
+      match Hashtbl.find_opt fmts net with
+      | None -> ()
+      | Some f ->
+        List.iter
+          (fun (sc, sp) ->
+            match find_component t sc with
+            | None -> ()
+            | Some c -> begin
+              match c.c_kind with
+              | Timed fsm ->
+                List.iter
+                  (fun sfg ->
+                    List.iter
+                      (fun i ->
+                        if
+                          Signal.Input.name i = sp
+                          && not (Fixed.equal_format (Signal.Input.fmt i) f)
+                        then
+                          error
+                            "net %s carries %s but input %s.%s is declared %s"
+                            net (Fixed.format_to_string f) sc sp
+                            (Fixed.format_to_string (Signal.Input.fmt i)))
+                      (Sfg.inputs sfg))
+                  (Fsm.all_sfgs fsm)
+              | Untimed _ | Primary_input _ | Primary_output -> ()
+            end)
+          sinks)
+    (nets t);
+  fmts
+
+let to_dot t =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph %S {\n  rankdir=LR;\n" t.s_name;
+  List.iter
+    (fun c ->
+      match c.c_kind with
+      | Timed _ -> pf "  %S [shape=box];\n" c.c_name
+      | Untimed _ -> pf "  %S [shape=ellipse, style=dashed];\n" c.c_name
+      | Primary_input _ | Primary_output ->
+        pf "  %S [shape=plaintext];\n" c.c_name)
+    (List.rev t.comps);
+  List.iter
+    (fun n ->
+      let driver, port = n.n_driver in
+      List.iter
+        (fun (sink, _) ->
+          pf "  %S -> %S [label=%S];\n" driver.c_name sink.c_name port)
+        n.n_sinks)
+    (nets_in_order t);
+  pf "}\n";
+  Buffer.contents buf
+
+type stats = {
+  cycles : int;
+  tokens_transferred : int;
+  eval_iterations : int;
+  untimed_firings : int;
+}
+
+let stats t =
+  {
+    cycles = t.cycle_count;
+    tokens_transferred = t.tokens_transferred;
+    eval_iterations = t.eval_iterations;
+    untimed_firings = t.untimed_fires;
+  }

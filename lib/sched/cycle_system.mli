@@ -1,0 +1,175 @@
+(** Systems of components and the three-phase cycle scheduler.
+
+    A system is a set of concurrent components exchanging data signals
+    over a system interconnect (paper section 2, fig 5).  Components are
+    either {e timed} — an FSM whose transition actions are SFGs, one
+    iteration per clock cycle — or {e untimed} — a data-flow kernel with
+    a firing rule, which the cycle scheduler interleaves with the timed
+    blocks (fig 6; the DECT RAM cells are untimed while the datapaths
+    are clock-cycle true).
+
+    One clock cycle is simulated in three phases (section 4):
+
+    + {b transition selection} — each FSM picks a transition from its
+      current state by evaluating guards over registered values; the
+      attached SFGs are marked for execution;
+    + {b token production} — for every marked SFG, the outputs that
+      depend only on registered signals and constants are evaluated and
+      their tokens put on the interconnect (this breaks the apparent
+      deadlocks a pure data-flow scheduler would need initial tokens
+      for);
+    + {b evaluation} — iteratively, marked SFGs emit outputs as soon as
+      the inputs those outputs depend on have arrived, and untimed
+      kernels fire when their rule is satisfied; when an iteration makes
+      no progress while marked SFGs remain unfired, the system is
+      declared deadlocked — this is how combinational loops are found;
+    + {b register update} — staged next-values are committed and the
+      FSMs advance.
+
+    The traditional two-phase register-transfer discipline (no token
+    production, whole-SFG firing only) is also provided, as
+    {!cycle_two_phase}, for the scheduler ablation of bench C4. *)
+
+exception Deadlock of string list
+(** Raised when the evaluation phase stalls; the payload names the
+    components/SFGs still waiting on tokens. *)
+
+exception System_error of string
+
+type t
+type component
+type net
+
+(** {1 Building} *)
+
+val create : ?clock:Clock.t -> string -> t
+val name : t -> string
+
+(** [add_timed t name fsm] adds a clock-cycle-true component.  Its input
+    ports are the names of the SFG inputs of the FSM's actions; its
+    output ports are their output names. *)
+val add_timed : t -> string -> Fsm.t -> component
+
+(** [add_untimed t kernel] adds a high-level component.  All port rates
+    must be 1 (one token per clock cycle at most).
+    @raise System_error otherwise. *)
+val add_untimed : t -> Dataflow.Kernel.t -> component
+
+(** [add_input t name fmt stim] adds a primary input driven by [stim]:
+    at each cycle [c], [stim c] is placed on the output net (port
+    ["out"]) unless it is [None]. *)
+val add_input :
+  t -> string -> Fixed.format -> (int -> Fixed.t option) -> component
+
+(** [add_output t name] adds a primary output probe with input port
+    ["in"]; its received tokens are recorded (see {!output_history}). *)
+val add_output : t -> string -> component
+
+(** [connect t (src, port) sinks] creates a net driven by an output
+    port, fanning out to input ports.
+    @raise System_error if the driver port does not exist, or a sink
+    port is already driven by another net. *)
+val connect : t -> component * string -> (component * string) list -> net
+
+val component_name : component -> string
+val find_component : t -> string -> component option
+
+(** {1 Checks} *)
+
+type check_issue =
+  | Unconnected_input of string * string  (** component, port *)
+  | Unconnected_output of string * string
+  | Unknown_port of string * string
+
+val pp_issue : Format.formatter -> check_issue -> unit
+
+(** Static interconnect audit: every SFG input port of every timed
+    component (and every kernel input) should be the sink of some net —
+    the system-level "dangling input" check. *)
+val check : t -> check_issue list
+
+(** {1 Simulation} *)
+
+(** Run one clock cycle with the three-phase scheduler.
+    @raise Deadlock on a combinational loop / missing token. *)
+val cycle : t -> unit
+
+(** Run one clock cycle with the classic two-phase scheduler (ablation):
+    no token-production phase, SFGs fire only when {e all} their inputs
+    are present.  Deadlocks on fig 6-style circular component
+    dependencies that the three-phase scheduler resolves. *)
+val cycle_two_phase : t -> unit
+
+(** [run ?two_phase t n] simulates [n] cycles. *)
+val run : ?two_phase:bool -> t -> int -> unit
+
+(** Reset: cycle counter to zero, FSMs to initial states, registers to
+    init values, recorded histories cleared. *)
+val reset : t -> unit
+
+val current_cycle : t -> int
+
+(** {1 Observation} *)
+
+(** [output_history t probe] — tokens received by an [add_output] probe:
+    [(cycle, value)] pairs, oldest first. *)
+val output_history : t -> component -> (int * Fixed.t) list
+
+(** [trace_net t net] starts recording tokens on [net];
+    [net_history t net] reads the recording. *)
+val trace_net : t -> net -> unit
+
+val net_history : t -> net -> (int * Fixed.t) list
+
+(** Start recording tokens on every net (for waveform dumping). *)
+val trace_all : t -> unit
+
+(** Recorded histories of all traced nets, as (net name, history). *)
+val traced_histories : t -> (string * (int * Fixed.t) list) list
+
+(** [input_history t] — every token produced by every primary input,
+    as [(cycle, input-name, value)], oldest first (for test-bench
+    generation). *)
+val input_history : t -> (int * string * Fixed.t) list
+
+(** {1 Introspection for code generators and statistics} *)
+
+val timed_components : t -> (string * Fsm.t) list
+val untimed_components : t -> (string * Dataflow.Kernel.t) list
+
+(** Primary inputs: name, format, stimulus function. *)
+val primary_inputs :
+  t -> (string * Fixed.format * (int -> Fixed.t option)) list
+
+(** Primary output probe names. *)
+val probes : t -> string list
+
+(** Nets as (net-name, driver (component, port), sinks). *)
+val nets : t -> (string * (string * string) * (string * string) list) list
+
+(** The value format carried by each net, derived from its driver:
+    primary inputs and untimed kernels declare theirs; a timed output
+    carries the producing expression's format, which must agree across
+    all SFGs producing the port.  Static back ends (compiled simulation,
+    RTL elaboration, synthesis, HDL generation) all rely on this map.
+    @raise System_error on inconsistent or undeclared formats. *)
+val net_formats : t -> (string, Fixed.format) Hashtbl.t
+
+(** All registers of all timed components. *)
+val all_regs : t -> Signal.Reg.t list
+
+(** Graphviz dot rendering of the component/interconnect structure —
+    the textual twin of the paper's architecture diagrams (figs 1, 5,
+    6).  Timed components are boxes, untimed components (RAM cells)
+    ellipses, primary inputs/outputs plain text; edges are nets labeled
+    with the driver port. *)
+val to_dot : t -> string
+
+type stats = {
+  cycles : int;
+  tokens_transferred : int;
+  eval_iterations : int;  (** total evaluation-phase sweeps *)
+  untimed_firings : int;
+}
+
+val stats : t -> stats

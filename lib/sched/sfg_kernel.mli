@@ -1,0 +1,20 @@
+(** Reusing timed datapath descriptions as untimed processes.
+
+    Section 3.3's architecture story: the DECT design began data-driven
+    (local control), and the machine model "allowed to reuse the
+    datapath descriptions and only required the control descriptions to
+    be reworked" when the target moved to central control.  This module
+    is that reuse path in the other direction: any SFG — one clock cycle
+    of data processing — can serve as the behaviour of a data-flow
+    process with a one-token-per-input firing rule.
+
+    Registers referenced by the SFG keep their state across firings
+    (committed after each firing), so an SFG with internal state (an
+    accumulator, a shift window) behaves identically under data-flow
+    control and under an FSM. *)
+
+(** [kernel_of_sfg sfg] — inputs and outputs mirror the SFG's ports
+    (rate 1); each firing evaluates the SFG and commits its register
+    assigns.  Port formats are declared from the SFG, so the kernel
+    works with every static back end that supports kernels. *)
+val kernel_of_sfg : Sfg.t -> Dataflow.Kernel.t

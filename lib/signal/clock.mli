@@ -1,0 +1,15 @@
+(** Clock objects.
+
+    Registered signals are related to a clock object that controls their
+    update (paper section 3.1).  A clock is little more than an identity;
+    the three-phase cycle scheduler advances one clock per system. *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** A default system clock, for designs that do not care to name one. *)
+val default : t

@@ -1,0 +1,354 @@
+type stats = {
+  gates_before : int;
+  gates_after : int;
+  dffs_before : int;
+  dffs_after : int;
+  equivalents_before : int;
+  equivalents_after : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "netlist optimization: %d -> %d gates, %d -> %d dffs, %d -> %d \
+     gate-equivalents (%.0f%%)"
+    s.gates_before s.gates_after s.dffs_before s.dffs_after
+    s.equivalents_before s.equivalents_after
+    (100.
+    *. float_of_int s.equivalents_after
+    /. float_of_int (max 1 s.equivalents_before))
+
+(* Working gate representation (mutable: folds may rewrite the kind). *)
+type wgate = {
+  mutable w_kind : Netlist.gate_kind;
+  mutable w_ins : int array;
+  w_out : int;
+  mutable w_dead : bool;
+}
+
+type binding = Opaque | Const of bool | Alias of int
+
+let run_once nl =
+  let n = Netlist.net_count nl in
+  let binding = Array.make (max 1 n) Opaque in
+  (* Resolve through alias chains. *)
+  let rec repr net =
+    match binding.(net) with Alias t -> repr t | Const _ | Opaque -> net
+  in
+  let resolve net = binding.(repr net) in
+  let gates =
+    Netlist.fold_gates nl ~init:[] ~f:(fun acc kind ins out ->
+        { w_kind = kind; w_ins = Array.copy ins; w_out = out; w_dead = false }
+        :: acc)
+    |> List.rev |> Array.of_list
+  in
+  let dffs =
+    Netlist.fold_dffs nl ~init:[] ~f:(fun acc init ~d ~q -> (init, d, q) :: acc)
+    |> List.rev |> Array.of_list
+  in
+  let roms = Netlist.roms_list nl in
+  let rams = Netlist.rams_list nl in
+  (* --- constant propagation, identities and structural hashing --- *)
+  let changed = ref true in
+  let iterations = ref 0 in
+  while !changed && !iterations < 50 do
+    incr iterations;
+    changed := false;
+    let hash : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+    Array.iter
+      (fun g ->
+        if not g.w_dead then begin
+          (* Normalize inputs to representatives. *)
+          Array.iteri
+            (fun i x ->
+              let r = repr x in
+              if r <> x then begin
+                g.w_ins.(i) <- r;
+                changed := true
+              end)
+            g.w_ins;
+          let const i =
+            match resolve g.w_ins.(i) with Const b -> Some b | Alias _ | Opaque -> None
+          in
+          let bind b =
+            binding.(g.w_out) <- b;
+            g.w_dead <- true;
+            changed := true
+          in
+          let alias i = bind (Alias g.w_ins.(i)) in
+          (match g.w_kind, Array.length g.w_ins with
+          | Netlist.Const0, _ -> bind (Const false)
+          | Netlist.Const1, _ -> bind (Const true)
+          | Netlist.Buf, 1 -> (
+            match const 0 with Some b -> bind (Const b) | None -> alias 0)
+          | Netlist.Not, 1 -> (
+            match const 0 with
+            | Some b -> bind (Const (not b))
+            | None -> ())
+          | Netlist.And, 2 -> (
+            match const 0, const 1 with
+            | Some false, _ | _, Some false -> bind (Const false)
+            | Some true, Some true -> bind (Const true)
+            | Some true, None -> alias 1
+            | None, Some true -> alias 0
+            | None, None -> if g.w_ins.(0) = g.w_ins.(1) then alias 0)
+          | Netlist.Or, 2 -> (
+            match const 0, const 1 with
+            | Some true, _ | _, Some true -> bind (Const true)
+            | Some false, Some false -> bind (Const false)
+            | Some false, None -> alias 1
+            | None, Some false -> alias 0
+            | None, None -> if g.w_ins.(0) = g.w_ins.(1) then alias 0)
+          | Netlist.Xor, 2 -> (
+            match const 0, const 1 with
+            | Some a, Some b -> bind (Const (a <> b))
+            | Some false, None -> alias 1
+            | None, Some false -> alias 0
+            | Some true, None ->
+              g.w_kind <- Netlist.Not;
+              g.w_ins <- [| g.w_ins.(1) |];
+              changed := true
+            | None, Some true ->
+              g.w_kind <- Netlist.Not;
+              g.w_ins <- [| g.w_ins.(0) |];
+              changed := true
+            | None, None ->
+              if g.w_ins.(0) = g.w_ins.(1) then bind (Const false))
+          | Netlist.Nand, 2 -> (
+            match const 0, const 1 with
+            | Some false, _ | _, Some false -> bind (Const true)
+            | Some true, Some true -> bind (Const false)
+            | Some true, None ->
+              g.w_kind <- Netlist.Not;
+              g.w_ins <- [| g.w_ins.(1) |];
+              changed := true
+            | None, Some true ->
+              g.w_kind <- Netlist.Not;
+              g.w_ins <- [| g.w_ins.(0) |];
+              changed := true
+            | None, None -> ())
+          | Netlist.Nor, 2 -> (
+            match const 0, const 1 with
+            | Some true, _ | _, Some true -> bind (Const false)
+            | Some false, Some false -> bind (Const true)
+            | Some false, None ->
+              g.w_kind <- Netlist.Not;
+              g.w_ins <- [| g.w_ins.(1) |];
+              changed := true
+            | None, Some false ->
+              g.w_kind <- Netlist.Not;
+              g.w_ins <- [| g.w_ins.(0) |];
+              changed := true
+            | None, None -> ())
+          | Netlist.Mux2, 3 -> (
+            match const 0 with
+            | Some true -> alias 1
+            | Some false -> alias 2
+            | None -> (
+              if g.w_ins.(1) = g.w_ins.(2) then alias 1
+              else
+                match const 1, const 2 with
+                | Some true, Some false -> alias 0
+                | Some false, Some true ->
+                  g.w_kind <- Netlist.Not;
+                  g.w_ins <- [| g.w_ins.(0) |];
+                  changed := true
+                | _, _ -> ()))
+          | (Netlist.Buf | Netlist.Not | Netlist.And | Netlist.Or
+            | Netlist.Xor | Netlist.Nand | Netlist.Nor | Netlist.Mux2), _ ->
+            ());
+          (* Structural hashing on the surviving gate. *)
+          if not g.w_dead then begin
+            let key =
+              (match g.w_kind with
+              | Netlist.Buf -> "b"
+              | Netlist.Not -> "n"
+              | Netlist.And -> "a"
+              | Netlist.Or -> "o"
+              | Netlist.Xor -> "x"
+              | Netlist.Nand -> "A"
+              | Netlist.Nor -> "O"
+              | Netlist.Mux2 -> "m"
+              | Netlist.Const0 -> "0"
+              | Netlist.Const1 -> "1")
+              ^ String.concat ","
+                  (Array.to_list (Array.map string_of_int g.w_ins))
+            in
+            match Hashtbl.find_opt hash key with
+            | Some other when other <> g.w_out ->
+              binding.(g.w_out) <- Alias other;
+              g.w_dead <- true;
+              changed := true
+            | Some _ -> ()
+            | None -> Hashtbl.add hash key g.w_out
+          end
+        end)
+      gates;
+    (* DFFs whose input resolved to their own constant init value could
+       fold, but only when the init matches a constant d forever; fold
+       the simple case d = Const b with init = b. *)
+    Array.iteri
+      (fun i (init, d, q) ->
+        let d' = repr d in
+        if d' <> d then dffs.(i) <- (init, d', q);
+        match binding.(q), resolve d' with
+        | Opaque, Const b when b = init ->
+          binding.(q) <- Const b;
+          changed := true
+        | _, _ -> ())
+      dffs
+  done;
+  (* --- liveness ------------------------------------------------------- *)
+  let live = Array.make (max 1 n) false in
+  let driver_gate = Array.make (max 1 n) (-1) in
+  Array.iteri
+    (fun i g -> if not g.w_dead then driver_gate.(g.w_out) <- i)
+    gates;
+  let dff_of_q = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (_, _, q) ->
+      match binding.(q) with
+      | Opaque -> Hashtbl.replace dff_of_q q i
+      | Const _ | Alias _ -> ())
+    dffs;
+  let rom_of_out = Hashtbl.create 16 and ram_of_out = Hashtbl.create 16 in
+  List.iteri
+    (fun i (_, _, _, _, outs) ->
+      Array.iter (fun o -> Hashtbl.replace rom_of_out o i) outs)
+    roms;
+  List.iteri
+    (fun i (_, _, _, _, _, _, outs) ->
+      Array.iter (fun o -> Hashtbl.replace ram_of_out o i) outs)
+    rams;
+  let rec mark net =
+    let r = repr net in
+    if (not live.(r)) && resolve r = Opaque then begin
+      live.(r) <- true;
+      if driver_gate.(r) >= 0 then
+        Array.iter mark gates.(driver_gate.(r)).w_ins;
+      (match Hashtbl.find_opt dff_of_q r with
+      | Some i ->
+        let _, d, _ = dffs.(i) in
+        mark d
+      | None -> ());
+      (match Hashtbl.find_opt rom_of_out r with
+      | Some i ->
+        let _, _, _, addr, _ = List.nth roms i in
+        Array.iter mark addr
+      | None -> ());
+      match Hashtbl.find_opt ram_of_out r with
+      | Some i ->
+        let _, _, _, addr, wdata, we, _ = List.nth rams i in
+        Array.iter mark addr;
+        Array.iter mark wdata;
+        mark we
+      | None -> ()
+    end
+  in
+  List.iter
+    (fun (_, bus) -> Array.iter mark bus)
+    (Netlist.outputs_list nl);
+  (* --- rebuild --------------------------------------------------------- *)
+  let out = Netlist.create (Netlist.name nl) in
+  let map = Array.make (max 1 n) (-1) in
+  List.iter
+    (fun (name, bus) ->
+      let nb = Netlist.input_bus out name (Array.length bus) in
+      Array.iteri (fun i old -> map.(old) <- nb.(i)) bus)
+    (Netlist.inputs_list nl);
+  let const0 = lazy (Netlist.gate out Netlist.Const0 []) in
+  let const1 = lazy (Netlist.gate out Netlist.Const1 []) in
+  (* Pre-allocate new nets for every live opaque rep not already mapped. *)
+  for net = 0 to n - 1 do
+    if live.(net) && map.(net) < 0 then map.(net) <- Netlist.new_net out
+  done;
+  let lookup net =
+    let r = repr net in
+    match resolve r with
+    | Const false -> Lazy.force const0
+    | Const true -> Lazy.force const1
+    | Alias _ -> assert false
+    | Opaque ->
+      if map.(r) < 0 then map.(r) <- Netlist.new_net out;
+      map.(r)
+  in
+  Array.iter
+    (fun g ->
+      if (not g.w_dead) && live.(g.w_out) && map.(g.w_out) >= 0 then
+        Netlist.gate_into out g.w_kind
+          (Array.to_list (Array.map lookup g.w_ins))
+          ~dst:map.(g.w_out))
+    gates;
+  Array.iter
+    (fun (init, d, q) ->
+      match binding.(q) with
+      | Opaque when live.(q) ->
+        Netlist.dff_into out ~init ~q:map.(q) (lookup d)
+      | Opaque | Const _ | Alias _ -> ())
+    dffs;
+  List.iter
+    (fun (name, width, contents, addr, outs) ->
+      if Array.exists (fun o -> live.(repr o)) outs then begin
+        let fresh =
+          Netlist.rom out ~name ~width ~contents (Array.map lookup addr)
+        in
+        Array.iteri
+          (fun i o ->
+            let r = repr o in
+            if live.(r) && map.(r) >= 0 then
+              Netlist.buf_into out ~dst:map.(r) fresh.(i))
+          outs
+      end)
+    roms;
+  List.iter
+    (fun (name, words, width, addr, wdata, we, outs) ->
+      if Array.exists (fun o -> live.(repr o)) outs then begin
+        let fresh =
+          Netlist.ram out ~name ~words ~width
+            ~addr:(Array.map lookup addr)
+            ~wdata:(Array.map lookup wdata)
+            ~we:(lookup we)
+        in
+        Array.iteri
+          (fun i o ->
+            let r = repr o in
+            if live.(r) && map.(r) >= 0 then
+              Netlist.buf_into out ~dst:map.(r) fresh.(i))
+          outs
+      end)
+    rams;
+  List.iter
+    (fun (name, bus) -> Netlist.output_bus out name (Array.map lookup bus))
+    (Netlist.outputs_list nl);
+  let before = Netlist.counts nl and after = Netlist.counts out in
+  ( out,
+    {
+      gates_before = before.Netlist.combinational;
+      gates_after = after.Netlist.combinational;
+      dffs_before = before.Netlist.flip_flops;
+      dffs_after = after.Netlist.flip_flops;
+      equivalents_before = before.Netlist.gate_equivalents;
+      equivalents_after = after.Netlist.gate_equivalents;
+    } )
+
+(* Iterate whole passes: the rebuild introduces bridge buffers and the
+   alias collapse exposes further structural merges, so one pass is not
+   a fixpoint.  Loop until the weighted size stops improving. *)
+let run nl =
+  let rec go current first_stats passes =
+    let optimized, stats = run_once current in
+    let merged =
+      match first_stats with
+      | None -> stats
+      | Some f ->
+        {
+          f with
+          gates_after = stats.gates_after;
+          dffs_after = stats.dffs_after;
+          equivalents_after = stats.equivalents_after;
+        }
+    in
+    if passes >= 5 || stats.equivalents_after >= stats.equivalents_before then
+      (optimized, merged)
+    else go optimized (Some merged) (passes + 1)
+  in
+  go nl None 1

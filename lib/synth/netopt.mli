@@ -1,0 +1,34 @@
+(** Gate-level netlist optimization — the post-synthesis cleanup the
+    paper delegates to logic synthesis ("the combined netlists of
+    datapath and controller are also post-optimized by Synopsys DC to
+    perform gate-level netlist optimizations", section 6).
+
+    Passes, iterated to fixpoint:
+    - {b constant propagation} (gates with constant inputs fold;
+      identities like [and x 1 = x], [mux s a a = a], [not (not x) = x]
+      become aliases),
+    - {b structural hashing} (gates with the same kind and resolved
+      inputs merge),
+    - {b dead-logic elimination} (anything not reachable backwards from
+      a primary output, a live flip-flop or a macro-cell input is
+      dropped; flip-flop liveness is a fixpoint through the [d -> q]
+      edges).
+
+    The result is functionally equivalent by construction (aliases and
+    folds are local identities); the test suite additionally re-verifies
+    optimized netlists against reference simulations. *)
+
+type stats = {
+  gates_before : int;
+  gates_after : int;
+  dffs_before : int;
+  dffs_after : int;
+  equivalents_before : int;
+  equivalents_after : int;
+}
+
+(** [run nl] returns the optimized netlist (same name, same input and
+    output buses) and the reduction statistics. *)
+val run : Netlist.t -> Netlist.t * stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,130 @@
+type literal = Zero | One | Dash
+type cube = literal array
+
+let covers cube input =
+  let ok = ref true in
+  Array.iteri
+    (fun i lit ->
+      match lit with
+      | Dash -> ()
+      | One -> if not input.(i) then ok := false
+      | Zero -> if input.(i) then ok := false)
+    cube;
+  !ok
+
+let eval cubes input = List.exists (fun c -> covers c input) cubes
+
+let literal_count cubes =
+  List.fold_left
+    (fun acc c ->
+      Array.fold_left
+        (fun acc lit -> match lit with Dash -> acc | Zero | One -> acc + 1)
+        acc c)
+    0 cubes
+
+(* [a] absorbs [b] when every assignment matching [b] matches [a]. *)
+let absorbs a b =
+  let ok = ref true in
+  Array.iteri
+    (fun i la ->
+      match la, b.(i) with
+      | Dash, _ -> ()
+      | One, One | Zero, Zero -> ()
+      | One, (Zero | Dash) | Zero, (One | Dash) -> ok := false)
+    a;
+  !ok
+
+(* Merge cubes identical everywhere except one position holding
+   complementary fixed literals. *)
+let try_merge a b =
+  let n = Array.length a in
+  let diff = ref (-1) and compatible = ref true in
+  for i = 0 to n - 1 do
+    if a.(i) <> b.(i) then begin
+      match a.(i), b.(i) with
+      | One, Zero | Zero, One ->
+        if !diff >= 0 then compatible := false else diff := i
+      | _, _ -> compatible := false
+    end
+  done;
+  if !compatible && !diff >= 0 then begin
+    let merged = Array.copy a in
+    merged.(!diff) <- Dash;
+    Some merged
+  end
+  else None
+
+let minimize cubes =
+  let changed = ref true in
+  let current = ref cubes in
+  while !changed do
+    changed := false;
+    (* One pass of pairwise merging. *)
+    let arr = Array.of_list !current in
+    let removed = Array.make (Array.length arr) false in
+    let additions = ref [] in
+    for i = 0 to Array.length arr - 1 do
+      for j = i + 1 to Array.length arr - 1 do
+        if (not removed.(i)) && not removed.(j) then
+          match try_merge arr.(i) arr.(j) with
+          | Some m ->
+            removed.(i) <- true;
+            removed.(j) <- true;
+            additions := m :: !additions;
+            changed := true
+          | None ->
+            if absorbs arr.(i) arr.(j) then begin
+              removed.(j) <- true;
+              changed := true
+            end
+            else if absorbs arr.(j) arr.(i) then begin
+              removed.(i) <- true;
+              changed := true
+            end
+      done
+    done;
+    let survivors =
+      Array.to_list arr
+      |> List.filteri (fun i _ -> not removed.(i))
+    in
+    current := survivors @ !additions
+  done;
+  !current
+
+let to_gates nl ~inputs cubes =
+  let open Netlist in
+  match cubes with
+  | [] -> gate nl Const0 []
+  | _ ->
+    (* Share inverters across cubes. *)
+    let inverted = Hashtbl.create 8 in
+    let inv i =
+      match Hashtbl.find_opt inverted i with
+      | Some n -> n
+      | None ->
+        let n = gate nl Not [ inputs.(i) ] in
+        Hashtbl.replace inverted i n;
+        n
+    in
+    let rec tree kind = function
+      | [] -> assert false
+      | [ n ] -> n
+      | n1 :: n2 :: rest -> tree kind (gate nl kind [ n1; n2 ] :: rest)
+    in
+    let cube_net c =
+      let lits =
+        Array.to_list
+          (Array.mapi
+             (fun i lit ->
+               match lit with
+               | Dash -> None
+               | One -> Some inputs.(i)
+               | Zero -> Some (inv i))
+             c)
+        |> List.filter_map Fun.id
+      in
+      match lits with
+      | [] -> gate nl Const1 []
+      | ls -> tree And ls
+    in
+    tree Or (List.map cube_net cubes)

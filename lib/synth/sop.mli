@@ -1,0 +1,33 @@
+(** Two-level sum-of-products logic with cube merging.
+
+    Controller synthesis ("pure logic synthesis such as FSM synthesis",
+    section 6) represents next-state and output functions as cube lists
+    over an input vector and minimizes them by iterated distance-1 cube
+    merging (the combining step of Quine-McCluskey, without the covering
+    step — sufficient for the state-decode structures FSMs produce). *)
+
+type literal = Zero | One | Dash
+
+type cube = literal array
+(** One product term; index [i] constrains input [i]. *)
+
+(** [minimize cubes] merges cubes differing in exactly one literal and
+    absorbs cubes covered by another, to fixpoint.  The result covers
+    exactly the same minterms (the inputs where at least one cube
+    matches). *)
+val minimize : cube list -> cube list
+
+(** [covers cube input] — does [cube] match the boolean vector? *)
+val covers : cube -> bool array -> bool
+
+(** [eval cubes input] — the SOP value on an input vector. *)
+val eval : cube list -> bool array -> bool
+
+(** Count of literals (non-Dash entries) over all cubes, the classic
+    two-level cost measure. *)
+val literal_count : cube list -> int
+
+(** [to_gates nl ~inputs cubes] materializes the SOP over the given
+    input nets: inverters as needed, an AND tree per cube, an OR tree.
+    An empty cube list yields constant 0; an all-Dash cube constant 1. *)
+val to_gates : Netlist.t -> inputs:Netlist.net array -> cube list -> Netlist.net

@@ -1,0 +1,103 @@
+(* Shared random generators for the property-based tests. *)
+
+let format_gen =
+  QCheck.Gen.(
+    let* signedness = oneofl [ Fixed.Signed; Fixed.Unsigned ] in
+    let* width = int_range 1 14 in
+    let* frac = int_range (-3) 8 in
+    return (Fixed.format signedness ~width ~frac))
+
+let value_of_format_gen fmt =
+  QCheck.Gen.(
+    let lo = Fixed.min_mantissa fmt and hi = Fixed.max_mantissa fmt in
+    let* m = int_range (Int64.to_int lo) (Int64.to_int hi) in
+    return (Fixed.create fmt (Int64.of_int m)))
+
+let value_gen =
+  QCheck.Gen.(format_gen >>= fun fmt -> value_of_format_gen fmt)
+
+let pair_same_format_gen =
+  QCheck.Gen.(
+    let* fmt = format_gen in
+    let* a = value_of_format_gen fmt in
+    let* b = value_of_format_gen fmt in
+    return (a, b))
+
+let value_arb = QCheck.make ~print:Fixed.to_string value_gen
+
+let pair_arb =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "(%s, %s)" (Fixed.to_string a) (Fixed.to_string b))
+    QCheck.Gen.(
+      let* a = value_gen in
+      let* b = value_gen in
+      return (a, b))
+
+let pair_same_arb =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "(%s, %s)" (Fixed.to_string a) (Fixed.to_string b))
+    pair_same_format_gen
+
+let rounding_gen =
+  QCheck.Gen.oneofl [ Fixed.Truncate; Fixed.Round_nearest; Fixed.Round_even ]
+
+let overflow_gen = QCheck.Gen.oneofl [ Fixed.Wrap; Fixed.Saturate ]
+
+(* A random register/constant/input expression over given leaves, for
+   engine-equivalence properties.  Depth-bounded; formats kept small so
+   full-precision results stay within max_width. *)
+let rec expr_gen ~inputs ~regs depth =
+  QCheck.Gen.(
+    if depth = 0 then leaf_gen ~inputs ~regs
+    else
+      frequency
+        [
+          (2, leaf_gen ~inputs ~regs);
+          ( 5,
+            let* a = expr_gen ~inputs ~regs (depth - 1) in
+            let* b = expr_gen ~inputs ~regs (depth - 1) in
+            let* k = int_range 0 5 in
+            return
+              (match k with
+              | 0 -> Signal.add a b
+              | 1 -> Signal.sub a b
+              | 2 -> Signal.and_ a b
+              | 3 -> Signal.or_ a b
+              | 4 -> Signal.xor_ a b
+              | _ -> Signal.eq a b) );
+          ( 2,
+            let* a = expr_gen ~inputs ~regs (depth - 1) in
+            let* k = int_range 0 2 in
+            return
+              (match k with
+              | 0 -> Signal.neg a
+              | 1 -> Signal.not_ a
+              | _ -> Signal.abs_ a) );
+          ( 2,
+            let* s1 = expr_gen ~inputs ~regs (depth - 1) in
+            let* s2 = expr_gen ~inputs ~regs (depth - 1) in
+            let* a = expr_gen ~inputs ~regs (depth - 1) in
+            let* b = expr_gen ~inputs ~regs (depth - 1) in
+            return (Signal.mux2 (Signal.lt s1 s2) a b) );
+          ( 2,
+            let* a = expr_gen ~inputs ~regs (depth - 1) in
+            let* fmt = format_gen in
+            let* round = rounding_gen in
+            let* overflow = overflow_gen in
+            return (Signal.resize ~round ~overflow fmt a) );
+        ])
+
+and leaf_gen ~inputs ~regs =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          let* i = int_range 0 (Array.length inputs - 1) in
+          return (Signal.input inputs.(i)) );
+        ( 3,
+          let* i = int_range 0 (Array.length regs - 1) in
+          return (Signal.reg_q regs.(i)) );
+        (1, value_gen >>= fun v -> return (Signal.const v));
+      ])

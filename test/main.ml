@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "ocapi-ml"
+    [
+      ("fixed", Test_fixed.suite);
+      ("bitvector", Test_bitvector.suite);
+      ("signal", Test_signal.suite);
+      ("sfg", Test_sfg.suite);
+      ("fsm", Test_fsm.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("sched", Test_sched.suite);
+      ("engines", Test_engines.suite);
+      ("netlist", Test_netlist.suite);
+      ("sop", Test_sop.suite);
+      ("wordgen", Test_wordgen.suite);
+      ("synth", Test_synth.suite);
+      ("netopt", Test_netopt.suite);
+      ("hdl", Test_hdl.suite);
+      ("designs", Test_designs.suite);
+      ("integration", Test_integration.suite);
+      ("exhaustive", Test_exhaustive.suite);
+      ("opcomplete", Test_opcomplete.suite);
+      ("flow", Test_flow.suite);
+    ]

@@ -1,0 +1,173 @@
+(* Tests for the HDL generators: VHDL entities, test benches, Verilog. *)
+
+let s8 = Fixed.signed ~width:8 ~frac:0
+let clk = Clock.default
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let small_system () =
+  let acc = Signal.Reg.create clk "hdl_acc" s8 in
+  let hot = Signal.Reg.create clk "hdl_hot" Fixed.bit_format in
+  let step =
+    Sfg.build "hdl_step" (fun b ->
+        let x = Sfg.Builder.input b "x" s8 in
+        let sum = Signal.(x +: reg_q acc) in
+        Sfg.Builder.output b "y" (Signal.resize ~overflow:Fixed.Saturate s8 sum);
+        Sfg.Builder.assign_resized b acc sum;
+        Sfg.Builder.assign b hot Signal.(reg_q acc >: consti s8 50))
+  in
+  let cool =
+    Sfg.build "hdl_cool" (fun b ->
+        let x = Sfg.Builder.input b "x" s8 in
+        Sfg.Builder.output b "y" (Signal.resize s8 x);
+        Sfg.Builder.assign b acc (Signal.consti s8 0);
+        Sfg.Builder.assign b hot Signal.gnd)
+  in
+  let fsm = Fsm.create "hdl_ctl" in
+  let run = Fsm.initial fsm "running" in
+  let cooldown = Fsm.state fsm "cooling" in
+  Fsm.(run |-- cnd (Signal.reg_q hot) |+ cool |-> cooldown);
+  Fsm.(run |-- always |+ step |-> run);
+  Fsm.(cooldown |-- always |+ step |-> run);
+  let sys = Cycle_system.create "hdl_demo" in
+  let c = Cycle_system.add_timed sys "worker" fsm in
+  let stim = Cycle_system.add_input sys "x_in" s8 (fun cyc -> Some (Fixed.of_int s8 (cyc mod 9))) in
+  let p = Cycle_system.add_output sys "y_out" in
+  ignore (Cycle_system.connect sys (stim, "out") [ (c, "x") ]);
+  ignore (Cycle_system.connect sys (c, "y") [ (p, "in") ]);
+  sys
+
+let test_vhdl_structure () =
+  let sys = small_system () in
+  let files = Vhdl.of_system sys in
+  Alcotest.(check int) "two files" 2 (List.length files);
+  let comp = List.assoc "worker.vhd" files in
+  Alcotest.(check bool) "entity" true (contains comp "entity worker is");
+  Alcotest.(check bool) "numeric_std" true (contains comp "use ieee.numeric_std.all;");
+  Alcotest.(check bool) "state type" true
+    (contains comp "type state_t is (st_running, st_cooling);");
+  Alcotest.(check bool) "comb process" true (contains comp "comb : process");
+  Alcotest.(check bool) "seq process" true (contains comp "seq : process (clk)");
+  Alcotest.(check bool) "register declared" true
+    (contains comp "signal r_hdl_acc, r_hdl_acc_next : signed(7 downto 0);");
+  Alcotest.(check bool) "input port" true (contains comp "p_x : in signed(7 downto 0)");
+  Alcotest.(check bool) "output port" true (contains comp "o_y : out signed(7 downto 0)");
+  Alcotest.(check bool) "reset behaviour" true (contains comp "if rst = '1' then");
+  let top = List.assoc "hdl_demo_top.vhd" files in
+  Alcotest.(check bool) "top entity" true (contains top "entity hdl_demo is");
+  Alcotest.(check bool) "instance" true (contains top "u_worker : entity work.worker");
+  Alcotest.(check bool) "line count sane" true (Vhdl.line_count files > 60)
+
+let test_vhdl_ram_entity () =
+  let sys = small_system () in
+  ignore
+    (Cycle_system.add_untimed sys
+       (Ram_cell.kernel ~name:"hdl_test_ram" ~words:8 ~data_fmt:s8
+          ~addr_fmt:(Fixed.unsigned ~width:3 ~frac:0)));
+  let files = Vhdl.of_system sys in
+  Alcotest.(check bool) "ram entity emitted" true
+    (List.mem_assoc "ocapi_ram.vhd" files)
+
+let test_testbench () =
+  let sys = small_system () in
+  let vectors = Testbench.record sys ~cycles:10 in
+  Alcotest.(check int) "cycles" 10 vectors.Testbench.tb_cycles;
+  Alcotest.(check int) "inputs recorded" 10 (List.length vectors.Testbench.tb_inputs);
+  Alcotest.(check int) "outputs recorded" 10 (List.length vectors.Testbench.tb_outputs);
+  let tb = Testbench.vhdl sys vectors in
+  Alcotest.(check bool) "tb entity" true (contains tb "entity tb_hdl_demo is");
+  Alcotest.(check bool) "dut instance" true (contains tb "dut : entity work.hdl_demo");
+  Alcotest.(check bool) "clock gen" true (contains tb "clk <= not clk after 5 ns;");
+  Alcotest.(check bool) "has assertions" true (contains tb "assert o_y_out =");
+  Alcotest.(check bool) "completion report" true
+    (contains tb "report \"test bench completed: 10 cycles\"")
+
+let test_verilog_netlist () =
+  let sys = small_system () in
+  let nl, _ = Synthesize.synthesize sys in
+  let v = Verilog.of_netlist nl in
+  Alcotest.(check bool) "module" true (contains v "module hdl_demo (");
+  Alcotest.(check bool) "input" true (contains v "input wire [7:0] x_in");
+  Alcotest.(check bool) "output" true (contains v "output wire [7:0] y_out");
+  Alcotest.(check bool) "ff always" true (contains v "always @(posedge clk)");
+  Alcotest.(check bool) "endmodule" true (contains v "endmodule");
+  Alcotest.(check bool) "line count" true (Verilog.line_count v > 100)
+
+let test_flow_emit_files () =
+  let sys = small_system () in
+  let dir = Filename.temp_file "ocapi_hdl" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let paths = Flow.emit_vhdl sys ~dir in
+  Alcotest.(check int) "files written" 2 (List.length paths);
+  List.iter (fun p -> Alcotest.(check bool) p true (Sys.file_exists p)) paths;
+  let tb = Flow.emit_testbench sys ~dir ~cycles:5 in
+  Alcotest.(check bool) "tb written" true (Sys.file_exists tb);
+  let _, _, netlist_path = Flow.synthesize_to_verilog sys ~dir in
+  Alcotest.(check bool) "netlist written" true (Sys.file_exists netlist_path);
+  let sim_path = Flow.emit_ocaml_simulator sys ~dir ~cycles:5 in
+  Alcotest.(check bool) "simulator written" true (Sys.file_exists sim_path)
+
+let suite =
+  [
+    Alcotest.test_case "vhdl structure" `Quick test_vhdl_structure;
+    Alcotest.test_case "vhdl ram entity" `Quick test_vhdl_ram_entity;
+    Alcotest.test_case "testbench generation" `Quick test_testbench;
+    Alcotest.test_case "verilog netlist" `Quick test_verilog_netlist;
+    Alcotest.test_case "flow file emission" `Quick test_flow_emit_files;
+  ]
+
+let test_vcd () =
+  let sys = small_system () in
+  let vcd = Vcd.record sys ~cycles:12 in
+  Alcotest.(check bool) "header" true (contains vcd "$enddefinitions $end");
+  Alcotest.(check bool) "var decl" true (contains vcd "$var wire 8");
+  Alcotest.(check bool) "time marks" true (contains vcd "#11");
+  Alcotest.(check bool) "binary values" true (contains vcd "b0000");
+  (* both nets appear as $var declarations *)
+  let count_vars s =
+    let re = "$var" in
+    let rec go i acc =
+      if i + 4 > String.length s then acc
+      else if String.sub s i 4 = re then go (i + 4) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "two nets" 2 (count_vars vcd)
+
+let test_fsm_dot () =
+  let sys = small_system () in
+  ignore sys;
+  let eof = Signal.Reg.create clk "dot_eof" Fixed.bit_format in
+  let f = Fsm.create "dot_f" in
+  let s0 = Fsm.initial f "s0" and s1 = Fsm.state f "s1" in
+  Fsm.(s0 |-- always |+ Sfg.nop "sfg1" |-> s1);
+  Fsm.(s1 |-- cnd (Signal.reg_q eof) |+ Sfg.nop "sfg2" |-> s0);
+  let dot = Fsm.to_dot f in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph \"dot_f\"");
+  Alcotest.(check bool) "initial double circle" true
+    (contains dot "\"s0\" [shape=doublecircle];");
+  Alcotest.(check bool) "edge with action" true (contains dot "sfg1");
+  Alcotest.(check bool) "guard label" true (contains dot "dot_eof")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "vcd dump" `Quick test_vcd;
+      Alcotest.test_case "fsm dot export" `Quick test_fsm_dot;
+    ]
+
+let test_vhdl_netlist () =
+  let sys = small_system () in
+  let nl, _ = Synthesize.synthesize sys in
+  let v = Vhdl.of_netlist nl in
+  Alcotest.(check bool) "entity" true (contains v "entity hdl_demo_netlist is");
+  Alcotest.(check bool) "gates" true (contains v " and ");
+  Alcotest.(check bool) "register process" true (contains v "registers : process (clk)");
+  Alcotest.(check bool) "ends" true (contains v "end architecture structural;")
+
+let suite = suite @ [ Alcotest.test_case "vhdl netlist view" `Quick test_vhdl_netlist ]

@@ -1,0 +1,88 @@
+(* Cross-layer integration: the Flow facade, the Metrics harness, and
+   the full Table 1 engine set exercised on HCOR. *)
+
+let hcor () =
+  let bits = Dect_stimuli.burst ~seed:19 () in
+  let tx = Dect_stimuli.transmit bits in
+  let rx = Dect_stimuli.channel ~taps:[| 1.0; 0.1 |] ~snr_db:30.0 ~seed:19 tx in
+  let samples =
+    Dect_stimuli.quantize Hcor.sample_format (Array.map (fun x -> x /. 2.0) rx)
+  in
+  (Hcor.create ~stimulus:(Hcor.sample_stimulus samples) ()).Hcor.system
+
+let test_flow_check_clean () =
+  let sys = hcor () in
+  let report = Flow.check sys in
+  if not (Flow.check_clean report) then
+    Alcotest.failf "HCOR check not clean: %s"
+      (Format.asprintf "%a" Flow.pp_check_report report)
+
+let test_engines_agree_on_hcor () =
+  let sys = hcor () in
+  Alcotest.(check (list string)) "agree" [] (Flow.engines_agree sys ~cycles:120)
+
+let test_metrics_all_engines () =
+  let sys = hcor () in
+  let cycles = 150 in
+  let ms =
+    List.map
+      (fun e -> Metrics.measure ~ocaml_source_lines:140 sys e ~cycles)
+      Metrics.all_engines
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "cycles" cycles m.Metrics.m_cycles;
+      Alcotest.(check bool)
+        (Metrics.engine_label m.Metrics.m_engine ^ " speed positive")
+        true
+        (m.Metrics.m_cycles_per_second > 0.);
+      Alcotest.(check bool) "source lines recorded" true (m.Metrics.m_source_lines > 0))
+    ms;
+  (* The paper's ordering claims (C2): compiled is the fastest of the
+     software engines and the gate-level netlist is the slowest. *)
+  let speed e =
+    let m = List.find (fun m -> m.Metrics.m_engine = e) ms in
+    m.Metrics.m_cycles_per_second
+  in
+  Alcotest.(check bool) "compiled > interpreted" true
+    (speed Metrics.Compiled_code > speed Metrics.Interpreted_objects);
+  Alcotest.(check bool) "interpreted > netlist" true
+    (speed Metrics.Interpreted_objects > speed Metrics.Gate_netlist);
+  Alcotest.(check bool) "compiled > rtl" true
+    (speed Metrics.Compiled_code > speed Metrics.Rt_event_driven);
+  (* C1: the OCaml capture is several times smaller than generated VHDL. *)
+  let lines e =
+    (List.find (fun m -> m.Metrics.m_engine = e) ms).Metrics.m_source_lines
+  in
+  Alcotest.(check bool) "capture smaller than RT VHDL" true
+    (lines Metrics.Rt_event_driven > 2 * 140)
+
+let test_metrics_table_rendering () =
+  let sys = hcor () in
+  let m = Metrics.measure ~ocaml_source_lines:100 sys Metrics.Interpreted_objects ~cycles:50 in
+  let text = Format.asprintf "%a" (fun ppf -> Metrics.pp_table ppf ~design:"HCOR" ~gates:7000) [ m ] in
+  let contains needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has design" true (contains "HCOR");
+  Alcotest.(check bool) "has engine label" true (contains "interpreted obj");
+  Alcotest.(check bool) "has size" true (contains "7K")
+
+let test_source_line_counter () =
+  let tmp = Filename.temp_file "ocapi_lines" ".txt" in
+  let oc = open_out tmp in
+  output_string oc "a\nb\nc\n";
+  close_out oc;
+  Alcotest.(check int) "three lines" 3 (Metrics.source_lines_of_files [ tmp ]);
+  Sys.remove tmp
+
+let suite =
+  [
+    Alcotest.test_case "flow check clean on HCOR" `Quick test_flow_check_clean;
+    Alcotest.test_case "engines agree on HCOR" `Quick test_engines_agree_on_hcor;
+    Alcotest.test_case "metrics across all engines" `Slow test_metrics_all_engines;
+    Alcotest.test_case "metrics table rendering" `Quick test_metrics_table_rendering;
+    Alcotest.test_case "source line counter" `Quick test_source_line_counter;
+  ]

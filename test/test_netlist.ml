@@ -1,0 +1,214 @@
+(* Tests for the gate-level netlist substrate and its simulator. *)
+
+let test_gate_logic () =
+  let nl = Netlist.create "gates" in
+  let a = Netlist.input_bus nl "a" 1 and b = Netlist.input_bus nl "b" 1 in
+  let outs =
+    [
+      ("and_o", Netlist.gate nl Netlist.And [ a.(0); b.(0) ]);
+      ("or_o", Netlist.gate nl Netlist.Or [ a.(0); b.(0) ]);
+      ("xor_o", Netlist.gate nl Netlist.Xor [ a.(0); b.(0) ]);
+      ("nand_o", Netlist.gate nl Netlist.Nand [ a.(0); b.(0) ]);
+      ("nor_o", Netlist.gate nl Netlist.Nor [ a.(0); b.(0) ]);
+      ("not_o", Netlist.gate nl Netlist.Not [ a.(0) ]);
+      ("buf_o", Netlist.gate nl Netlist.Buf [ a.(0) ]);
+      ("c1", Netlist.gate nl Netlist.Const1 []);
+    ]
+  in
+  List.iter (fun (n, net) -> Netlist.output_bus nl n [| net |]) outs;
+  let sim = Netlist.Sim.create nl in
+  let truth av bv expect_and expect_or expect_xor =
+    Netlist.Sim.set_input sim "a" (if av then 1L else 0L);
+    Netlist.Sim.set_input sim "b" (if bv then 1L else 0L);
+    Netlist.Sim.settle sim;
+    let g n = Netlist.Sim.get_output sim ~signed:false n = 1L in
+    Alcotest.(check bool) "and" expect_and (g "and_o");
+    Alcotest.(check bool) "or" expect_or (g "or_o");
+    Alcotest.(check bool) "xor" expect_xor (g "xor_o");
+    Alcotest.(check bool) "nand" (not expect_and) (g "nand_o");
+    Alcotest.(check bool) "nor" (not expect_or) (g "nor_o");
+    Alcotest.(check bool) "not" (not av) (g "not_o");
+    Alcotest.(check bool) "buf" av (g "buf_o");
+    Alcotest.(check bool) "const" true (g "c1")
+  in
+  truth false false false false false;
+  truth true false false true true;
+  truth false true false true true;
+  truth true true true true false
+
+let test_mux_gate () =
+  let nl = Netlist.create "mux" in
+  let s = Netlist.input_bus nl "s" 1 in
+  let a = Netlist.input_bus nl "a" 1 and b = Netlist.input_bus nl "b" 1 in
+  Netlist.output_bus nl "o" [| Netlist.gate nl Netlist.Mux2 [ s.(0); a.(0); b.(0) ] |];
+  let sim = Netlist.Sim.create nl in
+  Netlist.Sim.set_input sim "a" 1L;
+  Netlist.Sim.set_input sim "b" 0L;
+  Netlist.Sim.set_input sim "s" 1L;
+  Netlist.Sim.settle sim;
+  Alcotest.(check int64) "sel=1 -> a" 1L (Netlist.Sim.get_output sim ~signed:false "o");
+  Netlist.Sim.set_input sim "s" 0L;
+  Netlist.Sim.settle sim;
+  Alcotest.(check int64) "sel=0 -> b" 0L (Netlist.Sim.get_output sim ~signed:false "o")
+
+let test_dff_and_clock () =
+  let nl = Netlist.create "dffs" in
+  let d = Netlist.input_bus nl "d" 1 in
+  let q = Netlist.dff nl ~init:true d.(0) in
+  Netlist.output_bus nl "q" [| q |];
+  let sim = Netlist.Sim.create nl in
+  Netlist.Sim.settle sim;
+  Alcotest.(check int64) "init" 1L (Netlist.Sim.get_output sim ~signed:false "q");
+  Netlist.Sim.set_input sim "d" 0L;
+  Netlist.Sim.settle sim;
+  Alcotest.(check int64) "not yet latched" 1L
+    (Netlist.Sim.get_output sim ~signed:false "q");
+  Netlist.Sim.clock sim;
+  Alcotest.(check int64) "latched" 0L (Netlist.Sim.get_output sim ~signed:false "q")
+
+let test_dff_en () =
+  let nl = Netlist.create "dffen" in
+  let d = Netlist.input_bus nl "d" 1 and en = Netlist.input_bus nl "en" 1 in
+  let q = Netlist.dff_en nl ~enable:en.(0) d.(0) in
+  Netlist.output_bus nl "q" [| q |];
+  let sim = Netlist.Sim.create nl in
+  Netlist.Sim.set_input sim "d" 1L;
+  Netlist.Sim.set_input sim "en" 0L;
+  Netlist.Sim.settle sim;
+  Netlist.Sim.clock sim;
+  Alcotest.(check int64) "held" 0L (Netlist.Sim.get_output sim ~signed:false "q");
+  Netlist.Sim.set_input sim "en" 1L;
+  Netlist.Sim.settle sim;
+  Netlist.Sim.clock sim;
+  Alcotest.(check int64) "loaded" 1L (Netlist.Sim.get_output sim ~signed:false "q")
+
+let test_rom_macro () =
+  let nl = Netlist.create "roms" in
+  let addr = Netlist.input_bus nl "addr" 3 in
+  let out = Netlist.rom nl ~name:"t" ~width:8 ~contents:(Array.init 5 (fun i -> Int64.of_int (i * 11))) addr in
+  Netlist.output_bus nl "data" out;
+  let sim = Netlist.Sim.create nl in
+  Netlist.Sim.set_input sim "addr" 3L;
+  Netlist.Sim.settle sim;
+  Alcotest.(check int64) "read" 33L (Netlist.Sim.get_output sim ~signed:false "data");
+  (* wrap modulo size *)
+  Netlist.Sim.set_input sim "addr" 6L;
+  Netlist.Sim.settle sim;
+  Alcotest.(check int64) "wrap" 11L (Netlist.Sim.get_output sim ~signed:false "data")
+
+let test_ram_macro () =
+  let nl = Netlist.create "rams" in
+  let addr = Netlist.input_bus nl "addr" 3 in
+  let wdata = Netlist.input_bus nl "wdata" 8 in
+  let we = Netlist.input_bus nl "we" 1 in
+  let rdata = Netlist.ram nl ~name:"m" ~words:8 ~width:8 ~addr ~wdata ~we:we.(0) in
+  Netlist.output_bus nl "rdata" rdata;
+  let sim = Netlist.Sim.create nl in
+  Netlist.Sim.set_input sim "addr" 2L;
+  Netlist.Sim.set_input sim "wdata" 99L;
+  Netlist.Sim.set_input sim "we" 1L;
+  Netlist.Sim.settle sim;
+  Alcotest.(check int64) "read-before-write" 0L
+    (Netlist.Sim.get_output sim ~signed:false "rdata");
+  Netlist.Sim.clock sim;
+  Alcotest.(check int64) "after clock" 99L
+    (Netlist.Sim.get_output sim ~signed:false "rdata");
+  (* no write when we=0 *)
+  Netlist.Sim.set_input sim "wdata" 5L;
+  Netlist.Sim.set_input sim "we" 0L;
+  Netlist.Sim.settle sim;
+  Netlist.Sim.clock sim;
+  Alcotest.(check int64) "unchanged" 99L
+    (Netlist.Sim.get_output sim ~signed:false "rdata")
+
+let test_buses_and_signed_read () =
+  let nl = Netlist.create "bus" in
+  let a = Netlist.input_bus nl "a" 4 in
+  Netlist.output_bus nl "o" (Netlist.extend_bus nl ~signed:true a 8);
+  let sim = Netlist.Sim.create nl in
+  Netlist.Sim.set_input sim "a" (-3L) (* 1101 *);
+  Netlist.Sim.settle sim;
+  Alcotest.(check int64) "sign extended" (-3L)
+    (Netlist.Sim.get_output sim ~signed:true "o");
+  Alcotest.(check int64) "raw bits" 253L
+    (Netlist.Sim.get_output sim ~signed:false "o")
+
+let test_const_bus () =
+  let nl = Netlist.create "constb" in
+  Netlist.output_bus nl "o" (Netlist.const_bus nl ~width:8 0xA5L);
+  let sim = Netlist.Sim.create nl in
+  Netlist.Sim.settle sim;
+  Alcotest.(check int64) "constant" 0xA5L
+    (Netlist.Sim.get_output sim ~signed:false "o")
+
+let test_double_driver_rejected () =
+  let nl = Netlist.create "dd" in
+  let a = Netlist.input_bus nl "a" 1 in
+  let o = Netlist.gate nl Netlist.Buf [ a.(0) ] in
+  match Netlist.buf_into nl ~dst:o a.(0) with
+  | exception Netlist.Netlist_error _ -> ()
+  | _ -> Alcotest.fail "double driver accepted"
+
+let test_oscillation_detected () =
+  (* A ring of one inverter. *)
+  let nl = Netlist.create "osc" in
+  let loop_net = Netlist.new_net nl in
+  let inv = Netlist.gate nl Netlist.Not [ loop_net ] in
+  Netlist.buf_into nl ~dst:loop_net inv;
+  Netlist.output_bus nl "o" [| inv |];
+  let sim = Netlist.Sim.create nl in
+  match Netlist.Sim.settle sim with
+  | exception Netlist.Sim.Did_not_settle _ -> ()
+  | () -> Alcotest.fail "oscillation not detected"
+
+let test_counts () =
+  let nl = Netlist.create "counting" in
+  let a = Netlist.input_bus nl "a" 1 in
+  let x = Netlist.gate nl Netlist.Xor [ a.(0); a.(0) ] in
+  let _q = Netlist.dff nl x in
+  ignore (Netlist.rom nl ~name:"r" ~width:4 ~contents:[| 1L; 2L |] a);
+  let c = Netlist.counts nl in
+  Alcotest.(check int) "comb" 1 c.Netlist.combinational;
+  Alcotest.(check int) "dff" 1 c.Netlist.flip_flops;
+  Alcotest.(check int) "rom bits" 8 c.Netlist.rom_bits;
+  Alcotest.(check bool) "equivalents include dff weight" true
+    (c.Netlist.gate_equivalents >= 2 + 6)
+
+let suite =
+  [
+    Alcotest.test_case "gate truth tables" `Quick test_gate_logic;
+    Alcotest.test_case "mux gate" `Quick test_mux_gate;
+    Alcotest.test_case "dff and clock" `Quick test_dff_and_clock;
+    Alcotest.test_case "dff with enable" `Quick test_dff_en;
+    Alcotest.test_case "rom macro" `Quick test_rom_macro;
+    Alcotest.test_case "ram macro" `Quick test_ram_macro;
+    Alcotest.test_case "buses and signed read" `Quick test_buses_and_signed_read;
+    Alcotest.test_case "const bus" `Quick test_const_bus;
+    Alcotest.test_case "double driver rejected" `Quick test_double_driver_rejected;
+    Alcotest.test_case "oscillation detected" `Quick test_oscillation_detected;
+    Alcotest.test_case "gate counts" `Quick test_counts;
+  ]
+
+let test_combinational_depth () =
+  let nl = Netlist.create "depth" in
+  let a = Netlist.input_bus nl "a" 1 in
+  (* A chain of 5 inverters, then a register, then 2 more. *)
+  let rec chain net k = if k = 0 then net else chain (Netlist.gate nl Netlist.Not [ net ]) (k - 1) in
+  let five = chain a.(0) 5 in
+  let q = Netlist.dff nl five in
+  let two = chain q 2 in
+  Netlist.output_bus nl "o" [| two |];
+  let depth, cyclic = Netlist.combinational_depth nl in
+  Alcotest.(check int) "longest chain" 5 depth;
+  Alcotest.(check int) "no cycles" 0 cyclic;
+  (* A gated false cycle is excluded but counted. *)
+  let nl2 = Netlist.create "depth2" in
+  let b = Netlist.input_bus nl2 "b" 1 in
+  let loop_net = Netlist.new_net nl2 in
+  let g1 = Netlist.gate nl2 Netlist.And [ b.(0); loop_net ] in
+  Netlist.buf_into nl2 ~dst:loop_net g1;
+  Netlist.output_bus nl2 "o" [| g1 |];
+  let _, cyclic2 = Netlist.combinational_depth nl2 in
+  Alcotest.(check int) "cycle detected" 2 cyclic2
+
+let suite = suite @ [ Alcotest.test_case "combinational depth" `Quick test_combinational_depth ]

@@ -1,0 +1,223 @@
+(* Tests for the gate-level netlist optimizer. *)
+
+let s8 = Fixed.signed ~width:8 ~frac:0
+let clk = Clock.default
+
+let sim_output nl ~inputs ~out =
+  let sim = Netlist.Sim.create nl in
+  List.iter (fun (name, v) -> Netlist.Sim.set_input sim name v) inputs;
+  Netlist.Sim.settle sim;
+  Netlist.Sim.get_output sim ~signed:false out
+
+let test_constant_folding () =
+  let nl = Netlist.create "cf" in
+  let a = Netlist.input_bus nl "a" 1 in
+  let zero = Netlist.gate nl Netlist.Const0 [] in
+  let one = Netlist.gate nl Netlist.Const1 [] in
+  (* and(a, 1) = a; or(a, 0) = a; and(a, 0) = 0; xor(a, 1) = not a. *)
+  Netlist.output_bus nl "k1" [| Netlist.gate nl Netlist.And [ a.(0); one ] |];
+  Netlist.output_bus nl "k2" [| Netlist.gate nl Netlist.Or [ a.(0); zero ] |];
+  Netlist.output_bus nl "k3" [| Netlist.gate nl Netlist.And [ a.(0); zero ] |];
+  Netlist.output_bus nl "k4" [| Netlist.gate nl Netlist.Xor [ a.(0); one ] |];
+  let opt, st = Netopt.run nl in
+  Alcotest.(check bool) "gates removed" true
+    (st.Netopt.gates_after < st.Netopt.gates_before);
+  List.iter
+    (fun bit ->
+      let v name = sim_output opt ~inputs:[ ("a", bit) ] ~out:name in
+      Alcotest.(check int64) "a and 1" bit (v "k1");
+      Alcotest.(check int64) "a or 0" bit (v "k2");
+      Alcotest.(check int64) "a and 0" 0L (v "k3");
+      Alcotest.(check int64) "a xor 1" (Int64.logxor bit 1L) (v "k4"))
+    [ 0L; 1L ]
+
+let test_structural_hashing () =
+  let nl = Netlist.create "sh" in
+  let a = Netlist.input_bus nl "a" 1 and b = Netlist.input_bus nl "b" 1 in
+  (* The same AND built twice, plus an XOR of the two copies (== 0). *)
+  let x1 = Netlist.gate nl Netlist.And [ a.(0); b.(0) ] in
+  let x2 = Netlist.gate nl Netlist.And [ a.(0); b.(0) ] in
+  Netlist.output_bus nl "z" [| Netlist.gate nl Netlist.Xor [ x1; x2 ] |];
+  let opt, _ = Netopt.run nl in
+  (* xor(x, x) folds to constant zero; almost everything disappears. *)
+  Alcotest.(check bool) "collapsed" true ((Netlist.counts opt).Netlist.combinational <= 2);
+  List.iter
+    (fun (av, bv) ->
+      Alcotest.(check int64) "always zero" 0L
+        (sim_output opt ~inputs:[ ("a", av); ("b", bv) ] ~out:"z"))
+    [ (0L, 0L); (1L, 0L); (0L, 1L); (1L, 1L) ]
+
+let test_dead_logic_elimination () =
+  let nl = Netlist.create "dce" in
+  let a = Netlist.input_bus nl "a" 1 in
+  let live = Netlist.gate nl Netlist.Not [ a.(0) ] in
+  (* A whole dead cone: gates and a flip-flop nobody reads. *)
+  let d1 = Netlist.gate nl Netlist.And [ a.(0); a.(0) ] in
+  let d2 = Netlist.gate nl Netlist.Xor [ d1; a.(0) ] in
+  ignore (Netlist.dff nl d2);
+  Netlist.output_bus nl "y" [| live |];
+  let opt, st = Netopt.run nl in
+  Alcotest.(check int) "one gate survives" 1 (Netlist.counts opt).Netlist.combinational;
+  Alcotest.(check int) "dff removed" 0 (Netlist.counts opt).Netlist.flip_flops;
+  Alcotest.(check int) "dffs_before" 1 st.Netopt.dffs_before
+
+let test_live_feedback_kept () =
+  (* A counter bit: dff feeding its own inverter must survive. *)
+  let nl = Netlist.create "fb" in
+  let q = Netlist.new_net nl in
+  let d = Netlist.gate nl Netlist.Not [ q ] in
+  Netlist.dff_into nl ~q d;
+  Netlist.output_bus nl "t" [| q |];
+  let opt, _ = Netopt.run nl in
+  Alcotest.(check int) "dff kept" 1 (Netlist.counts opt).Netlist.flip_flops;
+  let sim = Netlist.Sim.create opt in
+  Netlist.Sim.settle sim;
+  let v0 = Netlist.Sim.get_output sim ~signed:false "t" in
+  Netlist.Sim.clock sim;
+  let v1 = Netlist.Sim.get_output sim ~signed:false "t" in
+  Netlist.Sim.clock sim;
+  let v2 = Netlist.Sim.get_output sim ~signed:false "t" in
+  Alcotest.(check bool) "toggles" true (v0 <> v1 && v0 = v2)
+
+let test_mux_identities () =
+  let nl = Netlist.create "mux" in
+  let s = Netlist.input_bus nl "s" 1 in
+  let a = Netlist.input_bus nl "a" 1 and b = Netlist.input_bus nl "b" 1 in
+  let one = Netlist.gate nl Netlist.Const1 [] in
+  let zero = Netlist.gate nl Netlist.Const0 [] in
+  Netlist.output_bus nl "m_s1" [| Netlist.gate nl Netlist.Mux2 [ one; a.(0); b.(0) ] |];
+  Netlist.output_bus nl "m_eq" [| Netlist.gate nl Netlist.Mux2 [ s.(0); a.(0); a.(0) ] |];
+  Netlist.output_bus nl "m_sel" [| Netlist.gate nl Netlist.Mux2 [ s.(0); one; zero ] |];
+  let opt, _ = Netopt.run nl in
+  Alcotest.(check int) "all muxes fold" 0
+    (Netlist.fold_gates opt ~init:0 ~f:(fun acc kind _ _ ->
+         match kind with Netlist.Mux2 -> acc + 1 | _ -> acc));
+  let v out inputs = sim_output opt ~inputs ~out in
+  Alcotest.(check int64) "sel const" 1L
+    (v "m_s1" [ ("s", 0L); ("a", 1L); ("b", 0L) ]);
+  Alcotest.(check int64) "same branches" 1L
+    (v "m_eq" [ ("s", 0L); ("a", 1L); ("b", 0L) ]);
+  Alcotest.(check int64) "bool mux = sel" 1L
+    (v "m_sel" [ ("s", 1L); ("a", 0L); ("b", 0L) ])
+
+let test_idempotent () =
+  (* Optimizing an already-optimized netlist changes nothing more. *)
+  let bits = Dect_stimuli.burst ~seed:13 () in
+  let tx = Dect_stimuli.transmit bits in
+  let samples =
+    Dect_stimuli.quantize Hcor.sample_format (Array.map (fun x -> x /. 2.5) tx)
+  in
+  let sys = (Hcor.create ~stimulus:(Hcor.sample_stimulus samples) ()).Hcor.system in
+  let nl, _ = Synthesize.synthesize sys in
+  let opt1, st1 = Netopt.run nl in
+  let _, st2 = Netopt.run opt1 in
+  Alcotest.(check bool) "first pass shrinks" true
+    (st1.Netopt.equivalents_after < st1.Netopt.equivalents_before);
+  Alcotest.(check bool) "second pass stable (within buffers)" true
+    (st2.Netopt.equivalents_after = st2.Netopt.equivalents_before)
+
+let test_optimized_verify_hcor () =
+  let bits = Dect_stimuli.burst ~seed:21 () in
+  let tx = Dect_stimuli.transmit bits in
+  let rx = Dect_stimuli.channel ~snr_db:28.0 ~seed:21 tx in
+  let samples =
+    Dect_stimuli.quantize Hcor.sample_format (Array.map (fun x -> x /. 2.0) rx)
+  in
+  let sys = (Hcor.create ~stimulus:(Hcor.sample_stimulus samples) ()).Hcor.system in
+  let r = Synthesize.verify ~optimize:true sys ~cycles:150 in
+  Alcotest.(check int) "no mismatches" 0 (List.length r.Synthesize.mismatches);
+  Alcotest.(check bool) "vectors" true (r.Synthesize.vectors_checked >= 700)
+
+(* A randomized alu-style component: the optimized netlist must agree
+   with the reference on every cycle. *)
+let test_optimized_verify_random () =
+  let rng = Random.State.make [| 77 |] in
+  for trial = 1 to 3 do
+    let acc = Signal.Reg.create clk (Printf.sprintf "no_acc%d" trial) s8 in
+    let sfg =
+      Sfg.build (Printf.sprintf "no_sfg%d" trial) (fun b ->
+          let x = Sfg.Builder.input b "x" s8 in
+          let t1 = Signal.(x *: consti s8 (1 + Random.State.int rng 5)) in
+          let t2 = Signal.(reg_q acc -: x) in
+          Sfg.Builder.output b "y"
+            (Signal.resize ~overflow:Fixed.Saturate s8 Signal.(t1 +: t2));
+          Sfg.Builder.assign_resized b acc Signal.(reg_q acc +: x))
+    in
+    let fsm = Fsm.create (Printf.sprintf "no_ctl%d" trial) in
+    let s0 = Fsm.initial fsm "s0" in
+    Fsm.(s0 |-- always |+ sfg |-> s0);
+    let sys = Cycle_system.create (Printf.sprintf "no_sys%d" trial) in
+    let c = Cycle_system.add_timed sys "c" fsm in
+    let stim =
+      Cycle_system.add_input sys "x_in" s8 (fun cyc ->
+          Some (Fixed.of_int s8 ((cyc * 31 mod 140) - 70)))
+    in
+    let p = Cycle_system.add_output sys "y_out" in
+    ignore (Cycle_system.connect sys (stim, "out") [ (c, "x") ]);
+    ignore (Cycle_system.connect sys (c, "y") [ (p, "in") ]);
+    let r = Synthesize.verify ~optimize:true sys ~cycles:60 in
+    Alcotest.(check int) "no mismatches" 0 (List.length r.Synthesize.mismatches)
+  done
+
+
+(* Property: a random gate network (with flip-flops and feedback through
+   them) simulates identically before and after optimization, over
+   random stimulus sequences. *)
+let test_random_networks_equivalent () =
+  let rng = Random.State.make [| 2024 |] in
+  for _trial = 1 to 40 do
+    let nl = Netlist.create "rand" in
+    let a = Netlist.input_bus nl "a" 4 in
+    let pool = ref (Array.to_list a) in
+    let pick () =
+      let l = !pool in
+      List.nth l (Random.State.int rng (List.length l))
+    in
+    (* Sprinkle constants into the pool to exercise folding. *)
+    pool := Netlist.gate nl Netlist.Const0 [] :: Netlist.gate nl Netlist.Const1 [] :: !pool;
+    for _ = 1 to 25 do
+      let n =
+        match Random.State.int rng 8 with
+        | 0 -> Netlist.gate nl Netlist.Not [ pick () ]
+        | 1 -> Netlist.gate nl Netlist.And [ pick (); pick () ]
+        | 2 -> Netlist.gate nl Netlist.Or [ pick (); pick () ]
+        | 3 -> Netlist.gate nl Netlist.Xor [ pick (); pick () ]
+        | 4 -> Netlist.gate nl Netlist.Nand [ pick (); pick () ]
+        | 5 -> Netlist.gate nl Netlist.Nor [ pick (); pick () ]
+        | 6 -> Netlist.gate nl Netlist.Mux2 [ pick (); pick (); pick () ]
+        | _ -> Netlist.dff nl ~init:(Random.State.bool rng) (pick ())
+      in
+      pool := n :: !pool
+    done;
+    let outs = Array.init 3 (fun _ -> pick ()) in
+    Netlist.output_bus nl "o" outs;
+    let opt, _ = Netopt.run nl in
+    let s1 = Netlist.Sim.create nl and s2 = Netlist.Sim.create opt in
+    for _cycle = 1 to 12 do
+      let v = Int64.of_int (Random.State.int rng 16) in
+      Netlist.Sim.set_input s1 "a" v;
+      Netlist.Sim.set_input s2 "a" v;
+      Netlist.Sim.settle s1;
+      Netlist.Sim.settle s2;
+      let o1 = Netlist.Sim.get_output s1 ~signed:false "o" in
+      let o2 = Netlist.Sim.get_output s2 ~signed:false "o" in
+      if o1 <> o2 then Alcotest.failf "optimized network diverged (%Ld vs %Ld)" o1 o2;
+      Netlist.Sim.clock s1;
+      Netlist.Sim.clock s2
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "structural hashing" `Quick test_structural_hashing;
+    Alcotest.test_case "dead logic elimination" `Quick test_dead_logic_elimination;
+    Alcotest.test_case "live feedback kept" `Quick test_live_feedback_kept;
+    Alcotest.test_case "mux identities" `Quick test_mux_identities;
+    Alcotest.test_case "idempotent" `Quick test_idempotent;
+    Alcotest.test_case "optimized HCOR verifies" `Quick test_optimized_verify_hcor;
+    Alcotest.test_case "optimized random designs verify" `Quick
+      test_optimized_verify_random;
+    Alcotest.test_case "random gate networks equivalent" `Quick
+      test_random_networks_equivalent;
+  ]

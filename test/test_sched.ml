@@ -1,0 +1,330 @@
+(* Tests for the three-phase cycle scheduler (paper section 4). *)
+
+let s8 = Fixed.signed ~width:8 ~frac:0
+let clk = Clock.default
+
+(* An accumulator system (timed only). *)
+let accumulator_system () =
+  let acc = Signal.Reg.create clk "sch_acc" s8 in
+  let sfg =
+    Sfg.build "sch_accumulate" (fun b ->
+        let x = Sfg.Builder.input b "x" s8 in
+        let sum = Signal.(x +: reg_q acc) in
+        Sfg.Builder.output b "sum" (Signal.resize s8 sum);
+        Sfg.Builder.assign_resized b acc sum)
+  in
+  let fsm = Fsm.create "sch_ctl" in
+  let s0 = Fsm.initial fsm "s0" in
+  Fsm.(s0 |-- always |+ sfg |-> s0);
+  let sys = Cycle_system.create "sch_smoke" in
+  let comp = Cycle_system.add_timed sys "accumulator" fsm in
+  let stim =
+    Cycle_system.add_input sys "x_in" s8 (fun c -> Some (Fixed.of_int s8 (c + 1)))
+  in
+  let probe = Cycle_system.add_output sys "sum_out" in
+  ignore (Cycle_system.connect sys (stim, "out") [ (comp, "x") ]);
+  ignore (Cycle_system.connect sys (comp, "sum") [ (probe, "in") ]);
+  (sys, probe)
+
+let test_accumulator () =
+  let sys, probe = accumulator_system () in
+  Cycle_system.run sys 5;
+  let values =
+    List.map (fun (_, v) -> Fixed.to_int v) (Cycle_system.output_history sys probe)
+  in
+  Alcotest.(check (list int)) "triangular" [ 1; 3; 6; 10; 15 ] values;
+  Alcotest.(check int) "cycle count" 5 (Cycle_system.current_cycle sys);
+  Cycle_system.reset sys;
+  Alcotest.(check int) "reset" 0 (Cycle_system.current_cycle sys);
+  Alcotest.(check int) "history cleared" 0
+    (List.length (Cycle_system.output_history sys probe));
+  Cycle_system.run sys 2;
+  let values =
+    List.map (fun (_, v) -> Fixed.to_int v) (Cycle_system.output_history sys probe)
+  in
+  Alcotest.(check (list int)) "replays identically" [ 1; 3 ] values
+
+let test_two_phase_matches_on_simple () =
+  let sys, probe = accumulator_system () in
+  Cycle_system.run ~two_phase:true sys 4;
+  let values =
+    List.map (fun (_, v) -> Fixed.to_int v) (Cycle_system.output_history sys probe)
+  in
+  Alcotest.(check (list int)) "2-phase same results" [ 1; 3; 6; 10 ] values
+
+(* The fig 6 situation: a circular dependency between a timed component
+   and an untimed one.  The timed component's output to the kernel
+   depends only on a register (producible in the token-production
+   phase); its register update needs the kernel's reply. *)
+let fig6_system () =
+  let state = Signal.Reg.create clk "fig6_state" s8 in
+  let sfg =
+    Sfg.build "fig6_step" (fun b ->
+        let reply = Sfg.Builder.input b "reply" s8 in
+        Sfg.Builder.output b "query" (Signal.resize s8 (Signal.reg_q state));
+        Sfg.Builder.assign_resized b state Signal.(reply +: consti s8 0))
+  in
+  let fsm = Fsm.create "fig6_ctl" in
+  let s0 = Fsm.initial fsm "s0" in
+  Fsm.(s0 |-- always |+ sfg |-> s0);
+  let incr_kernel =
+    Dataflow.Kernel.create "incr"
+      ~formats:[ ("in", s8); ("out", s8) ]
+      ~inputs:[ ("in", 1) ] ~outputs:[ ("out", 1) ]
+      (fun consumed ->
+        match consumed with
+        | [ ("in", [ v ]) ] ->
+          [ ("out", [ Fixed.resize s8 (Fixed.add v (Fixed.of_int s8 1)) ]) ]
+        | _ -> assert false)
+  in
+  let sys = Cycle_system.create "fig6" in
+  let timed = Cycle_system.add_timed sys "stepper" fsm in
+  let untimed = Cycle_system.add_untimed sys incr_kernel in
+  let probe = Cycle_system.add_output sys "q_out" in
+  ignore (Cycle_system.connect sys (timed, "query") [ (untimed, "in"); (probe, "in") ]);
+  ignore (Cycle_system.connect sys (untimed, "out") [ (timed, "reply") ]);
+  (sys, probe, state)
+
+let test_fig6_three_phase_resolves () =
+  let sys, probe, state = fig6_system () in
+  Signal.Reg.reset state;
+  Cycle_system.run sys 4;
+  let values =
+    List.map (fun (_, v) -> Fixed.to_int v) (Cycle_system.output_history sys probe)
+  in
+  (* Each cycle: query = state; kernel replies state+1; register takes it. *)
+  Alcotest.(check (list int)) "counts up" [ 0; 1; 2; 3 ] values;
+  let st = Cycle_system.stats sys in
+  Alcotest.(check int) "untimed fired each cycle" 4 st.Cycle_system.untimed_firings
+
+let test_fig6_two_phase_deadlocks () =
+  let sys, _, state = fig6_system () in
+  Signal.Reg.reset state;
+  match Cycle_system.run ~two_phase:true sys 1 with
+  | exception Cycle_system.Deadlock waiting ->
+    Alcotest.(check bool) "names the stepper" true
+      (List.exists (fun s -> s = "stepper/fig6_step") waiting)
+  | () -> Alcotest.fail "two-phase scheduler resolved a circular dependency"
+
+let test_true_combinational_loop_detected () =
+  (* Two timed components whose outputs combinationally depend on each
+     other's: a real loop that must be declared a deadlock. *)
+  let mk name =
+    let sfg =
+      Sfg.build (name ^ "_sfg") (fun b ->
+          let x = Sfg.Builder.input b "x" s8 in
+          Sfg.Builder.output b "y" (Signal.resize s8 Signal.(x +: consti s8 1)))
+    in
+    let fsm = Fsm.create (name ^ "_ctl") in
+    let s0 = Fsm.initial fsm "s0" in
+    Fsm.(s0 |-- always |+ sfg |-> s0);
+    fsm
+  in
+  let sys = Cycle_system.create "comb_loop" in
+  let a = Cycle_system.add_timed sys "a" (mk "a") in
+  let b = Cycle_system.add_timed sys "b" (mk "b") in
+  ignore (Cycle_system.connect sys (a, "y") [ (b, "x") ]);
+  ignore (Cycle_system.connect sys (b, "y") [ (a, "x") ]);
+  match Cycle_system.cycle sys with
+  | exception Cycle_system.Deadlock waiting ->
+    Alcotest.(check int) "both waiting" 2 (List.length waiting)
+  | () -> Alcotest.fail "combinational loop not detected"
+
+let test_checks () =
+  let sys, _ = accumulator_system () in
+  Alcotest.(check int) "clean system" 0 (List.length (Cycle_system.check sys));
+  (* A dangling input. *)
+  let sfg =
+    Sfg.build "lonely" (fun b ->
+        let x = Sfg.Builder.input b "x" s8 in
+        Sfg.Builder.output b "y" (Signal.resize s8 x))
+  in
+  let fsm = Fsm.create "lonely_ctl" in
+  let s0 = Fsm.initial fsm "s0" in
+  Fsm.(s0 |-- always |+ sfg |-> s0);
+  let sys2 = Cycle_system.create "dangling" in
+  ignore (Cycle_system.add_timed sys2 "c" fsm);
+  let issues = Cycle_system.check sys2 in
+  Alcotest.(check bool) "dangling input reported" true
+    (List.exists
+       (function Cycle_system.Unconnected_input ("c", "x") -> true | _ -> false)
+       issues);
+  Alcotest.(check bool) "unconnected output reported" true
+    (List.exists
+       (function Cycle_system.Unconnected_output ("c", "y") -> true | _ -> false)
+       issues)
+
+let test_connect_validation () =
+  let sys, _ = accumulator_system () in
+  let comp =
+    match Cycle_system.find_component sys "accumulator" with
+    | Some c -> c
+    | None -> Alcotest.fail "component lost"
+  in
+  (match Cycle_system.connect sys (comp, "nonexistent") [] with
+  | exception Cycle_system.System_error _ -> ()
+  | _ -> Alcotest.fail "bad driver port accepted");
+  match Cycle_system.connect sys (comp, "sum") [ (comp, "x") ] with
+  | exception Cycle_system.System_error _ -> () (* x is already driven *)
+  | _ -> Alcotest.fail "double-driven sink accepted"
+
+let test_missing_stimulus_deadlocks () =
+  let sys, _ = accumulator_system () in
+  (* A fresh system whose stimulus skips cycle 2. *)
+  ignore sys;
+  let acc = Signal.Reg.create clk "ms_acc" s8 in
+  let sfg =
+    Sfg.build "ms_sfg" (fun b ->
+        let x = Sfg.Builder.input b "x" s8 in
+        Sfg.Builder.assign_resized b acc Signal.(x +: reg_q acc);
+        Sfg.Builder.output b "o" (Signal.resize s8 (Signal.reg_q acc)))
+  in
+  let fsm = Fsm.create "ms_ctl" in
+  let s0 = Fsm.initial fsm "s0" in
+  Fsm.(s0 |-- always |+ sfg |-> s0);
+  let sys = Cycle_system.create "missing" in
+  let comp = Cycle_system.add_timed sys "c" fsm in
+  let stim =
+    Cycle_system.add_input sys "x_in" s8 (fun c ->
+        if c = 2 then None else Some (Fixed.of_int s8 1))
+  in
+  ignore (Cycle_system.connect sys (stim, "out") [ (comp, "x") ]);
+  Cycle_system.run sys 2;
+  match Cycle_system.cycle sys with
+  | exception Cycle_system.Deadlock _ -> ()
+  | () -> Alcotest.fail "missing token not detected"
+
+let test_net_tracing () =
+  let acc = Signal.Reg.create clk "tr_acc" s8 in
+  let sfg =
+    Sfg.build "tr_sfg" (fun b ->
+        let x = Sfg.Builder.input b "x" s8 in
+        Sfg.Builder.output b "o" (Signal.resize s8 x);
+        Sfg.Builder.assign_resized b acc Signal.(x +: consti s8 0))
+  in
+  let fsm = Fsm.create "tr_ctl" in
+  let s0 = Fsm.initial fsm "s0" in
+  Fsm.(s0 |-- always |+ sfg |-> s0);
+  let sys = Cycle_system.create "traced" in
+  let comp = Cycle_system.add_timed sys "c" fsm in
+  let stim =
+    Cycle_system.add_input sys "x_in" s8 (fun c -> Some (Fixed.of_int s8 c))
+  in
+  let net = Cycle_system.connect sys (stim, "out") [ (comp, "x") ] in
+  Cycle_system.trace_net sys net;
+  Cycle_system.run sys 3;
+  Alcotest.(check (list int)) "trace" [ 0; 1; 2 ]
+    (List.map (fun (_, v) -> Fixed.to_int v) (Cycle_system.net_history sys net));
+  Alcotest.(check int) "input history" 3
+    (List.length (Cycle_system.input_history sys))
+
+let test_sfg_kernel_bridge () =
+  (* An SFG with state behaves identically as a data-flow kernel. *)
+  let acc = Signal.Reg.create clk "br_acc" s8 in
+  let sfg =
+    Sfg.build "br_sfg" (fun b ->
+        let x = Sfg.Builder.input b "x" s8 in
+        let sum = Signal.(x +: reg_q acc) in
+        Sfg.Builder.output b "sum" (Signal.resize s8 sum);
+        Sfg.Builder.assign_resized b acc sum)
+  in
+  Signal.Reg.reset acc;
+  let k = Sfg_kernel.kernel_of_sfg sfg in
+  let g = Dataflow.create "bridge" in
+  let src =
+    Dataflow.add_process g
+      (Dataflow.Kernel.source "s" (List.map (Fixed.of_int s8) [ 1; 2; 3 ]))
+  in
+  let p = Dataflow.add_process g k in
+  let sink_k, drained = Dataflow.Kernel.sink "d" in
+  let sink = Dataflow.add_process g sink_k in
+  ignore (Dataflow.connect g (src, "out") (p, "x"));
+  ignore (Dataflow.connect g (p, "sum") (sink, "in"));
+  ignore (Dataflow.run g);
+  Alcotest.(check (list int)) "running sums" [ 1; 3; 6 ]
+    (List.map Fixed.to_int (drained ()));
+  k.Dataflow.Kernel.k_reset ();
+  Alcotest.(check int) "bridge reset clears state" 0
+    (Fixed.to_int (Signal.Reg.value acc))
+
+let test_stats () =
+  let sys, _ = accumulator_system () in
+  Cycle_system.run sys 10;
+  let st = Cycle_system.stats sys in
+  Alcotest.(check int) "cycles" 10 st.Cycle_system.cycles;
+  Alcotest.(check bool) "tokens flowed" true (st.Cycle_system.tokens_transferred >= 20)
+
+
+(* Section 4's comparison: the same circular structure works as a pure
+   data-flow graph when an initial token is introduced, and the token
+   streams of the two paradigms coincide. *)
+let test_fig6_dataflow_with_initial_token () =
+  let sys, probe, state = fig6_system () in
+  Signal.Reg.reset state;
+  Cycle_system.run sys 6;
+  let cycle_stream =
+    List.map (fun (_, v) -> Fixed.to_int v) (Cycle_system.output_history sys probe)
+  in
+  (* The data-flow formulation: the register becomes an initial token
+     on the feedback channel (holding the register's init value), and
+     the stepper reduces to passing the reply through as the next
+     query — exactly the transformation section 4 describes. *)
+  let g = Dataflow.create "fig6_df" in
+  let queries = ref [] in
+  let stepper =
+    Dataflow.Kernel.create "stepper" ~inputs:[ ("reply", 1) ]
+      ~outputs:[ ("query", 1) ]
+      (fun consumed ->
+        match consumed with
+        | [ ("reply", [ r ]) ] ->
+          queries := r :: !queries;
+          [ ("query", [ Fixed.resize s8 r ]) ]
+        | _ -> assert false)
+  in
+  let incr =
+    Dataflow.Kernel.create "incr" ~inputs:[ ("in", 1) ] ~outputs:[ ("out", 1) ]
+      (fun consumed ->
+        match consumed with
+        | [ ("in", [ v ]) ] ->
+          [ ("out", [ Fixed.resize s8 (Fixed.add v (Fixed.of_int s8 1)) ]) ]
+        | _ -> assert false)
+  in
+  let p_step = Dataflow.add_process g stepper in
+  let p_incr = Dataflow.add_process g incr in
+  ignore (Dataflow.connect g (p_step, "query") (p_incr, "in"));
+  let back = Dataflow.connect g (p_incr, "out") (p_step, "reply") in
+  (* Without the initial token: stuck.  With it: the loop turns. *)
+  let stats = Dataflow.run ~max_firings:4 g in
+  Alcotest.(check int) "stuck without initial token" 0 stats.Dataflow.steps;
+  Dataflow.initial_tokens g back [ Fixed.of_int s8 0 ];
+  ignore (Dataflow.run ~max_firings:12 g);
+  let df_stream = List.rev_map Fixed.to_int !queries in
+  (* Both paradigms produce the same counting sequence. *)
+  List.iteri
+    (fun i v ->
+      match List.nth_opt df_stream i with
+      | Some w -> Alcotest.(check int) (Printf.sprintf "token %d" i) v w
+      | None -> Alcotest.fail "data-flow stream too short")
+    cycle_stream
+
+let suite =
+  [
+    Alcotest.test_case "accumulator" `Quick test_accumulator;
+    Alcotest.test_case "two-phase on loop-free design" `Quick
+      test_two_phase_matches_on_simple;
+    Alcotest.test_case "fig 6: three-phase resolves" `Quick
+      test_fig6_three_phase_resolves;
+    Alcotest.test_case "fig 6: two-phase deadlocks" `Quick
+      test_fig6_two_phase_deadlocks;
+    Alcotest.test_case "fig 6: data-flow with initial token" `Quick
+      test_fig6_dataflow_with_initial_token;
+    Alcotest.test_case "combinational loop detected" `Quick
+      test_true_combinational_loop_detected;
+    Alcotest.test_case "interconnect checks" `Quick test_checks;
+    Alcotest.test_case "connect validation" `Quick test_connect_validation;
+    Alcotest.test_case "missing stimulus deadlocks" `Quick
+      test_missing_stimulus_deadlocks;
+    Alcotest.test_case "net tracing" `Quick test_net_tracing;
+    Alcotest.test_case "sfg-kernel bridge" `Quick test_sfg_kernel_bridge;
+    Alcotest.test_case "stats" `Quick test_stats;
+  ]

@@ -1,0 +1,112 @@
+(* Tests for the two-level logic minimizer. *)
+
+open Sop
+
+let cube (s : string) : cube =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> Zero
+      | '1' -> One
+      | '-' -> Dash
+      | _ -> invalid_arg "cube")
+
+let all_inputs n =
+  let rec go i acc =
+    if i = 1 lsl n then List.rev acc
+    else go (i + 1) (Array.init n (fun b -> i land (1 lsl b) <> 0) :: acc)
+  in
+  go 0 []
+
+let same_function n f g =
+  List.for_all (fun input -> eval f input = eval g input) (all_inputs n)
+
+let test_covers () =
+  (* cube index i constrains input i *)
+  Alcotest.(check bool) "exact" true (covers (cube "10") [| true; false |]);
+  Alcotest.(check bool) "dash" true (covers (cube "-1") [| false; true |]);
+  Alcotest.(check bool) "mismatch" false (covers (cube "10") [| false; true |])
+
+let test_merge_complementary () =
+  (* x.y + x.!y = x *)
+  let f = [ cube "11"; cube "01" ] in
+  let m = minimize f in
+  Alcotest.(check int) "one cube" 1 (List.length m);
+  Alcotest.(check bool) "same function" true (same_function 2 f m);
+  Alcotest.(check int) "one literal" 1 (literal_count m)
+
+let test_absorption () =
+  (* x + x.y = x *)
+  let f = [ cube "1-"; cube "11" ] in
+  let m = minimize f in
+  Alcotest.(check int) "absorbed" 1 (List.length m);
+  Alcotest.(check bool) "same function" true (same_function 2 f m)
+
+let test_full_cover () =
+  (* All four minterms of 2 variables minimize to the tautology. *)
+  let f = [ cube "00"; cube "01"; cube "10"; cube "11" ] in
+  let m = minimize f in
+  Alcotest.(check bool) "same function" true (same_function 2 f m);
+  Alcotest.(check int) "no literals" 0 (literal_count m)
+
+let test_minimize_preserves_function_random () =
+  let rng = Random.State.make [| 99 |] in
+  for _ = 1 to 200 do
+    let n = 2 + Random.State.int rng 4 in
+    let n_cubes = 1 + Random.State.int rng 6 in
+    let f =
+      List.init n_cubes (fun _ ->
+          Array.init n (fun _ ->
+              match Random.State.int rng 3 with
+              | 0 -> Zero
+              | 1 -> One
+              | _ -> Dash))
+    in
+    let m = minimize f in
+    if not (same_function n f m) then Alcotest.fail "minimize changed function";
+    if literal_count m > literal_count f then
+      Alcotest.fail "minimize increased literal count"
+  done
+
+let test_to_gates () =
+  (* Gate realization computes the same function, checked by simulation. *)
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 50 do
+    let n = 2 + Random.State.int rng 3 in
+    let n_cubes = Random.State.int rng 5 in
+    let f =
+      List.init n_cubes (fun _ ->
+          Array.init n (fun _ ->
+              match Random.State.int rng 3 with
+              | 0 -> Zero
+              | 1 -> One
+              | _ -> Dash))
+    in
+    let nl = Netlist.create "sop" in
+    let inputs = Array.init n (fun i -> Netlist.input_bus nl (Printf.sprintf "i%d" i) 1) in
+    let input_nets = Array.map (fun b -> b.(0)) inputs in
+    let o = Sop.to_gates nl ~inputs:input_nets f in
+    Netlist.output_bus nl "o" [| o |];
+    let sim = Netlist.Sim.create nl in
+    List.iter
+      (fun input ->
+        Array.iteri
+          (fun i v ->
+            Netlist.Sim.set_input sim (Printf.sprintf "i%d" i)
+              (if v then 1L else 0L))
+          input;
+        Netlist.Sim.settle sim;
+        let got = Netlist.Sim.get_output sim ~signed:false "o" = 1L in
+        if got <> eval f input then Alcotest.fail "gates disagree with SOP")
+      (all_inputs n)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "covers" `Quick test_covers;
+    Alcotest.test_case "complementary merge" `Quick test_merge_complementary;
+    Alcotest.test_case "absorption" `Quick test_absorption;
+    Alcotest.test_case "full cover" `Quick test_full_cover;
+    Alcotest.test_case "minimize preserves function (random)" `Quick
+      test_minimize_preserves_function_random;
+    Alcotest.test_case "gate realization (random)" `Quick test_to_gates;
+  ]
