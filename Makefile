@@ -1,0 +1,26 @@
+.PHONY: all build test bench bench-json profile clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The full evaluation harness (every table and claim).
+bench: build
+	dune exec bench/main.exe
+
+# Machine-readable Table 1 only: writes ./BENCH_table1.json
+# (engine -> cycles/sec, process bytes, source lines).
+bench-json: build
+	dune exec bench/main.exe -- t1-json
+
+# Telemetry demo: metrics report + Chrome trace for the DECT compiled
+# simulator (open the .trace.json in https://ui.perfetto.dev).
+profile: build
+	dune exec bin/ocapi_cli.exe -- profile --design dect --engine compiled
+
+clean:
+	dune clean

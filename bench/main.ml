@@ -3,10 +3,12 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- t1      -- one target
-     targets: t1 c3 c4 c5 c6 f5 micro
+     targets: t1 t1-json c3 c4 c5 c6 f5 figs micro
 
    T1  Table 1 (source lines / cycles-per-second / process size for
-       HCOR and DECT under four simulation engines)
+       HCOR and DECT under four simulation engines); also written
+       machine-readably to BENCH_table1.json (t1-json writes only the
+       file — the `make bench-json` entry point)
    C3  quantized-value vs bit-vector simulation speed (section 3)
    C4  three-phase vs two-phase cycle scheduling (section 4, fig 6)
    C5  datapath synthesis: operator sharing and run times (section 6)
@@ -40,10 +42,9 @@ let gates ?macro_of_kernel sys =
 
 (* ---- T1: Table 1 ---------------------------------------------------------- *)
 
-let t1 () =
-  print_endline
-    "== T1: Table 1 -- performances of interpreted and compiled approaches ==";
-  let run ~design ~sys ~src_lines ~gate_count ~macro_of_kernel ~cycles_of =
+let table1_rows () =
+  let measure_design ~design ~sys ~src_lines ~gate_count ~macro_of_kernel
+      ~cycles_of =
     let ms =
       List.map
         (fun engine ->
@@ -51,30 +52,93 @@ let t1 () =
             engine ~cycles:(cycles_of engine))
         Metrics.all_engines
     in
-    Format.printf "%a@."
-      (fun ppf -> Metrics.pp_table ppf ~design ~gates:gate_count)
-      ms
+    (design, gate_count, ms)
   in
   let hcor = hcor_design () in
-  run ~design:"HCOR" ~sys:hcor ~src_lines:(Hcor.source_lines ())
-    ~gate_count:(gates hcor) ~macro_of_kernel:None
-    ~cycles_of:(function
-      | Metrics.Interpreted_objects -> 4000
-      | Metrics.Compiled_code -> 40000
-      | Metrics.Rt_event_driven -> 1500
-      | Metrics.Gate_netlist -> 300);
-  print_newline ();
+  let hcor_row =
+    measure_design ~design:"HCOR" ~sys:hcor ~src_lines:(Hcor.source_lines ())
+      ~gate_count:(gates hcor) ~macro_of_kernel:None
+      ~cycles_of:(function
+        | Metrics.Interpreted_objects -> 4000
+        | Metrics.Compiled_code -> 40000
+        | Metrics.Rt_event_driven -> 1500
+        | Metrics.Gate_netlist -> 300)
+  in
   let dect = dect_design () in
-  run ~design:"DECT" ~sys:dect
-    ~src_lines:(Dect_transceiver.source_lines ())
-    ~gate_count:(gates ~macro_of_kernel:Dect_transceiver.macro_of_kernel dect)
-    ~macro_of_kernel:(Some Dect_transceiver.macro_of_kernel)
-    ~cycles_of:(function
-      | Metrics.Interpreted_objects -> 1000
-      | Metrics.Compiled_code -> 20000
-      | Metrics.Rt_event_driven -> 300
-      | Metrics.Gate_netlist -> 60);
+  let dect_row =
+    measure_design ~design:"DECT" ~sys:dect
+      ~src_lines:(Dect_transceiver.source_lines ())
+      ~gate_count:(gates ~macro_of_kernel:Dect_transceiver.macro_of_kernel dect)
+      ~macro_of_kernel:(Some Dect_transceiver.macro_of_kernel)
+      ~cycles_of:(function
+        | Metrics.Interpreted_objects -> 1000
+        | Metrics.Compiled_code -> 20000
+        | Metrics.Rt_event_driven -> 300
+        | Metrics.Gate_netlist -> 60)
+  in
+  [ hcor_row; dect_row ]
+
+let table1_json rows =
+  let open Ocapi_obs.Json in
+  Obj
+    [
+      ("table", String "table1");
+      ( "description",
+        String "performances of interpreted and compiled approaches" );
+      ( "designs",
+        List
+          (List.map
+             (fun (design, gate_count, ms) ->
+               Obj
+                 [
+                   ("design", String design);
+                   ("gate_equivalents", Int gate_count);
+                   ( "engines",
+                     List
+                       (List.map
+                          (fun m ->
+                            Obj
+                              [
+                                ( "engine",
+                                  String
+                                    (Metrics.engine_label m.Metrics.m_engine)
+                                );
+                                ("cycles", Int m.Metrics.m_cycles);
+                                ("seconds", Float m.Metrics.m_seconds);
+                                ( "cycles_per_second",
+                                  Float m.Metrics.m_cycles_per_second );
+                                ( "process_bytes",
+                                  Int m.Metrics.m_process_bytes );
+                                ("source_lines", Int m.Metrics.m_source_lines);
+                              ])
+                          ms) );
+                 ])
+             rows) );
+    ]
+
+let write_table1_json rows =
+  let oc = open_out "BENCH_table1.json" in
+  output_string oc (Ocapi_obs.Json.to_string (table1_json rows));
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_table1.json"
+
+let t1 () =
+  print_endline
+    "== T1: Table 1 -- performances of interpreted and compiled approaches ==";
+  let rows = table1_rows () in
+  List.iter
+    (fun (design, gate_count, ms) ->
+      Format.printf "%a@."
+        (fun ppf -> Metrics.pp_table ppf ~design ~gates:gate_count)
+        ms;
+      print_newline ())
+    rows;
+  write_table1_json rows;
   print_newline ()
+
+(* Machine-readable Table 1 only (the `make bench-json` entry point). *)
+let t1_json () = write_table1_json (table1_rows ())
 
 (* ---- C3: quantization vs bit vectors -------------------------------------- *)
 
@@ -418,6 +482,7 @@ let () =
     (fun t ->
       match t with
       | "t1" -> t1 ()
+      | "t1-json" -> t1_json ()
       | "c3" -> c3 ()
       | "c4" -> c4 ()
       | "c5" -> c5 ()

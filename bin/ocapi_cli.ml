@@ -4,6 +4,7 @@
      ocapi simulate <design> [--cycles N] [--engine E]
      ocapi synth <design> [--no-share]
      ocapi emit <design> [--dir D] [--cycles N]
+     ocapi profile --design <design> --engine <E> [--cycles N] [--dir D]
 
    Designs: hcor | dect | cable (the reference designs of lib/designs). *)
 
@@ -173,9 +174,86 @@ let emit_cmd =
              standalone simulator.")
     Term.(const run $ design_arg $ dir_arg $ cycles_arg 60)
 
+(* profile *)
+let profile_design_arg =
+  let doc = "Reference design to profile: hcor or dect." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "design"; "d" ] ~docv:"DESIGN" ~doc)
+
+let profile_engine_arg =
+  let doc = "Engine to profile: interp, compiled, rtl, gates or synth." in
+  Arg.(value & opt string "compiled" & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
+
+let profile_cmd =
+  let run name engine cycles dir =
+    with_design name (fun d ->
+        let workload =
+          match engine with
+          | "interp" -> Some (fun () -> ignore (Flow.simulate d.d_sys ~cycles))
+          | "compiled" ->
+            Some (fun () -> ignore (Flow.simulate_compiled d.d_sys ~cycles))
+          | "rtl" -> Some (fun () -> ignore (Flow.simulate_rtl d.d_sys ~cycles))
+          | "gates" ->
+            Some
+              (fun () ->
+                ignore
+                  (Flow.verify_netlist ~macro_of_kernel:d.d_macro d.d_sys
+                     ~cycles))
+          | "synth" ->
+            Some
+              (fun () ->
+                let nl, _ =
+                  Synthesize.synthesize ~macro_of_kernel:d.d_macro d.d_sys
+                in
+                ignore (Netopt.run nl))
+          | _ -> None
+        in
+        match workload with
+        | None ->
+          Printf.eprintf "unknown engine %S\n" engine;
+          1
+        | Some f ->
+          let (), report =
+            Ocapi_obs.run_with_telemetry ~label:(name ^ "." ^ engine) f
+          in
+          if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+          let metrics_path =
+            Filename.concat dir
+              (Printf.sprintf "%s_%s_metrics.json" name engine)
+          in
+          let oc = open_out metrics_path in
+          output_string oc
+            (Ocapi_obs.Json.to_string (Ocapi_obs.report_json report));
+          output_char oc '\n';
+          close_out oc;
+          let trace_path =
+            Filename.concat dir (Printf.sprintf "%s_%s.trace.json" name engine)
+          in
+          Ocapi_obs.write_trace ~path:trace_path;
+          Format.printf "%a@." Ocapi_obs.pp_report report;
+          Printf.printf "wrote %s\nwrote %s\n" metrics_path trace_path;
+          Printf.printf
+            "open the trace in Perfetto (https://ui.perfetto.dev) or \
+             chrome://tracing\n";
+          0)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a design under telemetry and write a metrics report plus a \
+          Chrome trace-event file.")
+    Term.(
+      const run $ profile_design_arg $ profile_engine_arg $ cycles_arg 200
+      $ dir_arg)
+
 let () =
   let info =
     Cmd.info "ocapi" ~version:Ocapi.version
       ~doc:"A programming environment for the design of complex high speed ASICs."
   in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; simulate_cmd; synth_cmd; emit_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ check_cmd; simulate_cmd; synth_cmd; emit_cmd; profile_cmd ]))

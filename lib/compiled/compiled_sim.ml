@@ -399,6 +399,16 @@ type stim_code = {
   st_stamp : int;
 }
 
+(* Optional per-net value recording (waveform dumping from the compiled
+   engine): one record per net whose carried format is known. *)
+type trace_rec = {
+  trc_name : string;
+  trc_slot : int;
+  trc_stamp : int;
+  trc_fmt : Fixed.format;
+  mutable trc_hist : (int * Fixed.t) list;  (* reversed *)
+}
+
 type t = {
   values : int64 array;
   stamps : int array;
@@ -410,11 +420,38 @@ type t = {
   probes : probe_code array;
   reg_inits : (int64 * int) array;
   n_statements : int;
+  mutable tracing : bool;
+  trace_recs : trace_rec array;
 }
 
 (* --- compilation --------------------------------------------------------- *)
 
+(* Telemetry label for the static operator mix of a flattened program. *)
+let op_kind_name n =
+  match Signal.op n with
+  | Signal.Const _ -> "const"
+  | Signal.Input_read _ -> "input_read"
+  | Signal.Reg_read _ -> "reg_read"
+  | Signal.Add _ -> "add"
+  | Signal.Sub _ -> "sub"
+  | Signal.Mul _ -> "mul"
+  | Signal.Neg _ -> "neg"
+  | Signal.Abs _ -> "abs"
+  | Signal.And _ -> "and"
+  | Signal.Or _ -> "or"
+  | Signal.Xor _ -> "xor"
+  | Signal.Not _ -> "not"
+  | Signal.Eq _ -> "eq"
+  | Signal.Lt _ -> "lt"
+  | Signal.Le _ -> "le"
+  | Signal.Mux _ -> "mux"
+  | Signal.Resize _ -> "resize"
+  | Signal.Rom_read _ -> "rom_read"
+  | Signal.Shift_left _ -> "shift_left"
+  | Signal.Shift_right _ -> "shift_right"
+
 let compile sys =
+  let t_compile = Ocapi_obs.span_begin () in
   let a =
     {
       next_slot = 0;
@@ -449,7 +486,10 @@ let compile sys =
     (Cycle_system.all_regs sys);
   compute_net_formats a sys;
   let all_timed = Cycle_system.timed_components sys in
-  (* Pre-allocate node slots so the values array can be sized. *)
+  (* Pre-allocate node slots so the values array can be sized; when
+     telemetry is on, also tally the static operator mix (each unique
+     expression node once). *)
+  let op_seen = Hashtbl.create 256 in
   List.iter
     (fun (_, fsm) ->
       List.iter
@@ -459,7 +499,14 @@ let compile sys =
               List.iter
                 (fun root ->
                   Signal.fold_dag root ~init:() ~f:(fun () n ->
-                      ignore (slot_of_node a n)))
+                      ignore (slot_of_node a n);
+                      if
+                        Ocapi_obs.enabled ()
+                        && not (Hashtbl.mem op_seen (Signal.id n))
+                      then begin
+                        Hashtbl.add op_seen (Signal.id n) ();
+                        Ocapi_obs.count ("compiled.ops." ^ op_kind_name n)
+                      end))
                 (List.map snd (Sfg.outputs sfg) @ List.map snd (Sfg.assigns sfg)))
             tr.Fsm.t_actions)
         (Fsm.transitions fsm))
@@ -738,22 +785,56 @@ let compile sys =
       (Cycle_system.probes sys)
     |> Array.of_list
   in
-  {
-    values;
-    stamps;
-    cycle_ref;
-    cycle = 0;
-    comps;
-    b_schedule;
-    stims;
-    probes;
-    reg_inits;
-    n_statements = !n_statements;
-  }
+  let trace_recs =
+    List.filter_map
+      (fun (net_name, _, _) ->
+        match Hashtbl.find_opt a.net_fmt net_name with
+        | Some fmt ->
+          Some
+            {
+              trc_name = net_name;
+              trc_slot = Hashtbl.find a.net_slot net_name;
+              trc_stamp = Hashtbl.find a.net_stamp net_name;
+              trc_fmt = fmt;
+              trc_hist = [];
+            }
+        | None -> None)
+      nets
+    |> Array.of_list
+  in
+  let t =
+    {
+      values;
+      stamps;
+      cycle_ref;
+      cycle = 0;
+      comps;
+      b_schedule;
+      stims;
+      probes;
+      reg_inits;
+      n_statements = !n_statements;
+      tracing = false;
+      trace_recs;
+    }
+  in
+  if Ocapi_obs.enabled () then begin
+    Ocapi_obs.set_gauge "compiled.slots" (float_of_int a.next_slot);
+    Ocapi_obs.set_gauge "compiled.statements" (float_of_int !n_statements)
+  end;
+  Ocapi_obs.span_end ~cat:"compiled"
+    ~args:
+      [
+        ("slots", Ocapi_obs.Json.Int a.next_slot);
+        ("statements", Ocapi_obs.Json.Int !n_statements);
+      ]
+    "compiled.compile" t_compile;
+  t
 
 (* --- execution ------------------------------------------------------------ *)
 
 let step t =
+  let t_step = Ocapi_obs.span_begin () in
   t.cycle_ref := t.cycle;
   Array.iter
     (fun st ->
@@ -791,6 +872,7 @@ let step t =
           Array.iter (fun s -> s ()) c.cc_transitions.(c.cc_selected).tc_block_b
       | Either.Right kc ->
         if kc.kc_kernel.Dataflow.Kernel.k_ready () then begin
+          if Ocapi_obs.enabled () then Ocapi_obs.count "compiled.kernel_firings";
           let consumed =
             List.map
               (fun (port, slot, fmt) ->
@@ -822,6 +904,13 @@ let step t =
         p.pc_history <-
           (t.cycle, Fixed.create p.pc_fmt t.values.(p.pc_slot)) :: p.pc_history)
     t.probes;
+  if t.tracing then
+    Array.iter
+      (fun r ->
+        if t.stamps.(r.trc_stamp) = t.cycle then
+          r.trc_hist <-
+            (t.cycle, Fixed.create r.trc_fmt t.values.(r.trc_slot)) :: r.trc_hist)
+      t.trace_recs;
   Array.iter
     (fun c ->
       if c.cc_selected >= 0 then begin
@@ -830,7 +919,26 @@ let step t =
         c.cc_state <- tc.tc_goto
       end)
     t.comps;
-  t.cycle <- t.cycle + 1
+  if Ocapi_obs.enabled () then begin
+    Ocapi_obs.count "compiled.steps";
+    let a = ref 0 and b = ref 0 and commits = ref 0 and fired = ref 0 in
+    Array.iter
+      (fun c ->
+        if c.cc_selected >= 0 then begin
+          let tc = c.cc_transitions.(c.cc_selected) in
+          incr fired;
+          a := !a + Array.length tc.tc_block_a;
+          b := !b + Array.length tc.tc_block_b;
+          commits := !commits + Array.length tc.tc_commit
+        end)
+      t.comps;
+    Ocapi_obs.count ~n:!fired "compiled.transitions_fired";
+    Ocapi_obs.count ~n:!a "compiled.stmts.block_a";
+    Ocapi_obs.count ~n:!b "compiled.stmts.block_b";
+    Ocapi_obs.count ~n:!commits "compiled.stmts.commit"
+  end;
+  t.cycle <- t.cycle + 1;
+  Ocapi_obs.span_end ~cat:"compiled" "compiled.step" t_step
 
 let run t n =
   for _ = 1 to n do
@@ -855,12 +963,19 @@ let reset t =
       c.cc_selected <- -1)
     t.comps;
   Array.iter (fun p -> p.pc_history <- []) t.probes;
+  Array.iter (fun r -> r.trc_hist <- []) t.trace_recs;
   Array.iter
     (fun unit_ ->
       match unit_ with
       | Either.Left _ -> ()
       | Either.Right kc -> kc.kc_kernel.Dataflow.Kernel.k_reset ())
     t.b_schedule
+
+let trace_all t = t.tracing <- true
+
+let traced_histories t =
+  Array.to_list t.trace_recs
+  |> List.map (fun r -> (r.trc_name, r.trc_fmt, List.rev r.trc_hist))
 
 let slot_count t = Array.length t.values
 let statement_count t = t.n_statements

@@ -56,6 +56,18 @@ val output_history : t -> string -> (int * Fixed.t) list
 (** Reset cycle counter, registers, FSM states and histories. *)
 val reset : t -> unit
 
+(** {1 Net tracing (waveform dumping)} *)
+
+(** Enable per-net value recording: after every subsequent {!step}, each
+    net that carried a token that cycle is appended to its history.
+    Costs one sweep of the net array per cycle; leave off for timed
+    runs. *)
+val trace_all : t -> unit
+
+(** Recorded net histories as (net name, carried format, history);
+    nets whose format could not be derived are omitted. *)
+val traced_histories : t -> (string * Fixed.format * (int * Fixed.t) list) list
+
 (** Number of value slots in the flattened program (a size metric). *)
 val slot_count : t -> int
 

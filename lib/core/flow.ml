@@ -60,52 +60,120 @@ let probe_histories sys =
       | None -> None)
     (Cycle_system.probes sys)
 
-let simulate ?(two_phase = false) sys ~cycles =
-  Cycle_system.reset sys;
-  Cycle_system.run ~two_phase sys cycles;
-  let result = probe_histories sys in
-  Cycle_system.reset sys;
-  result
+(* Run [f] plainly, or — when a [telemetry] cell is supplied — under a
+   fresh enabled telemetry scope, leaving the report in the cell. *)
+let scoped ?telemetry ~label f =
+  match telemetry with
+  | None -> f ()
+  | Some cell ->
+    let result, report = Ocapi_obs.run_with_telemetry ~label f in
+    cell := Some report;
+    result
 
-let simulate_compiled sys ~cycles =
-  Cycle_system.reset sys;
-  let prog = Compiled_sim.compile sys in
-  Compiled_sim.run prog cycles;
-  List.map
-    (fun p -> (p, Compiled_sim.output_history prog p))
-    (Cycle_system.probes sys)
+let simulate ?telemetry ?(two_phase = false) sys ~cycles =
+  scoped ?telemetry ~label:"simulate.interp" (fun () ->
+      Cycle_system.reset sys;
+      Cycle_system.run ~two_phase sys cycles;
+      let result = probe_histories sys in
+      Cycle_system.reset sys;
+      result)
 
-let simulate_rtl sys ~cycles =
-  Cycle_system.reset sys;
-  let rtl = Rtl.of_system sys in
-  Rtl.reset rtl;
-  Rtl.run rtl cycles;
-  let result =
-    List.map (fun p -> (p, Rtl.output_history rtl p)) (Cycle_system.probes sys)
+let simulate_compiled ?telemetry sys ~cycles =
+  scoped ?telemetry ~label:"simulate.compiled" (fun () ->
+      Cycle_system.reset sys;
+      let prog = Compiled_sim.compile sys in
+      Compiled_sim.run prog cycles;
+      List.map
+        (fun p -> (p, Compiled_sim.output_history prog p))
+        (Cycle_system.probes sys))
+
+let simulate_rtl ?telemetry sys ~cycles =
+  scoped ?telemetry ~label:"simulate.rtl" (fun () ->
+      Cycle_system.reset sys;
+      let rtl = Rtl.of_system sys in
+      Rtl.reset rtl;
+      Rtl.run rtl cycles;
+      let result =
+        List.map
+          (fun p -> (p, Rtl.output_history rtl p))
+          (Cycle_system.probes sys)
+      in
+      Cycle_system.reset sys;
+      result)
+
+type mismatch = {
+  mm_pair : string;
+  mm_probe : string;
+  mm_cycle : int option;
+  mm_detail : string;
+}
+
+let first_history_mismatch a b =
+  let rec scan_hist probe h1 h2 =
+    match h1, h2 with
+    | [], [] -> None
+    | (c1, v1) :: t1, (c2, v2) :: t2 ->
+      if c1 <> c2 then
+        Some
+          ( probe,
+            Some (min c1 c2),
+            Printf.sprintf "token cycles diverge (%d vs %d)" c1 c2 )
+      else if not (Fixed.equal v1 v2) then
+        Some
+          ( probe,
+            Some c1,
+            Printf.sprintf "%s vs %s" (Fixed.to_string v1)
+              (Fixed.to_string v2) )
+      else scan_hist probe t1 t2
+    | (c, _) :: _, [] ->
+      Some (probe, Some c, "second history ends early")
+    | [], (c, _) :: _ ->
+      Some (probe, Some c, "first history ends early")
   in
-  Cycle_system.reset sys;
-  result
+  let rec scan a b =
+    match a, b with
+    | [], [] -> None
+    | (p1, h1) :: t1, (p2, h2) :: t2 ->
+      if p1 <> p2 then
+        Some (p1, None, Printf.sprintf "probe order differs (vs %s)" p2)
+      else (
+        match scan_hist p1 h1 h2 with
+        | Some m -> Some m
+        | None -> scan t1 t2)
+    | (p, _) :: _, [] -> Some (p, None, "probe missing from second engine")
+    | [], (p, _) :: _ -> Some (p, None, "probe missing from first engine")
+  in
+  scan a b
 
-let engines_agree sys ~cycles =
+let engine_disagreements sys ~cycles =
   let interp = simulate sys ~cycles in
   let compiled = simulate_compiled sys ~cycles in
   let rtl = simulate_rtl sys ~cycles in
-  let same a b =
-    List.for_all2
-      (fun (p1, h1) (p2, h2) ->
-        p1 = p2
-        && List.length h1 = List.length h2
-        && List.for_all2
-             (fun (c1, v1) (c2, v2) -> c1 = c2 && Fixed.equal v1 v2)
-             h1 h2)
-      a b
-  in
   List.filter_map
-    (fun (label, ok) -> if ok then None else Some label)
+    (fun (pair, a, b) ->
+      match first_history_mismatch a b with
+      | None -> None
+      | Some (probe, cycle, detail) ->
+        Some
+          { mm_pair = pair; mm_probe = probe; mm_cycle = cycle;
+            mm_detail = detail })
     [
-      ("interpreted-vs-compiled", same interp compiled);
-      ("interpreted-vs-rtl", same interp rtl);
+      ("interpreted-vs-compiled", interp, compiled);
+      ("interpreted-vs-rtl", interp, rtl);
     ]
+
+let pp_mismatch ppf m =
+  Format.fprintf ppf "%s: first mismatch at probe %s%s: %s" m.mm_pair
+    m.mm_probe
+    (match m.mm_cycle with
+    | Some c -> Printf.sprintf ", cycle %d" c
+    | None -> "")
+    m.mm_detail
+
+let engines_agree sys ~cycles =
+  List.map
+    (fun m -> Format.asprintf "%a" pp_mismatch m)
+    (engine_disagreements sys ~cycles)
 
 let write_file dir name contents =
   let path = Filename.concat dir name in
@@ -131,14 +199,15 @@ let emit_ocaml_simulator sys ~dir ~cycles =
     (Verilog.sanitize (Cycle_system.name sys) ^ "_sim.ml")
     src
 
-let synthesize_to_verilog ?options ?macro_of_kernel sys ~dir =
-  let nl, report = Synthesize.synthesize ?options ?macro_of_kernel sys in
-  let path =
-    write_file dir
-      (Verilog.sanitize (Cycle_system.name sys) ^ "_netlist.v")
-      (Verilog.of_netlist nl)
-  in
-  (nl, report, path)
+let synthesize_to_verilog ?telemetry ?options ?macro_of_kernel sys ~dir =
+  scoped ?telemetry ~label:"synthesize" (fun () ->
+      let nl, report = Synthesize.synthesize ?options ?macro_of_kernel sys in
+      let path =
+        write_file dir
+          (Verilog.sanitize (Cycle_system.name sys) ^ "_netlist.v")
+          (Verilog.of_netlist nl)
+      in
+      (nl, report, path))
 
 let verify_netlist ?options ?macro_of_kernel sys ~cycles =
   Synthesize.verify ?options ?macro_of_kernel sys ~cycles

@@ -31,11 +31,19 @@ val pp_check_report : Format.formatter -> check_report -> unit
 (** True when no issue of any kind was found. *)
 val check_clean : check_report -> bool
 
-(** {1 Simulation} *)
+(** {1 Simulation}
+
+    Every simulation (and synthesis) entry point takes an optional
+    [?telemetry] cell.  When supplied, the run executes under a fresh
+    enabled {!Ocapi_obs} scope — counters reset, engines instrumented —
+    and the cell receives the {!Ocapi_obs.report} (metrics snapshot,
+    wall time, trace-event count).  Without it the run pays only the
+    disabled-telemetry cost (one flag check per cycle). *)
 
 (** Interpreted simulation for [cycles]; returns the probe histories by
     probe name.  Resets the system first. *)
 val simulate :
+  ?telemetry:Ocapi_obs.report option ref ->
   ?two_phase:bool ->
   Cycle_system.t ->
   cycles:int ->
@@ -43,15 +51,48 @@ val simulate :
 
 (** Compiled simulation of the same system; same result shape. *)
 val simulate_compiled :
-  Cycle_system.t -> cycles:int -> (string * (int * Fixed.t) list) list
+  ?telemetry:Ocapi_obs.report option ref ->
+  Cycle_system.t ->
+  cycles:int ->
+  (string * (int * Fixed.t) list) list
 
 (** Event-driven RT simulation; same result shape. *)
 val simulate_rtl :
-  Cycle_system.t -> cycles:int -> (string * (int * Fixed.t) list) list
+  ?telemetry:Ocapi_obs.report option ref ->
+  Cycle_system.t ->
+  cycles:int ->
+  (string * (int * Fixed.t) list) list
 
-(** [engines_agree sys ~cycles] runs interpreted, compiled and RTL
-    simulation and returns the list of engine pairs that disagree
-    (empty = all equivalent). *)
+(** {1 Engine cross-checks} *)
+
+(** One engine-pair disagreement, pinned to its first point of
+    divergence. *)
+type mismatch = {
+  mm_pair : string;  (** e.g. ["interpreted-vs-compiled"] *)
+  mm_probe : string;  (** first disagreeing probe *)
+  mm_cycle : int option;  (** first disagreeing cycle, when comparable *)
+  mm_detail : string;  (** the two values, or the structural difference *)
+}
+
+(** [first_history_mismatch a b] compares two probe-history sets (the
+    result shape of {!simulate}) and returns the first divergence as
+    [(probe, cycle, detail)] — [None] when they are identical.  Exposed
+    for testing and for diffing externally produced histories. *)
+val first_history_mismatch :
+  (string * (int * Fixed.t) list) list ->
+  (string * (int * Fixed.t) list) list ->
+  (string * int option * string) option
+
+(** [engine_disagreements sys ~cycles] runs interpreted, compiled and
+    RTL simulation and reports each disagreeing engine pair with its
+    first mismatch (empty = all equivalent). *)
+val engine_disagreements : Cycle_system.t -> cycles:int -> mismatch list
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+(** [engines_agree sys ~cycles] — {!engine_disagreements} rendered as
+    one diagnostic line per disagreeing pair, naming the first
+    disagreeing probe and cycle (empty = all equivalent). *)
 val engines_agree : Cycle_system.t -> cycles:int -> string list
 
 (** {1 Code generation} *)
@@ -70,6 +111,7 @@ val emit_ocaml_simulator : Cycle_system.t -> dir:string -> cycles:int -> string
 (** Synthesize and write the structural Verilog netlist; returns the
     netlist, the synthesis report and the file path. *)
 val synthesize_to_verilog :
+  ?telemetry:Ocapi_obs.report option ref ->
   ?options:Synthesize.options ->
   ?macro_of_kernel:(Dataflow.Kernel.t -> Synthesize.macro_spec option) ->
   Cycle_system.t ->

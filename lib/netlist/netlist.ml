@@ -407,6 +407,9 @@ module Sim = struct
       drive_bus t r.m_out word
 
   let settle t =
+    let obs = Ocapi_obs.enabled () in
+    let evals0 = t.n_evaluations and events0 = t.n_events in
+    let t_settle = Ocapi_obs.span_begin () in
     let budget = ref (1000 * max 64 (Array.length t.elems)) in
     while not (Queue.is_empty t.queue) do
       decr budget;
@@ -415,7 +418,15 @@ module Sim = struct
       let ei = Queue.pop t.queue in
       t.queued.(ei) <- false;
       eval_elem t ei
-    done
+    done;
+    if obs then begin
+      Ocapi_obs.count "gates.settles";
+      Ocapi_obs.count ~n:(t.n_evaluations - evals0) "gates.evaluations";
+      Ocapi_obs.count ~n:(t.n_events - events0) "gates.events";
+      Ocapi_obs.observe "gates.evals_per_settle"
+        (float_of_int (t.n_evaluations - evals0));
+      Ocapi_obs.span_end ~cat:"gates" "gates.settle" t_settle
+    end
 
   let set_input t name m =
     let ins, _ = t.nl in
@@ -430,6 +441,7 @@ module Sim = struct
     | None -> raise (Netlist_error (Printf.sprintf "no output bus %s" name))
 
   let clock t =
+    if Ocapi_obs.enabled () then Ocapi_obs.count "gates.clocks";
     (* Sample all DFF inputs first, then update, so the edge is atomic. *)
     let sampled = Array.map (fun d -> t.values.(d.d_d)) t.dffs in
     (* RAM writes use the pre-edge address/data. *)

@@ -1,0 +1,401 @@
+(* Process-wide telemetry: metric registry + Chrome trace-event spans.
+   Everything here must stay allocation-light on the disabled path —
+   the engines call into this module from their per-cycle hot loops. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | '\012' -> Buffer.add_string buf "\\f"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec to_buffer buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then
+        (* %.17g round-trips; trim the common integral case for humans. *)
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.1f" f)
+        else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else Buffer.add_string buf "null"
+    | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        l;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    to_buffer buf j;
+    Buffer.contents buf
+end
+
+(* --- master switch ------------------------------------------------------- *)
+
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+(* --- metric registry ----------------------------------------------------- *)
+
+type histogram = {
+  h_bounds : float array;  (* ascending upper bounds *)
+  h_counts : int array;  (* length = bounds + 1; last = overflow *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric =
+  | M_counter of int ref
+  | M_gauge of float ref
+  | M_hist of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_clash name = invalid_arg ("Ocapi_obs: metric kind clash on " ^ name)
+
+let counter_ref name =
+  match Hashtbl.find_opt registry name with
+  | Some (M_counter r) -> r
+  | Some _ -> kind_clash name
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace registry name (M_counter r);
+    r
+
+let gauge_ref name =
+  match Hashtbl.find_opt registry name with
+  | Some (M_gauge r) -> r
+  | Some _ -> kind_clash name
+  | None ->
+    let r = ref 0. in
+    Hashtbl.replace registry name (M_gauge r);
+    r
+
+let default_buckets =
+  Array.init 21 (fun i -> Float.of_int (1 lsl i)) (* 1 .. 2^20 *)
+
+let hist ?(buckets = default_buckets) name =
+  match Hashtbl.find_opt registry name with
+  | Some (M_hist h) -> h
+  | Some _ -> kind_clash name
+  | None ->
+    let h =
+      {
+        h_bounds = Array.copy buckets;
+        h_counts = Array.make (Array.length buckets + 1) 0;
+        h_count = 0;
+        h_sum = 0.;
+        h_min = infinity;
+        h_max = neg_infinity;
+      }
+    in
+    Hashtbl.replace registry name (M_hist h);
+    h
+
+let count ?(n = 1) name =
+  if !on then begin
+    let r = counter_ref name in
+    r := !r + n
+  end
+
+let set_gauge name v = if !on then gauge_ref name := v
+
+let max_gauge name v =
+  if !on then begin
+    let r = gauge_ref name in
+    if v > !r then r := v
+  end
+
+let observe ?buckets name v =
+  if !on then begin
+    let h = hist ?buckets name in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let n = Array.length h.h_bounds in
+    let i = ref 0 in
+    while !i < n && v > h.h_bounds.(!i) do
+      incr i
+    done;
+    h.h_counts.(!i) <- h.h_counts.(!i) + 1
+  end
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : (float * int) list;
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of hist_snapshot
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | M_counter r -> Counter_v !r
+        | M_gauge r -> Gauge_v !r
+        | M_hist h ->
+          let buckets =
+            List.init
+              (Array.length h.h_counts)
+              (fun i ->
+                let bound =
+                  if i < Array.length h.h_bounds then h.h_bounds.(i)
+                  else infinity
+                in
+                (bound, h.h_counts.(i)))
+          in
+          Histogram_v
+            {
+              hs_count = h.h_count;
+              hs_sum = h.h_sum;
+              hs_min = h.h_min;
+              hs_max = h.h_max;
+              hs_buckets = buckets;
+            }
+      in
+      (name, v) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let value_json = function
+  | Counter_v n -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+  | Gauge_v v -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float v) ]
+  | Histogram_v h ->
+    Json.Obj
+      [
+        ("type", Json.String "histogram");
+        ("count", Json.Int h.hs_count);
+        ("sum", Json.Float h.hs_sum);
+        ("min", Json.Float h.hs_min);
+        ("max", Json.Float h.hs_max);
+        ( "buckets",
+          Json.List
+            (List.filter_map
+               (fun (bound, n) ->
+                 if n = 0 then None
+                 else
+                   Some
+                     (Json.Obj [ ("le", Json.Float bound); ("n", Json.Int n) ]))
+               h.hs_buckets) );
+      ]
+
+let metrics_json () =
+  Json.Obj (List.map (fun (name, v) -> (name, value_json v)) (snapshot ()))
+
+let reset_metrics () = Hashtbl.reset registry
+
+(* --- span tracing --------------------------------------------------------- *)
+
+type trace_event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char;  (* 'X' complete | 'i' instant *)
+  ev_ts : float;  (* us since epoch *)
+  ev_dur : float;  (* us; 0 for instants *)
+  ev_args : (string * Json.t) list;
+}
+
+let max_events = 1_000_000
+let events : trace_event list ref = ref []  (* reversed *)
+let n_events = ref 0
+let n_dropped = ref 0
+let epoch_us = ref 0.
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let clear_trace () =
+  events := [];
+  n_events := 0;
+  n_dropped := 0;
+  epoch_us := now_us ()
+
+let push ev =
+  if !n_events >= max_events then incr n_dropped
+  else begin
+    events := ev :: !events;
+    incr n_events
+  end
+
+let span_begin () = if !on then now_us () else Float.nan
+
+let span_end ?(cat = "ocapi") ?(args = []) name t0 =
+  if !on && not (Float.is_nan t0) then
+    push
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ph = 'X';
+        ev_ts = t0 -. !epoch_us;
+        ev_dur = now_us () -. t0;
+        ev_args = args;
+      }
+
+let with_span ?cat ?args name f =
+  let t0 = span_begin () in
+  Fun.protect ~finally:(fun () -> span_end ?cat ?args name t0) f
+
+let instant ?(cat = "ocapi") ?(args = []) name =
+  if !on then
+    push
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ph = 'i';
+        ev_ts = now_us () -. !epoch_us;
+        ev_dur = 0.;
+        ev_args = args;
+      }
+
+let event_count () = !n_events
+let dropped_events () = !n_dropped
+
+let event_json ev =
+  let base =
+    [
+      ("name", Json.String ev.ev_name);
+      ("cat", Json.String ev.ev_cat);
+      ("ph", Json.String (String.make 1 ev.ev_ph));
+      ("ts", Json.Float ev.ev_ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let base = if ev.ev_ph = 'X' then base @ [ ("dur", Json.Float ev.ev_dur) ] else base in
+  let base = if ev.ev_ph = 'i' then base @ [ ("s", Json.String "g") ] else base in
+  let base =
+    if ev.ev_args = [] then base else base @ [ ("args", Json.Obj ev.ev_args) ]
+  in
+  Json.Obj base
+
+let trace_json () =
+  Json.to_string
+    (Json.Obj
+       [
+         ("displayTimeUnit", Json.String "ms");
+         ("otherData", Json.Obj [ ("generator", Json.String "ocapi-ml telemetry");
+                                  ("droppedEvents", Json.Int !n_dropped) ]);
+         ("traceEvents", Json.List (List.rev_map event_json !events));
+       ])
+
+let write_trace ~path =
+  let oc = open_out path in
+  output_string oc (trace_json ());
+  close_out oc
+
+(* --- reports --------------------------------------------------------------- *)
+
+let reset () =
+  disable ();
+  reset_metrics ();
+  clear_trace ()
+
+type report = {
+  rp_label : string;
+  rp_seconds : float;
+  rp_metrics : (string * value) list;
+  rp_events : int;
+}
+
+let run_with_telemetry ~label f =
+  let was = !on in
+  reset ();
+  enable ();
+  let t0 = Unix.gettimeofday () in
+  let finish () =
+    let seconds = Unix.gettimeofday () -. t0 in
+    let report =
+      {
+        rp_label = label;
+        rp_seconds = seconds;
+        rp_metrics = snapshot ();
+        rp_events = !n_events;
+      }
+    in
+    on := was;
+    report
+  in
+  match f () with
+  | x -> (x, finish ())
+  | exception e ->
+    ignore (finish ());
+    raise e
+
+let report_json r =
+  Json.Obj
+    [
+      ("label", Json.String r.rp_label);
+      ("wall_seconds", Json.Float r.rp_seconds);
+      ("trace_events", Json.Int r.rp_events);
+      ( "metrics",
+        Json.Obj (List.map (fun (name, v) -> (name, value_json v)) r.rp_metrics)
+      );
+    ]
+
+let pp_value ppf = function
+  | Counter_v n -> Format.fprintf ppf "%d" n
+  | Gauge_v v -> Format.fprintf ppf "%g" v
+  | Histogram_v h ->
+    if h.hs_count = 0 then Format.fprintf ppf "histogram (empty)"
+    else
+      Format.fprintf ppf "n=%d sum=%g min=%g max=%g mean=%g" h.hs_count h.hs_sum
+        h.hs_min h.hs_max
+        (h.hs_sum /. float_of_int h.hs_count)
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>telemetry %s: %.3fs wall, %d trace events@,"
+    r.rp_label r.rp_seconds r.rp_events;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %-36s %a@," name pp_value v)
+    r.rp_metrics;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,147 @@
+(** Simulation telemetry: a process-wide registry of counters, gauges
+    and histograms plus a span tracer exporting Chrome trace-event JSON.
+
+    The paper's Table 1 says {e how fast} each simulation engine is;
+    this module is the instrument that says {e why}.  Every engine of
+    the environment (the three-phase scheduler, the compiled closure
+    program, the event-driven RT kernel, the gate-level simulator) and
+    the synthesis passes report into the same registry, and timed spans
+    accumulate into a trace that Perfetto or [chrome://tracing] opens
+    directly.
+
+    Telemetry is {b disabled by default} and the disabled path is cheap
+    enough to leave compiled into the hot loops: one mutable-bool read
+    per instrumentation site.  Nothing is recorded, and no time source
+    is consulted, until {!enable} is called. *)
+
+(** {1 Minimal JSON} *)
+
+(** A tiny JSON tree and serializer, so telemetry (and the benchmark
+    harness) can emit well-formed JSON without an external dependency.
+    Serialization escapes control characters, quotes and backslashes;
+    non-finite floats print as [null]. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_buffer : Buffer.t -> t -> unit
+  val to_string : t -> string
+end
+
+(** {1 Master switch} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** {1 Metrics}
+
+    Metrics are identified by name in one process-wide registry.  The
+    by-name operations below look the metric up (creating it on first
+    use) and are intended for enabled-path instrumentation; they are
+    no-ops while telemetry is disabled. *)
+
+(** [count ?n name] adds [n] (default 1) to the counter [name]. *)
+val count : ?n:int -> string -> unit
+
+(** [set_gauge name v] sets the gauge [name] to [v]. *)
+val set_gauge : string -> float -> unit
+
+(** [max_gauge name v] raises the gauge [name] to [v] if [v] is larger
+    (a high-water mark). *)
+val max_gauge : string -> float -> unit
+
+(** [observe ?buckets name v] records [v] into the histogram [name].
+    [buckets] (ascending upper bounds; a final overflow bucket is
+    implicit) is honoured only when the histogram is first created;
+    the default is powers of two from 1 to 2{^20}. *)
+val observe : ?buckets:float array -> string -> float -> unit
+
+(** A histogram snapshot: [hs_buckets] pairs each upper bound with its
+    cumulative-free (per-bucket) count; the final pair has bound
+    [infinity].  [hs_min]/[hs_max] are [infinity]/[neg_infinity] when
+    empty. *)
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : (float * int) list;
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of hist_snapshot
+
+(** All registered metrics, sorted by name. *)
+val snapshot : unit -> (string * value) list
+
+val value_json : value -> Json.t
+
+(** The whole registry as a JSON object keyed by metric name. *)
+val metrics_json : unit -> Json.t
+
+(** Drop every registered metric. *)
+val reset_metrics : unit -> unit
+
+(** {1 Span tracing}
+
+    Spans become Chrome trace-event ["ph":"X"] (complete) events.
+    Timestamps are microseconds since the last {!clear_trace} (or
+    {!reset}).  The buffer is bounded; events past the cap are counted
+    in {!dropped_events} instead of recorded. *)
+
+(** [span_begin ()] is the current time in microseconds, or [nan] while
+    telemetry is disabled. *)
+val span_begin : unit -> float
+
+(** [span_end ?cat ?args name t0] records the span [name] begun at
+    [t0].  A no-op when [t0] is [nan] or telemetry has been disabled
+    meanwhile. *)
+val span_end : ?cat:string -> ?args:(string * Json.t) list -> string -> float -> unit
+
+(** [with_span ?cat ?args name f] runs [f ()] inside a span. *)
+val with_span : ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** An instant (["ph":"i"]) event. *)
+val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+
+val event_count : unit -> int
+val dropped_events : unit -> int
+val clear_trace : unit -> unit
+
+(** The trace as a Chrome trace-event JSON object
+    ([{"traceEvents": [...], ...}]) — open it in Perfetto or
+    [chrome://tracing]. *)
+val trace_json : unit -> string
+
+val write_trace : path:string -> unit
+
+(** {1 Reports} *)
+
+(** [reset ()] = {!disable} + {!reset_metrics} + {!clear_trace}: back to
+    the pristine (disabled, empty) state. *)
+val reset : unit -> unit
+
+type report = {
+  rp_label : string;
+  rp_seconds : float;  (** wall-clock of the measured section *)
+  rp_metrics : (string * value) list;
+  rp_events : int;  (** trace events recorded (after drops) *)
+}
+
+(** [run_with_telemetry ~label f] resets the registry and the trace,
+    enables telemetry, runs [f], snapshots, and restores the previous
+    enabled state.  The trace buffer is left intact so the caller can
+    {!write_trace} afterwards. *)
+val run_with_telemetry : label:string -> (unit -> 'a) -> 'a * report
+
+val report_json : report -> Json.t
+val pp_report : Format.formatter -> report -> unit

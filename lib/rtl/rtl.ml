@@ -26,6 +26,13 @@ type probe_rec = {
   mutable pb_history : (int * Fixed.t) list;  (* reversed *)
 }
 
+(* Optional per-signal value recording (waveform dumping). *)
+type trace_rec = {
+  tr_signal : rtl_signal;
+  mutable tr_last : Fixed.t option;  (* last recorded value *)
+  mutable tr_hist : (int * Fixed.t) list;  (* reversed *)
+}
+
 type t = {
   mutable signals : rtl_signal list;  (* reversed *)
   mutable processes : process_ list;  (* reversed *)
@@ -38,6 +45,7 @@ type t = {
   kernel_commits : (unit -> unit) list;
   kernel_procs : process_ list;
   regs : Signal.Reg.t list;
+  mutable traces : trace_rec list;  (* [] unless trace_all was called *)
   mutable cycle_count : int;
   mutable initialized : bool;
   mutable n_events : int;
@@ -379,6 +387,7 @@ let of_system sys =
     kernel_commits = !kernel_commits;
     kernel_procs = !kernel_procs;
     regs = Cycle_system.all_regs sys;
+    traces = [];
     cycle_count = 0;
     initialized = false;
     n_events = 0;
@@ -392,11 +401,16 @@ let of_system sys =
 
 (* Apply assignments, wake sensitive processes of changed signals, loop. *)
 let settle t initial_assignments =
+  let obs = Ocapi_obs.enabled () in
   let pending = ref initial_assignments in
   let deltas = ref 0 in
   while !pending <> [] do
     incr deltas;
     t.n_deltas <- t.n_deltas + 1;
+    if obs then
+      (* pending transactions = the event queue of this delta *)
+      Ocapi_obs.max_gauge "rtl.queue_high_water"
+        (float_of_int (List.length !pending));
     if !deltas > t.max_deltas then
       raise
         (Delta_overflow
@@ -442,6 +456,11 @@ let initialize t =
   end
 
 let cycle t =
+  let t_cycle = Ocapi_obs.span_begin () in
+  let events0 = t.n_events
+  and transactions0 = t.n_transactions
+  and deltas0 = t.n_deltas
+  and activations0 = t.n_activations in
   initialize t;
   (* Drive primary inputs, settle. *)
   let input_assignments =
@@ -462,6 +481,20 @@ let cycle t =
       if pb.pb_signal.sg_driven_this_cycle then
         pb.pb_history <- (t.cycle_count, pb.pb_signal.sg_value) :: pb.pb_history)
     t.probes;
+  (* Record traced signals whose value changed (waveform dumping). *)
+  List.iter
+    (fun tr ->
+      let v = tr.tr_signal.sg_value in
+      let changed =
+        match tr.tr_last with
+        | None -> true
+        | Some prev -> not (Fixed.equal prev v)
+      in
+      if changed then begin
+        tr.tr_last <- Some v;
+        tr.tr_hist <- (t.cycle_count, v) :: tr.tr_hist
+      end)
+    t.traces;
   (* Rising edge, settle. *)
   settle t [ (t.clk, Fixed.of_bool true) ];
   (* Kernel state commits happen at the edge; committed state may change
@@ -479,6 +512,16 @@ let cycle t =
   end;
   (* Falling edge, settle. *)
   settle t [ (t.clk, Fixed.of_bool false) ];
+  if Ocapi_obs.enabled () then begin
+    Ocapi_obs.count "rtl.cycles";
+    Ocapi_obs.count ~n:(t.n_events - events0) "rtl.events_fired";
+    Ocapi_obs.count ~n:(t.n_transactions - transactions0)
+      "rtl.events_scheduled";
+    Ocapi_obs.count ~n:(t.n_activations - activations0) "rtl.activations";
+    Ocapi_obs.observe "rtl.deltas_per_cycle"
+      (float_of_int (t.n_deltas - deltas0));
+    Ocapi_obs.span_end ~cat:"rtl" "rtl.cycle" t_cycle
+  end;
   t.cycle_count <- t.cycle_count + 1
 
 let run t n =
@@ -507,7 +550,27 @@ let reset t =
     t.signals;
   List.iter Signal.Reg.reset t.regs;
   List.iter (fun f -> f ()) t.resets;
-  List.iter (fun pb -> pb.pb_history <- []) t.probes
+  List.iter (fun pb -> pb.pb_history <- []) t.probes;
+  List.iter
+    (fun tr ->
+      tr.tr_last <- None;
+      tr.tr_hist <- [])
+    t.traces
+
+let trace_all t =
+  if t.traces = [] then
+    t.traces <-
+      List.rev_map
+        (fun s -> { tr_signal = s; tr_last = None; tr_hist = [] })
+        t.signals
+
+let traced_histories t =
+  List.map
+    (fun tr ->
+      ( tr.tr_signal.sg_name,
+        (Fixed.fmt tr.tr_signal.sg_value).Fixed.width,
+        List.rev tr.tr_hist ))
+    t.traces
 
 let signal_count t = List.length t.signals
 let process_count t = List.length t.processes

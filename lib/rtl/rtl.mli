@@ -45,6 +45,19 @@ val output_history : t -> string -> (int * Fixed.t) list
 
 val reset : t -> unit
 
+(** {1 Signal tracing (waveform dumping)} *)
+
+(** Enable per-signal value recording: each subsequent {!cycle} records,
+    at the probe-sampling point, every signal whose value changed since
+    it was last recorded.  Costs one sweep of the signal list per cycle;
+    leave off for timed runs. *)
+val trace_all : t -> unit
+
+(** Recorded signal histories as (signal name, bit width, history);
+    each history entry is the cycle at which the signal took a new
+    value. *)
+val traced_histories : t -> (string * int * (int * Fixed.t) list) list
+
 (** {1 Size and activity metrics} *)
 
 val signal_count : t -> int

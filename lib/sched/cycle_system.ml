@@ -247,7 +247,11 @@ let untimed_ready t c k fired =
            t.s_nets)
        k.Dataflow.Kernel.k_inputs
 
+(* Per-component firing counters; only consulted when telemetry is on. *)
+let obs_fire cname = Ocapi_obs.count ("sched.fire." ^ cname)
+
 let fire_untimed t marked c k fired =
+  if Ocapi_obs.enabled () then obs_fire c.c_name;
   let consumed =
     List.map
       (fun (port, _) ->
@@ -377,11 +381,30 @@ let deadlock_report marked =
       else Some (Printf.sprintf "%s/%s" m.m_comp.c_name (Sfg.name m.m_sfg)))
     marked
 
+(* Telemetry for one scheduler cycle, shared by both disciplines.
+   Deltas of the existing activity counters are pushed when enabled. *)
+let obs_cycle_done t ~tokens0 ~evals0 ~fires0 marked =
+  if Ocapi_obs.enabled () then begin
+    Ocapi_obs.count "sched.cycles";
+    Ocapi_obs.count ~n:(List.length marked) "sched.sfg_firings";
+    List.iter (fun m -> if m.m_complete then obs_fire m.m_comp.c_name) marked;
+    Ocapi_obs.count ~n:(t.tokens_transferred - tokens0) "sched.tokens";
+    Ocapi_obs.count ~n:(t.untimed_fires - fires0) "sched.untimed_firings";
+    Ocapi_obs.observe "sched.eval_iterations_per_cycle"
+      (float_of_int (t.eval_iterations - evals0))
+  end
+
 (* The three-phase cycle of section 4. *)
 let cycle t =
+  let t_cycle = Ocapi_obs.span_begin () in
+  let tokens0 = t.tokens_transferred
+  and evals0 = t.eval_iterations
+  and fires0 = t.untimed_fires in
+  let t_sel = Ocapi_obs.span_begin () in
   let marked, chosen = select_transitions t in
   let fired_untimed = Hashtbl.create 8 in
   drive_primary_inputs t marked;
+  Ocapi_obs.span_end ~cat:"sched" "sched.select+inputs" t_sel;
   (* Phase 1: token production — partial firing with nothing bound except
      primary inputs produces exactly the outputs that depend only on
      registers and constants (and already-arrived primary inputs). *)
@@ -398,8 +421,11 @@ let cycle t =
     end
     else false
   in
+  let t_p1 = Ocapi_obs.span_begin () in
   List.iter (fun m -> ignore (fire_marked m)) marked;
+  Ocapi_obs.span_end ~cat:"sched" "sched.phase1.token-production" t_p1;
   (* Phases 2a/2b: iterative evaluation. *)
+  let t_p2 = Ocapi_obs.span_begin () in
   let untimed = untimed_list t in
   let progress = ref true in
   while
@@ -429,18 +455,27 @@ let cycle t =
         end)
       untimed
   done;
+  Ocapi_obs.span_end ~cat:"sched" "sched.phase2.evaluate" t_p2;
   (match deadlock_report marked with
   | [] -> ()
   | waiting ->
     clear_nets t;
     raise (Deadlock waiting));
   (* Phase 3: register update. *)
+  let t_p3 = Ocapi_obs.span_begin () in
   commit_fired_kernels t fired_untimed;
-  commit_and_advance t marked chosen
+  commit_and_advance t marked chosen;
+  Ocapi_obs.span_end ~cat:"sched" "sched.phase3.commit" t_p3;
+  obs_cycle_done t ~tokens0 ~evals0 ~fires0 marked;
+  Ocapi_obs.span_end ~cat:"sched" "sched.cycle" t_cycle
 
 (* The classic two-phase discipline: no token-production phase; an SFG
    fires only once all of its inputs are bound. *)
 let cycle_two_phase t =
+  let t_cycle = Ocapi_obs.span_begin () in
+  let tokens0 = t.tokens_transferred
+  and evals0 = t.eval_iterations
+  and fires0 = t.untimed_fires in
   let marked, chosen = select_transitions t in
   let fired_untimed = Hashtbl.create 8 in
   drive_primary_inputs t marked;
@@ -479,7 +514,9 @@ let cycle_two_phase t =
     clear_nets t;
     raise (Deadlock waiting));
   commit_fired_kernels t fired_untimed;
-  commit_and_advance t marked chosen
+  commit_and_advance t marked chosen;
+  obs_cycle_done t ~tokens0 ~evals0 ~fires0 marked;
+  Ocapi_obs.span_end ~cat:"sched" "sched.cycle" t_cycle
 
 let run ?(two_phase = false) t n =
   for _ = 1 to n do

@@ -335,7 +335,22 @@ let run_once nl =
    a fixpoint.  Loop until the weighted size stops improving. *)
 let run nl =
   let rec go current first_stats passes =
+    let t_pass = Ocapi_obs.span_begin () in
     let optimized, stats = run_once current in
+    if Ocapi_obs.enabled () then begin
+      Ocapi_obs.count "netopt.passes";
+      Ocapi_obs.count
+        ~n:(max 0 (stats.equivalents_before - stats.equivalents_after))
+        "netopt.gate_equivalents_removed";
+      Ocapi_obs.span_end ~cat:"synth"
+        ~args:
+          [
+            ("pass", Ocapi_obs.Json.Int passes);
+            ("gates_before", Ocapi_obs.Json.Int stats.equivalents_before);
+            ("gates_after", Ocapi_obs.Json.Int stats.equivalents_after);
+          ]
+        "netopt.pass" t_pass
+    end;
     let merged =
       match first_stats with
       | None -> stats

@@ -356,6 +356,7 @@ let synthesize_controller nl fsm ~encoding ~guard_net =
    [drive port bus] connects an output port to its system net. *)
 let synthesize_component nl ~options ~cname fsm ~in_bus ~drive =
   let t0 = Unix.gettimeofday () in
+  let t_span = Ocapi_obs.span_begin () in
   let before = (Netlist.counts nl).Netlist.gate_equivalents in
   let regs = Fsm.all_regs fsm in
   (* Pre-allocated register output buses. *)
@@ -541,6 +542,13 @@ let synthesize_component nl ~options ~cname fsm ~in_bus ~drive =
         Array.iteri (fun i dst -> Netlist.buf_into nl ~dst bus.(i)) net_bus)
     out_choices;
   let after = (Netlist.counts nl).Netlist.gate_equivalents in
+  if Ocapi_obs.enabled () then begin
+    Ocapi_obs.count "synth.components";
+    Ocapi_obs.count ~n:(after - before) "synth.gate_equivalents";
+    Ocapi_obs.span_end ~cat:"synth"
+      ~args:[ ("gates", Ocapi_obs.Json.Int (after - before)) ]
+      ("synth." ^ cname) t_span
+  end;
   {
     cr_name = cname;
     cr_instructions = Array.length transitions;
@@ -558,6 +566,7 @@ let synthesize_component nl ~options ~cname fsm ~in_bus ~drive =
 let synthesize ?(options = default_options) ?(macro_of_kernel = fun _ -> None)
     sys =
   let t0 = Unix.gettimeofday () in
+  let t_span = Ocapi_obs.span_begin () in
   let nl = Netlist.create (Cycle_system.name sys) in
   let fmts = Cycle_system.net_formats sys in
   let nets = Cycle_system.nets sys in
@@ -643,6 +652,17 @@ let synthesize ?(options = default_options) ?(macro_of_kernel = fun _ -> None)
       total_seconds = Unix.gettimeofday () -. t0;
     }
   in
+  if Ocapi_obs.enabled () then begin
+    Ocapi_obs.set_gauge "synth.total_gate_equivalents"
+      (float_of_int report.total.Netlist.gate_equivalents);
+    Ocapi_obs.span_end ~cat:"synth"
+      ~args:
+        [
+          ("gates", Ocapi_obs.Json.Int report.total.Netlist.gate_equivalents);
+          ("components", Ocapi_obs.Json.Int (List.length reports));
+        ]
+      "synth.elaborate" t_span
+  end;
   (nl, report)
 
 let pp_report ppf r =

@@ -20,4 +20,5 @@ let () =
       ("exhaustive", Test_exhaustive.suite);
       ("opcomplete", Test_opcomplete.suite);
       ("flow", Test_flow.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,352 @@
+(* Tests for the Ocapi_obs telemetry library: deterministic counter and
+   histogram semantics, Chrome trace-event JSON well-formedness, and the
+   guarantee that instrumentation never changes simulation results. *)
+
+let s8 = Fixed.signed ~width:8 ~frac:0
+
+(* A minimal JSON well-formedness checker (recursive descent over the
+   grammar); the repo deliberately has no JSON dependency, so the
+   emitter is validated against an independent reading of the spec. *)
+let json_well_formed text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail = ref false in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && text.[!pos] = c then incr pos else fail := true
+  in
+  let literal s =
+    let l = String.length s in
+    if !pos + l <= n && String.sub text !pos l = s then pos := !pos + l
+    else fail := true
+  in
+  let string_ () =
+    expect '"';
+    let closed = ref false in
+    while (not !closed) && (not !fail) && !pos < n do
+      match text.[!pos] with
+      | '"' ->
+        incr pos;
+        closed := true
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail := true
+        else (
+          (match text.[!pos] with
+          | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> ()
+          | 'u' ->
+            for _ = 1 to 4 do
+              incr pos;
+              match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> ()
+              | _ -> fail := true
+            done
+          | _ -> fail := true);
+          incr pos)
+      | c when Char.code c < 0x20 -> fail := true
+      | _ -> incr pos
+    done;
+    if not !closed then fail := true
+  in
+  let number () =
+    let is_num c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let start = !pos in
+    while !pos < n && is_num text.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail := true
+    else
+      match float_of_string_opt (String.sub text start (!pos - start)) with
+      | Some _ -> ()
+      | None -> fail := true
+  in
+  let rec value () =
+    if !fail then ()
+    else begin
+      skip_ws ();
+      (match peek () with
+      | Some '"' -> string_ ()
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then incr pos
+        else begin
+          let continue = ref true in
+          while !continue && not !fail do
+            skip_ws ();
+            string_ ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos
+            | Some '}' ->
+              incr pos;
+              continue := false
+            | _ ->
+              fail := true;
+              continue := false
+          done
+        end
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then incr pos
+        else begin
+          let continue = ref true in
+          while !continue && not !fail do
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos
+            | Some ']' ->
+              incr pos;
+              continue := false
+            | _ ->
+              fail := true;
+              continue := false
+          done
+        end
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some _ -> number ()
+      | None -> fail := true)
+    end
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !pos = n
+
+(* A small self-contained design: an accumulator over a ramp input. *)
+let mini_system () =
+  let clk = Clock.default in
+  let acc = Signal.Reg.create clk "obs_acc" s8 in
+  let sfg =
+    Sfg.build "obs_step" (fun b ->
+        let x = Sfg.Builder.input b "x" s8 in
+        Sfg.Builder.output b "y"
+          (Signal.resize s8 Signal.(reg_q acc +: x));
+        Sfg.Builder.assign_resized b acc Signal.(reg_q acc +: x))
+  in
+  let fsm = Fsm.create "obs_ctl" in
+  let s0 = Fsm.initial fsm "s0" in
+  Fsm.(s0 |-- always |+ sfg |-> s0);
+  let sys = Cycle_system.create "obs_mini" in
+  let t = Cycle_system.add_timed sys "comp" fsm in
+  let inp =
+    Cycle_system.add_input sys "x" s8 (fun c -> Some (Fixed.of_int s8 (c mod 5)))
+  in
+  let out = Cycle_system.add_output sys "y" in
+  ignore (Cycle_system.connect sys (inp, "out") [ (t, "x") ]);
+  ignore (Cycle_system.connect sys (t, "y") [ (out, "in") ]);
+  sys
+
+let test_counters () =
+  Ocapi_obs.reset ();
+  Ocapi_obs.count "t.a";
+  Alcotest.(check (list (pair string string)))
+    "disabled counting is a no-op" []
+    (List.map
+       (fun (k, _) -> (k, ""))
+       (Ocapi_obs.snapshot ()));
+  Ocapi_obs.enable ();
+  Ocapi_obs.count "t.a";
+  Ocapi_obs.count "t.a";
+  Ocapi_obs.count ~n:40 "t.a";
+  Ocapi_obs.count "t.b";
+  Ocapi_obs.set_gauge "t.g" 2.5;
+  Ocapi_obs.max_gauge "t.g" 7.0;
+  Ocapi_obs.max_gauge "t.g" 3.0;
+  let snap = Ocapi_obs.snapshot () in
+  (match List.assoc "t.a" snap with
+  | Ocapi_obs.Counter_v v -> Alcotest.(check int) "t.a" 42 v
+  | _ -> Alcotest.fail "t.a not a counter");
+  (match List.assoc "t.b" snap with
+  | Ocapi_obs.Counter_v v -> Alcotest.(check int) "t.b" 1 v
+  | _ -> Alcotest.fail "t.b not a counter");
+  (match List.assoc "t.g" snap with
+  | Ocapi_obs.Gauge_v v -> Alcotest.(check (float 0.0)) "t.g keeps max" 7.0 v
+  | _ -> Alcotest.fail "t.g not a gauge");
+  (* snapshot is sorted by name: deterministic output. *)
+  Alcotest.(check (list string))
+    "sorted keys" [ "t.a"; "t.b"; "t.g" ]
+    (List.map fst snap);
+  Ocapi_obs.reset ()
+
+let test_histogram () =
+  Ocapi_obs.reset ();
+  Ocapi_obs.enable ();
+  let buckets = [| 1.0; 10.0; 100.0 |] in
+  List.iter
+    (fun v -> Ocapi_obs.observe ~buckets "t.h" v)
+    [ 0.5; 1.0; 5.0; 50.0; 5000.0 ];
+  (match List.assoc "t.h" (Ocapi_obs.snapshot ()) with
+  | Ocapi_obs.Histogram_v h ->
+    Alcotest.(check int) "count" 5 h.Ocapi_obs.hs_count;
+    Alcotest.(check (float 1e-9)) "sum" 5056.5 h.Ocapi_obs.hs_sum;
+    Alcotest.(check (float 0.0)) "min" 0.5 h.Ocapi_obs.hs_min;
+    Alcotest.(check (float 0.0)) "max" 5000.0 h.Ocapi_obs.hs_max;
+    (* cumulative "<=" buckets, plus an overflow bucket at +inf *)
+    Alcotest.(check (list int))
+      "bucket counts" [ 2; 1; 1; 1 ]
+      (List.map snd h.Ocapi_obs.hs_buckets)
+  | _ -> Alcotest.fail "t.h not a histogram");
+  Ocapi_obs.reset ()
+
+let test_trace_json () =
+  Ocapi_obs.reset ();
+  Ocapi_obs.enable ();
+  let t0 = Ocapi_obs.span_begin () in
+  Ocapi_obs.span_end ~cat:"test"
+    ~args:[ ("tricky \"name\"\n", Ocapi_obs.Json.String "a\\b\twith\x01ctrl") ]
+    "outer" t0;
+  Ocapi_obs.with_span "inner" (fun () -> ());
+  Ocapi_obs.instant "marker";
+  Alcotest.(check int) "three events" 3 (Ocapi_obs.event_count ());
+  let text = Ocapi_obs.trace_json () in
+  Alcotest.(check bool) "trace json well-formed" true (json_well_formed text);
+  let metrics = Ocapi_obs.Json.to_string (Ocapi_obs.metrics_json ()) in
+  Alcotest.(check bool) "metrics json well-formed" true
+    (json_well_formed metrics);
+  (* Non-finite floats must not leak bare nan/inf tokens into JSON. *)
+  let weird =
+    Ocapi_obs.Json.to_string
+      (Ocapi_obs.Json.List
+         [ Ocapi_obs.Json.Float Float.nan; Ocapi_obs.Json.Float infinity ])
+  in
+  Alcotest.(check string) "non-finite floats are null" "[null,null]" weird;
+  Ocapi_obs.clear_trace ();
+  Alcotest.(check int) "cleared" 0 (Ocapi_obs.event_count ());
+  Ocapi_obs.reset ()
+
+let test_disabled_spans_are_free () =
+  Ocapi_obs.reset ();
+  let t0 = Ocapi_obs.span_begin () in
+  Ocapi_obs.span_end "never" t0;
+  Ocapi_obs.instant "never";
+  Alcotest.(check int) "no events recorded" 0 (Ocapi_obs.event_count ());
+  Alcotest.(check bool) "span_begin is nan when disabled" true
+    (Float.is_nan t0)
+
+let histories_equal = Alcotest.(check bool) "histories equal" true
+
+let test_instrumented_equals_plain () =
+  let sys = mini_system () in
+  let cycles = 40 in
+  let plain_i = Flow.simulate sys ~cycles in
+  let plain_c = Flow.simulate_compiled sys ~cycles in
+  let plain_r = Flow.simulate_rtl sys ~cycles in
+  let cell = ref None in
+  let tele_i = Flow.simulate ~telemetry:cell sys ~cycles in
+  (match !cell with
+  | Some rp ->
+    (match List.assoc_opt "sched.cycles" rp.Ocapi_obs.rp_metrics with
+    | Some (Ocapi_obs.Counter_v n) -> Alcotest.(check int) "cycles" cycles n
+    | _ -> Alcotest.fail "sched.cycles missing")
+  | None -> Alcotest.fail "no interp report");
+  let tele_c = Flow.simulate_compiled ~telemetry:cell sys ~cycles in
+  (match !cell with
+  | Some rp ->
+    (match List.assoc_opt "compiled.steps" rp.Ocapi_obs.rp_metrics with
+    | Some (Ocapi_obs.Counter_v n) -> Alcotest.(check int) "steps" cycles n
+    | _ -> Alcotest.fail "compiled.steps missing")
+  | None -> Alcotest.fail "no compiled report");
+  let tele_r = Flow.simulate_rtl ~telemetry:cell sys ~cycles in
+  histories_equal (Flow.first_history_mismatch plain_i tele_i = None);
+  histories_equal (Flow.first_history_mismatch plain_c tele_c = None);
+  histories_equal (Flow.first_history_mismatch plain_r tele_r = None);
+  (* Telemetry scope is popped: back to disabled. *)
+  Alcotest.(check bool) "disabled after scope" false (Ocapi_obs.enabled ());
+  Ocapi_obs.reset ()
+
+let test_first_history_mismatch () =
+  let h v = [ (0, Fixed.of_int s8 1); (1, Fixed.of_int s8 v) ] in
+  Alcotest.(check bool)
+    "equal histories" true
+    (Flow.first_history_mismatch [ ("p", h 2) ] [ ("p", h 2) ] = None);
+  (match Flow.first_history_mismatch [ ("p", h 2) ] [ ("p", h 3) ] with
+  | Some (probe, Some cyc, _) ->
+    Alcotest.(check string) "probe" "p" probe;
+    Alcotest.(check int) "cycle" 1 cyc
+  | _ -> Alcotest.fail "expected a value mismatch");
+  (match
+     Flow.first_history_mismatch
+       [ ("p", h 2) ]
+       [ ("p", [ (0, Fixed.of_int s8 1) ]) ]
+   with
+  | Some (_, Some 1, _) -> ()
+  | _ -> Alcotest.fail "expected a truncated-history mismatch");
+  let sys = mini_system () in
+  Alcotest.(check (list string))
+    "engines agree on mini design" []
+    (Flow.engines_agree sys ~cycles:30)
+
+let test_vcd_engines () =
+  let sys = mini_system () in
+  let reference = Flow.simulate sys ~cycles:20 in
+  List.iter
+    (fun engine ->
+      let text = Vcd.record ~engine sys ~cycles:20 in
+      Alcotest.(check bool) "has header" true
+        (String.length text > 0 && String.sub text 0 8 = "$comment");
+      let has needle =
+        let nh = String.length text and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub text i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "declares wires" true (has "$var wire");
+      Alcotest.(check bool) "has value changes" true (has "#0\n");
+      (* Recording a VCD must not corrupt subsequent simulation. *)
+      Alcotest.(check bool)
+        "simulation unchanged after vcd" true
+        (Flow.first_history_mismatch reference (Flow.simulate sys ~cycles:20)
+        = None))
+    [ Vcd.Interp; Vcd.Compiled; Vcd.Rtl_engine ]
+
+let test_run_with_telemetry_report () =
+  Ocapi_obs.reset ();
+  let result, report =
+    Ocapi_obs.run_with_telemetry ~label:"unit" (fun () ->
+        Ocapi_obs.count ~n:3 "t.x";
+        Ocapi_obs.with_span "work" (fun () -> 17))
+  in
+  Alcotest.(check int) "result passes through" 17 result;
+  Alcotest.(check string) "label" "unit" report.Ocapi_obs.rp_label;
+  Alcotest.(check bool) "wall time non-negative" true
+    (report.Ocapi_obs.rp_seconds >= 0.0);
+  Alcotest.(check int) "one span" 1 report.Ocapi_obs.rp_events;
+  let json = Ocapi_obs.Json.to_string (Ocapi_obs.report_json report) in
+  Alcotest.(check bool) "report json well-formed" true (json_well_formed json);
+  Ocapi_obs.reset ()
+
+let suite =
+  [
+    Alcotest.test_case "counter and gauge semantics" `Quick test_counters;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "trace JSON well-formed" `Quick test_trace_json;
+    Alcotest.test_case "disabled path records nothing" `Quick
+      test_disabled_spans_are_free;
+    Alcotest.test_case "instrumented run equals plain run" `Quick
+      test_instrumented_equals_plain;
+    Alcotest.test_case "first_history_mismatch pinpointing" `Quick
+      test_first_history_mismatch;
+    Alcotest.test_case "VCD from all three engines" `Quick test_vcd_engines;
+    Alcotest.test_case "run_with_telemetry report" `Quick
+      test_run_with_telemetry_report;
+  ]
