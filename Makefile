@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json profile clean
+.PHONY: all build test bench bench-json fault profile clean
 
 all: build
 
@@ -16,6 +16,13 @@ bench: build
 # (engine -> cycles/sec, process bytes, source lines).
 bench-json: build
 	dune exec bench/main.exe -- t1-json
+
+# Fault campaigns: a small deterministic DECT SEU campaign (seeded, so
+# repeated runs print the same classification table) plus the bench
+# target that writes ./BENCH_fault.json (coverage %, runs/sec).
+fault: build
+	dune exec bin/ocapi_cli.exe -- fault --design dect --campaign seu --runs 200 --seed 1
+	dune exec bench/main.exe -- fault
 
 # Telemetry demo: metrics report + Chrome trace for the DECT compiled
 # simulator (open the .trace.json in https://ui.perfetto.dev).

@@ -3,7 +3,7 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- t1      -- one target
-     targets: t1 t1-json c3 c4 c5 c6 f5 figs micro
+     targets: t1 t1-json c3 c4 c5 c6 f5 figs fault micro
 
    T1  Table 1 (source lines / cycles-per-second / process size for
        HCOR and DECT under four simulation engines); also written
@@ -14,6 +14,8 @@
    C5  datapath synthesis: operator sharing and run times (section 6)
    C6  generated-test-bench verification of the synthesized netlists
    F5  the DECT architecture audit (fig 5) with per-component gates
+   fault  fault-campaign throughput: HCOR stuck-at coverage and a DECT
+       SEU campaign; written machine-readably to BENCH_fault.json
    micro  Bechamel micro-benchmarks of the engines' single cycles *)
 
 let hcor_design () =
@@ -472,11 +474,68 @@ let micro () =
     ols;
   print_newline ()
 
+(* ---- fault: fault-campaign coverage and throughput ----------------------- *)
+
+let fault_bench () =
+  print_endline "== fault: stuck-at coverage and SEU campaign throughput ==";
+  let t0 = Unix.gettimeofday () in
+  let sa =
+    Ocapi_fault.stuck_at_system ~max_faults:200 ~seed:1 (hcor_design ())
+      ~cycles:24
+  in
+  let sa_seconds = Unix.gettimeofday () -. t0 in
+  let sa_rate = float_of_int sa.Ocapi_fault.st_simulated /. sa_seconds in
+  Printf.printf
+    "hcor stuck-at: universe %d, collapsed %d, simulated %d, coverage %.1f%% \
+     (%.1f faults/s)\n"
+    sa.Ocapi_fault.st_universe sa.Ocapi_fault.st_collapsed
+    sa.Ocapi_fault.st_simulated
+    (100.0 *. sa.Ocapi_fault.st_coverage)
+    sa_rate;
+  let t1 = Unix.gettimeofday () in
+  let seu =
+    Ocapi_fault.seu_campaign ~engine:Ocapi_fault.Compiled ~runs:1000 ~seed:1
+      (dect_design ()) ~cycles:64
+  in
+  let seu_seconds = Unix.gettimeofday () -. t1 in
+  let seu_rate = float_of_int seu.Ocapi_fault.seu_runs /. seu_seconds in
+  Printf.printf
+    "dect seu (%s): %d runs -- masked %d, sdc %d, detected %d (%.0f runs/s)\n"
+    seu.Ocapi_fault.seu_engine seu.Ocapi_fault.seu_runs
+    seu.Ocapi_fault.seu_masked seu.Ocapi_fault.seu_sdc
+    seu.Ocapi_fault.seu_detected seu_rate;
+  let json =
+    Ocapi_obs.Json.(
+      Obj
+        [
+          ( "stuck_at",
+            Obj
+              [
+                ("report", Ocapi_fault.stuck_report_json sa);
+                ("seconds", Float sa_seconds);
+                ("faults_per_second", Float sa_rate);
+              ] );
+          ( "seu",
+            Obj
+              [
+                ("report", Ocapi_fault.seu_report_json seu);
+                ("seconds", Float seu_seconds);
+                ("runs_per_second", Float seu_rate);
+              ] );
+        ])
+  in
+  let oc = open_out "BENCH_fault.json" in
+  output_string oc (Ocapi_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_fault.json";
+  print_newline ()
+
 let () =
   let targets =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "t1"; "c3"; "c4"; "c5"; "c6"; "f5"; "figs"; "micro" ]
+    | _ -> [ "t1"; "c3"; "c4"; "c5"; "c6"; "f5"; "figs"; "fault"; "micro" ]
   in
   List.iter
     (fun t ->
@@ -489,6 +548,7 @@ let () =
       | "c6" -> c6 ()
       | "f5" -> f5 ()
       | "figs" -> figs ()
+      | "fault" -> fault_bench ()
       | "micro" -> micro ()
       | other -> Printf.printf "unknown bench target %s\n" other)
     targets

@@ -248,6 +248,93 @@ let profile_cmd =
       const run $ profile_design_arg $ profile_engine_arg $ cycles_arg 200
       $ dir_arg)
 
+(* fault *)
+let fault_design_arg =
+  let doc = "Reference design to run the campaign on: hcor or dect." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "design"; "d" ] ~docv:"DESIGN" ~doc)
+
+let campaign_arg =
+  let doc = "Campaign: stuck-at (gate level) or seu (register bit flips)." in
+  Arg.(value & opt string "seu" & info [ "campaign"; "c" ] ~docv:"KIND" ~doc)
+
+let runs_arg =
+  let doc = "SEU runs (each is one independent simulation)." in
+  Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Campaign seed; the same seed reproduces the same report." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let max_faults_arg =
+  let doc = "Cap the stuck-at campaign to a seeded sample of N faults." in
+  Arg.(value & opt (some int) None & info [ "max-faults" ] ~docv:"N" ~doc)
+
+let fault_engine_arg =
+  let doc = "SEU engine: interp, compiled or rtl." in
+  Arg.(value & opt string "compiled" & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.")
+
+let fault_cmd =
+  let run name campaign cycles runs seed max_faults engine json =
+    with_design name (fun d ->
+        match campaign with
+        | "stuck-at" | "stuck_at" | "sa" ->
+          let report, telemetry =
+            Ocapi_obs.run_with_telemetry ~label:(name ^ ".stuck-at")
+              (fun () ->
+                Ocapi_fault.stuck_at_system ?max_faults ~seed
+                  ~macro_of_kernel:d.d_macro d.d_sys ~cycles)
+          in
+          if json then
+            print_endline
+              (Ocapi_obs.Json.to_string (Ocapi_fault.stuck_report_json report))
+          else begin
+            Format.printf "%a@." Ocapi_fault.pp_stuck_report report;
+            Printf.printf "campaign wall time: %.2fs\n"
+              telemetry.Ocapi_obs.rp_seconds
+          end;
+          0
+        | "seu" -> (
+          match Ocapi_fault.engine_of_label engine with
+          | None ->
+            Printf.eprintf "unknown engine %S (try interp, compiled, rtl)\n"
+              engine;
+            1
+          | Some eng ->
+            let report, telemetry =
+              Ocapi_obs.run_with_telemetry ~label:(name ^ ".seu") (fun () ->
+                  Ocapi_fault.seu_campaign ~engine:eng ~runs ~seed d.d_sys
+                    ~cycles)
+            in
+            if json then
+              print_endline
+                (Ocapi_obs.Json.to_string (Ocapi_fault.seu_report_json report))
+            else begin
+              Format.printf "%a@." Ocapi_fault.pp_seu_report report;
+              Printf.printf "campaign wall time: %.2fs (%.0f runs/s)\n"
+                telemetry.Ocapi_obs.rp_seconds
+                (float_of_int runs /. max 1e-9 telemetry.Ocapi_obs.rp_seconds)
+            end;
+            0)
+        | other ->
+          Printf.eprintf "unknown campaign %S (try stuck-at or seu)\n" other;
+          1)
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Run a fault campaign: gate-level stuck-at fault simulation with \
+          coverage reporting, or a seeded SEU bit-flip campaign classified \
+          as masked / silent data corruption / detected.")
+    Term.(
+      const run $ fault_design_arg $ campaign_arg $ cycles_arg 64 $ runs_arg
+      $ seed_arg $ max_faults_arg $ fault_engine_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "ocapi" ~version:Ocapi.version
@@ -256,4 +343,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ check_cmd; simulate_cmd; synth_cmd; emit_cmd; profile_cmd ]))
+          [ check_cmd; simulate_cmd; synth_cmd; emit_cmd; profile_cmd;
+            fault_cmd ]))

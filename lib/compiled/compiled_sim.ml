@@ -41,7 +41,11 @@ let round_fn (mode : Fixed.rounding) k =
         else if Int64.logand floor 1L = 1L then Int64.add floor 1L
         else floor
 
-let resize_fn ~round ~overflow (src : Fixed.format) (dst : Fixed.format) =
+(* [on_overflow] builds the exception for the pathological huge-shift
+   path, letting callers attach component/cycle context; the default
+   matches the interpreted engine's [Fixed.resize]. *)
+let resize_fn ?on_overflow ~round ~overflow (src : Fixed.format)
+    (dst : Fixed.format) =
   let k = src.Fixed.frac - dst.Fixed.frac in
   let ovf =
     match overflow with
@@ -52,9 +56,13 @@ let resize_fn ~round ~overflow (src : Fixed.format) (dst : Fixed.format) =
     let rnd = round_fn round k in
     fun m -> ovf (rnd m)
   else if -k > 62 then
-    fun m ->
-      if m = 0L then 0L
-      else raise (Fixed.Overflow "compiled resize: shift too large")
+    let exn =
+      match on_overflow with
+      | Some f -> f
+      | None ->
+        fun () -> Fixed.Overflow "compiled resize: shift too large"
+    in
+    fun m -> if m = 0L then 0L else raise (exn ())
   else fun m -> ovf (shl m (-k))
 
 (* Alignment shifts for a binary operation whose common fraction is the
@@ -175,11 +183,20 @@ let classify_nodes roots =
 
 (* --- statement compilation ---------------------------------------------- *)
 
-(* Compile the statement computing node [n] into [values].(slot n). *)
-let node_statement a (values : int64 array) comp_name n =
+(* Compile the statement computing node [n] into [values].(slot n).
+   [cycle_ref] is read lazily so overflow diagnostics carry the cycle of
+   the failing step, not of compilation. *)
+let node_statement a (values : int64 array) (cycle_ref : int ref) comp_name n =
   let dst = slot_of_node a n in
   let s x = slot_of_node a x in
   let nf = Signal.fmt n in
+  let overflow_diag dst_fmt () =
+    Ocapi_error.Error
+      (Ocapi_error.make Ocapi_error.Overflow ~engine:"compiled"
+         ~construct:comp_name ~cycle:!cycle_ref
+         (Printf.sprintf "resize to %s: shift too large for nonzero value"
+            (Fixed.format_to_string dst_fmt)))
+  in
   match Signal.op n with
   | Signal.Const v ->
     let m = Fixed.mantissa v in
@@ -252,13 +269,22 @@ let node_statement a (values : int64 array) comp_name n =
     fun () ->
       values.(dst) <- (if shl values.(sx) ka <= shl values.(sy) kb then 1L else 0L)
   | Signal.Mux (sel, x, y) ->
-    let rx = resize_fn ~round:Fixed.Truncate ~overflow:Fixed.Wrap (Signal.fmt x) nf in
-    let ry = resize_fn ~round:Fixed.Truncate ~overflow:Fixed.Wrap (Signal.fmt y) nf in
+    let on_overflow = overflow_diag nf in
+    let rx =
+      resize_fn ~on_overflow ~round:Fixed.Truncate ~overflow:Fixed.Wrap
+        (Signal.fmt x) nf
+    in
+    let ry =
+      resize_fn ~on_overflow ~round:Fixed.Truncate ~overflow:Fixed.Wrap
+        (Signal.fmt y) nf
+    in
     let ss = s sel and sx = s x and sy = s y in
     fun () ->
       values.(dst) <- (if values.(ss) <> 0L then rx values.(sx) else ry values.(sy))
   | Signal.Resize (round, overflow, x) ->
-    let rz = resize_fn ~round ~overflow (Signal.fmt x) nf in
+    let rz = resize_fn ~on_overflow:(overflow_diag nf) ~round ~overflow
+        (Signal.fmt x) nf
+    in
     let sx = s x in
     fun () -> values.(dst) <- rz values.(sx)
   | Signal.Rom_read (r, idx) ->
@@ -419,6 +445,9 @@ type t = {
   stims : stim_code array;
   probes : probe_code array;
   reg_inits : (int64 * int) array;
+  (* Register exposure for fault injection: (name, format, cur slot) in
+     [Cycle_system.all_regs] order — the same indexing every engine uses. *)
+  regs : (string * Fixed.format * int) array;
   n_statements : int;
   mutable tracing : bool;
   trace_recs : trace_rec array;
@@ -549,7 +578,7 @@ let compile sys =
       Signal.fold_dag n ~init:() ~f:(fun () x ->
           if not (Hashtbl.mem emitted (Signal.id x)) then begin
             Hashtbl.add emitted (Signal.id x) ();
-            let stmt = node_statement a values cname x in
+            let stmt = node_statement a values cycle_ref cname x in
             incr n_statements;
             if is_b x then block_b := stmt :: !block_b
             else block_a := stmt :: !block_a;
@@ -802,6 +831,14 @@ let compile sys =
       nets
     |> Array.of_list
   in
+  let regs_exposed =
+    Cycle_system.all_regs sys
+    |> List.map (fun r ->
+           ( Signal.Reg.name r,
+             Signal.Reg.fmt r,
+             Hashtbl.find a.reg_cur (Signal.Reg.id r) ))
+    |> Array.of_list
+  in
   let t =
     {
       values;
@@ -813,6 +850,7 @@ let compile sys =
       stims;
       probes;
       reg_inits;
+      regs = regs_exposed;
       n_statements = !n_statements;
       tracing = false;
       trace_recs;
@@ -979,5 +1017,42 @@ let traced_histories t =
 
 let slot_count t = Array.length t.values
 let statement_count t = t.n_statements
+
+(* --- fault-injection access ---------------------------------------------- *)
+
+let register_count t = Array.length t.regs
+
+let register_info t i =
+  let name, f, _ = t.regs.(i) in
+  (name, f)
+
+let flip_register_bit t i ~bit =
+  let name, f, slot = t.regs.(i) in
+  if bit < 0 || bit >= f.Fixed.width then
+    invalid_arg
+      (Printf.sprintf "flip_register_bit: bit %d outside %s for register %s"
+         bit (Fixed.format_to_string f) name);
+  let flipped = Int64.logxor t.values.(slot) (Int64.shift_left 1L bit) in
+  t.values.(slot) <- wrap_fn f flipped
+
+let component_count t = Array.length t.comps
+
+let component_info t i =
+  let c = t.comps.(i) in
+  (c.cc_name, Array.length c.cc_state_transitions)
+
+let component_state t i = t.comps.(i).cc_state
+
+let set_component_state t i s =
+  let c = t.comps.(i) in
+  let n = Array.length c.cc_state_transitions in
+  if s < 0 || s >= n then
+    raise
+      (Ocapi_error.Error
+         (Ocapi_error.make Ocapi_error.Invalid_state ~engine:"compiled"
+            ~construct:c.cc_name ~cycle:t.cycle
+            (Printf.sprintf "FSM driven into unencoded state %d (%d states)"
+               s n)));
+  c.cc_state <- s
 
 let emit_ocaml sys ~cycles = Emit.emit_ocaml sys ~cycles

@@ -68,6 +68,36 @@ val trace_all : t -> unit
     nets whose format could not be derived are omitted. *)
 val traced_histories : t -> (string * Fixed.format * (int * Fixed.t) list) list
 
+(** {1 Fault-injection access}
+
+    Registers are indexed in [Cycle_system.all_regs] order — the shared
+    indexing of the SEU campaigns, identical across engines. *)
+
+val register_count : t -> int
+
+(** [register_info t i] is the register's name and declared format. *)
+val register_info : t -> int -> string * Fixed.format
+
+(** [flip_register_bit t i ~bit] XORs one bit into register [i]'s
+    current-value slot and re-wraps it into the declared format (a
+    transient SEU between two {!step}s).
+    @raise Invalid_argument if [bit] is outside the declared width. *)
+val flip_register_bit : t -> int -> bit:int -> unit
+
+(** Timed components (FSMs), in system order. *)
+val component_count : t -> int
+
+(** [component_info t i] is the component's name and state count. *)
+val component_info : t -> int -> string * int
+
+val component_state : t -> int -> int
+
+(** [set_component_state t i s] forces FSM [i] into state [s].
+    @raise Ocapi_error.Error with code [Invalid_state] if [s] is not an
+    encoded state — the detected-outcome path of SEU campaigns on state
+    registers. *)
+val set_component_state : t -> int -> int -> unit
+
 (** Number of value slots in the flattened program (a size metric). *)
 val slot_count : t -> int
 

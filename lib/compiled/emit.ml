@@ -85,7 +85,8 @@ let round_txt mode k x =
     | Fixed.Round_nearest -> Printf.sprintf "(rnd_near %d %s)" k x
     | Fixed.Round_even -> Printf.sprintf "(rnd_even %d %s)" k x
 
-let resize_txt ~round ~overflow (src : Fixed.format) (dst : Fixed.format) x =
+let resize_txt ?(ctx = "guard") ~round ~overflow (src : Fixed.format)
+    (dst : Fixed.format) x =
   let k = src.Fixed.frac - dst.Fixed.frac in
   let ovf v =
     match overflow with
@@ -94,7 +95,13 @@ let resize_txt ~round ~overflow (src : Fixed.format) (dst : Fixed.format) x =
   in
   if k > 0 then ovf (round_txt round k x)
   else if -k > 62 then
-    Printf.sprintf "(if %s = 0L then 0L else failwith \"resize overflow\")" x
+    (* Same semantics as Fixed.resize / the in-process compiled engine:
+       zero passes, a nonzero mantissa raises a structured overflow
+       carrying the construct, target format and failing cycle. *)
+    Printf.sprintf "(if %s = 0L then 0L else overflow_error %S)" x
+      (Printf.sprintf "%s: resize to %s: shift too large for nonzero value"
+         ctx
+         (Fixed.format_to_string dst))
   else ovf (shl_txt x (-k))
 
 (* Text of the expression for node [n], referencing child slots. *)
@@ -147,11 +154,17 @@ let node_expr_text a comp_name n =
     Printf.sprintf "(if %s <= %s then 1L else 0L)" (shl_txt (s x) ka)
       (shl_txt (s y) kb)
   | Signal.Mux (sel, x, y) ->
-    let rx = resize_txt ~round:Fixed.Truncate ~overflow:Fixed.Wrap (Signal.fmt x) nf (s x) in
-    let ry = resize_txt ~round:Fixed.Truncate ~overflow:Fixed.Wrap (Signal.fmt y) nf (s y) in
+    let rx =
+      resize_txt ~ctx:comp_name ~round:Fixed.Truncate ~overflow:Fixed.Wrap
+        (Signal.fmt x) nf (s x)
+    in
+    let ry =
+      resize_txt ~ctx:comp_name ~round:Fixed.Truncate ~overflow:Fixed.Wrap
+        (Signal.fmt y) nf (s y)
+    in
     Printf.sprintf "(if %s <> 0L then %s else %s)" (s sel) rx ry
   | Signal.Resize (round, overflow, x) ->
-    resize_txt ~round ~overflow (Signal.fmt x) nf (s x)
+    resize_txt ~ctx:comp_name ~round ~overflow (Signal.fmt x) nf (s x)
   | Signal.Rom_read (r, idx) ->
     let var = rom_var a r in
     let len = Signal.Rom.size r in
@@ -507,6 +520,9 @@ let emit_ocaml sys ~cycles =
   pf "let v = Array.make %d 0L\n" (max 1 a.next_slot);
   pf "let stamp = Array.make %d (-1)\n" (max 1 (List.length nets));
   pf "let cycle = ref 0\n";
+  pf "exception Overflow of string\n";
+  pf "let overflow_error what =\n";
+  pf "  raise (Overflow (Printf.sprintf \"compiled/%%s (cycle %%d)\" what !cycle))\n";
   pf "let shl x k = if k = 0 then x else Int64.shift_left x k\n";
   pf "let wrap_u w x = Int64.logand x (Int64.sub (Int64.shift_left 1L w) 1L)\n";
   pf "let wrap_s w x =\n";
@@ -521,7 +537,8 @@ let emit_ocaml sys ~cycles =
   pf "  let h = Int64.shift_left 1L (k-1) in\n";
   pf "  if r > h then Int64.add f 1L else if r < h then f\n";
   pf "  else if Int64.logand f 1L = 1L then Int64.add f 1L else f\n";
-  pf "let _ = shl 0L 0, wrap_u 1 0L, wrap_s 1 0L, sat 0L 0L 0L, rnd_near 1 0L, rnd_even 1 0L\n\n";
+  pf "let _ = shl 0L 0, wrap_u 1 0L, wrap_s 1 0L, sat 0L 0L 0L, rnd_near 1 0L, rnd_even 1 0L\n";
+  pf "let _ = overflow_error\n\n";
   List.iter
     (fun (var, contents) ->
       pf "let %s = [|" var;

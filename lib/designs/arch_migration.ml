@@ -40,7 +40,7 @@ let build_chain () =
                n)
         in
         let rec tree = function
-          | [] -> invalid_arg "tree"
+          | [] -> invalid_arg "Arch_migration: addition tree of an empty signal list"
           | [ e ] -> e
           | es ->
             let rec pair = function

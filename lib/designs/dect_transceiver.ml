@@ -172,13 +172,16 @@ let () =
       List.iter
         (fun (dp, op) ->
           if Hashtbl.mem seen dp then
-            failwith
-              (Printf.sprintf "schedule: %s has two ops at word %d" dp p);
+            Ocapi_error.fail Internal ~engine:"design"
+              ~construct:"dect.schedule"
+              "datapath %s has two ops at program word %d" dp p;
           Hashtbl.replace seen dp ();
           let nops = List.assoc dp datapath_table in
           if op < 0 || op >= nops then
-            failwith
-              (Printf.sprintf "schedule: %s op %d out of range at %d" dp op p))
+            Ocapi_error.fail Internal ~engine:"design"
+              ~construct:"dect.schedule"
+              "datapath %s op %d out of range [0, %d) at program word %d" dp op
+              nops p)
         entry)
     schedule
 
@@ -569,7 +572,7 @@ let create ?(hold = fun _ -> false) ?(ctl = fun _ -> 0) ~stimulus () =
   let corr_r = Signal.Reg.create clk "corr_r" (u 5) in
   let found_r = Signal.Reg.create clk "corr_found" bit in
   let rec sum_tree = function
-    | [] -> invalid_arg "sum_tree"
+    | [] -> invalid_arg "Dect_transceiver: sum_tree of an empty signal list"
     | [ e ] -> e
     | es ->
       let rec pair = function

@@ -6,7 +6,7 @@ let window = 16
 
 (* Balanced addition tree (keeps the widening shallow). *)
 let rec sum_tree = function
-  | [] -> invalid_arg "sum_tree: empty"
+  | [] -> invalid_arg "Hcor: sum_tree of an empty signal list"
   | [ e ] -> e
   | es ->
     let rec pair = function
@@ -18,9 +18,13 @@ let rec sum_tree = function
 
 let create ?(threshold = 14) ?(payload_len = 388) ~stimulus () =
   if threshold < 1 || threshold > window then
-    invalid_arg "Hcor.create: threshold out of range";
+    invalid_arg
+      (Printf.sprintf "Hcor.create: threshold %d out of range [1, %d]" threshold
+         window);
   if payload_len < 1 || payload_len > 500 then
-    invalid_arg "Hcor.create: payload_len out of range";
+    invalid_arg
+      (Printf.sprintf "Hcor.create: payload_len %d out of range [1, 500]"
+         payload_len);
   let clk = Clock.default in
   let bit = Fixed.bit_format in
   let cnt_fmt = Fixed.unsigned ~width:9 ~frac:0 in

@@ -1,0 +1,75 @@
+(** Structured engine diagnostics.
+
+    Every simulation engine of the environment can fail: the three-phase
+    scheduler deadlocks, the gate-level simulator oscillates, the RT
+    kernel exhausts its delta budget, fixed-point resizes overflow.  For
+    interactive use a bare exception string is enough; for a 10k-run
+    fault-injection campaign it is not — a single non-settling netlist
+    must degrade to a {e classified per-run record}, not abort the whole
+    campaign.
+
+    This module is the shared currency of such failures: a diagnostic
+    record carrying a machine-readable code, a severity, the engine and
+    source construct it arose in, the clock cycle, and the culprit nets,
+    plus one exception ({!Error}) wrapping it.  It sits upstream of all
+    engine libraries so that [sched], [compiled], [rtl], [netlist] and
+    the flow layer can raise and classify through one type. *)
+
+(** How bad: [Warning] is advisory, [Error] aborted one run or request,
+    [Fatal] means the engine state is unusable afterwards. *)
+type severity = Warning | Error | Fatal
+
+(** Machine-readable failure classes, spanning all engines. *)
+type code =
+  | Deadlock  (** scheduler: no component can make progress *)
+  | Did_not_settle  (** gate-level: event queue did not quiesce *)
+  | Delta_overflow  (** RT kernel: delta-cycle budget exhausted *)
+  | Overflow  (** fixed-point overflow (resize/create) *)
+  | Invalid_state  (** FSM driven into an unencoded state *)
+  | Watchdog  (** a configured cycle/settle budget was exceeded *)
+  | Unsupported  (** construct outside an engine's subset *)
+  | Internal  (** violated internal invariant *)
+
+type t = {
+  e_code : code;
+  e_severity : severity;
+  e_engine : string;  (** "sched" | "compiled" | "rtl" | "gates" | ... *)
+  e_construct : string option;  (** component / FSM / register / bus *)
+  e_cycle : int option;  (** clock cycle of the failure, when known *)
+  e_nets : string list;  (** culprit nets or signals *)
+  e_message : string;
+}
+
+exception Error of t
+
+(** [make code ~engine msg] builds a diagnostic; optional context
+    defaults to absent/empty and severity to {!Error}. *)
+val make :
+  ?severity:severity ->
+  ?construct:string ->
+  ?cycle:int ->
+  ?nets:string list ->
+  code ->
+  engine:string ->
+  string ->
+  t
+
+(** [fail code ~engine fmt ...] formats a message and raises {!Error}. *)
+val fail :
+  ?severity:severity ->
+  ?construct:string ->
+  ?cycle:int ->
+  ?nets:string list ->
+  code ->
+  engine:string ->
+  ('a, Format.formatter, unit, 'b) format4 ->
+  'a
+
+val code_label : code -> string
+val severity_label : severity -> string
+
+(** One-line rendering:
+    [engine/construct: code (cycle N): message [nets: a, b, ...]]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

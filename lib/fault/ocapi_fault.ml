@@ -1,0 +1,625 @@
+(* Fault injection and fault simulation over the OCAPI engines. *)
+
+(* --- stuck-at fault simulation ------------------------------------------- *)
+
+type stuck_outcome =
+  | Sa_detected of { at_cycle : int; at_output : string }
+  | Sa_undetected
+  | Sa_diagnosed of Ocapi_error.t
+
+type stuck_record = {
+  sr_label : string;
+  sr_fault : Netlist.fault;
+  sr_outcome : stuck_outcome;
+}
+
+type stuck_report = {
+  st_design : string;
+  st_universe : int;
+  st_collapsed : int;
+  st_simulated : int;
+  st_detected : int;
+  st_undetected : int;
+  st_diagnosed : int;
+  st_vectors : int;
+  st_coverage : float;
+  st_records : stuck_record list;
+}
+
+(* Deterministic sample of [k] elements (Fisher-Yates prefix). *)
+let sample_list rng k l =
+  let arr = Array.of_list l in
+  let n = Array.length arr in
+  if k >= n then l
+  else begin
+    for i = 0 to k - 1 do
+      let j = i + Random.State.int rng (n - i) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done;
+    Array.to_list (Array.sub arr 0 k)
+  end
+
+let stuck_at_netlist ?max_faults ?(seed = 1) ?settle_budget nl ~vectors =
+  let sim = Netlist.Sim.create ?settle_budget nl in
+  let out_names = List.map fst (Netlist.outputs_list nl) in
+  let n_cycles = Array.length vectors in
+  let replay_cycle c =
+    List.iter (fun (name, v) -> Netlist.Sim.set_input sim name v) vectors.(c);
+    Netlist.Sim.settle sim
+  in
+  (* Fault-free reference: every output word of every cycle. *)
+  let golden = Array.make (max 1 n_cycles) [] in
+  Netlist.Sim.reset sim;
+  for c = 0 to n_cycles - 1 do
+    replay_cycle c;
+    golden.(c) <-
+      List.map
+        (fun o -> (o, Netlist.Sim.get_output sim ~signed:false o))
+        out_names;
+    Netlist.Sim.clock sim
+  done;
+  let universe = Netlist.fault_universe nl in
+  let collapsed = Netlist.collapse_faults nl universe in
+  let simulated =
+    match max_faults with
+    | Some k when k < List.length collapsed ->
+      sample_list (Random.State.make [| seed; 0x5a |]) k collapsed
+    | _ -> collapsed
+  in
+  let obs = Ocapi_obs.enabled () in
+  let records =
+    List.map
+      (fun f ->
+        let outcome =
+          try
+            Netlist.Sim.reset sim;
+            Netlist.Sim.inject sim f;
+            let result = ref Sa_undetected in
+            (try
+               for c = 0 to n_cycles - 1 do
+                 replay_cycle c;
+                 List.iter
+                   (fun (o, gold) ->
+                     if
+                       !result = Sa_undetected
+                       && Netlist.Sim.get_output sim ~signed:false o <> gold
+                     then result := Sa_detected { at_cycle = c; at_output = o })
+                   golden.(c);
+                 if !result <> Sa_undetected then raise Exit;
+                 Netlist.Sim.clock sim
+               done
+             with Exit -> ());
+            !result
+          with e -> (
+            match Flow.classify_exn ~engine:"gates" e with
+            | Some d -> Sa_diagnosed d
+            | None -> raise e)
+        in
+        Netlist.Sim.clear_fault sim;
+        if obs then
+          Ocapi_obs.count
+            (match outcome with
+            | Sa_detected _ -> "fault.stuck.detected"
+            | Sa_undetected -> "fault.stuck.undetected"
+            | Sa_diagnosed _ -> "fault.stuck.diagnosed");
+        { sr_label = Netlist.fault_label nl f; sr_fault = f;
+          sr_outcome = outcome })
+      simulated
+  in
+  let n_of p = List.length (List.filter p records) in
+  let detected =
+    n_of (fun r -> match r.sr_outcome with Sa_detected _ -> true | _ -> false)
+  in
+  let diagnosed =
+    n_of (fun r -> match r.sr_outcome with Sa_diagnosed _ -> true | _ -> false)
+  in
+  let n_sim = List.length records in
+  {
+    st_design = Netlist.name nl;
+    st_universe = List.length universe;
+    st_collapsed = List.length collapsed;
+    st_simulated = n_sim;
+    st_detected = detected;
+    st_undetected = n_sim - detected - diagnosed;
+    st_diagnosed = diagnosed;
+    st_vectors = n_cycles;
+    st_coverage =
+      (if n_sim = 0 then 0.0 else float_of_int detected /. float_of_int n_sim);
+    st_records = records;
+  }
+
+let stuck_at_system ?max_faults ?seed ?settle_budget ?options ?macro_of_kernel
+    sys ~cycles =
+  (* Record the system's own stimuli, as the test-bench generator does. *)
+  Cycle_system.reset sys;
+  Cycle_system.run sys cycles;
+  let input_hist = Cycle_system.input_history sys in
+  Cycle_system.reset sys;
+  let nl, _report = Synthesize.synthesize ?options ?macro_of_kernel sys in
+  let vectors = Array.make (max 1 cycles) [] in
+  List.iter
+    (fun (c, name, v) ->
+      if c < cycles then vectors.(c) <- (name, Fixed.mantissa v) :: vectors.(c))
+    input_hist;
+  stuck_at_netlist ?max_faults ?seed ?settle_budget nl ~vectors
+
+(* --- SEU campaigns -------------------------------------------------------- *)
+
+type engine = Interp | Compiled | Rtl_sim
+
+let engine_label = function
+  | Interp -> "interp"
+  | Compiled -> "compiled"
+  | Rtl_sim -> "rtl"
+
+let engine_of_label = function
+  | "interp" | "interpreted" -> Some Interp
+  | "compiled" -> Some Compiled
+  | "rtl" -> Some Rtl_sim
+  | _ -> None
+
+type seu_target =
+  | Reg_bit of { t_reg : int; t_bit : int }
+  | State_bit of { t_comp : int; t_bit : int }
+
+type seu_outcome =
+  | Masked
+  | Sdc of { probe : string; cycle : int option; detail : string }
+  | Detected of Ocapi_error.t
+
+type seu_run = {
+  run_index : int;
+  run_target : seu_target;
+  run_label : string;
+  run_cycle : int;
+  run_outcome : seu_outcome;
+}
+
+type seu_report = {
+  seu_design : string;
+  seu_engine : string;
+  seu_runs : int;
+  seu_cycles : int;
+  seu_seed : int;
+  seu_masked : int;
+  seu_sdc : int;
+  seu_detected : int;
+  seu_records : seu_run list;
+}
+
+let probe_histories sys =
+  List.filter_map
+    (fun p ->
+      match Cycle_system.find_component sys p with
+      | Some c -> Some (p, Cycle_system.output_history sys c)
+      | None -> None)
+    (Cycle_system.probes sys)
+
+(* The engines hold a timed component's state as a 16-bit word (the RTL
+   elaboration's state signal format); every bit of that word is a
+   flippable target.  Flips landing outside the encoded state indices
+   are detected by the engine's state decode ([Invalid_state]).
+   Single-state FSMs carry no state register at all. *)
+let state_register_width = 16
+let state_bits n = if n <= 1 then 0 else state_register_width
+
+let invalid_state_error ~engine ~construct ~cycle state n =
+  Ocapi_error.Error
+    (Ocapi_error.make Ocapi_error.Invalid_state ~engine ~construct ~cycle
+       (Printf.sprintf "state index %d outside the %d encoded states" state n))
+
+(* One engine behind a common harness: reset, step with an optional poke
+   at one cycle, read histories.  Engine instances (compiled program,
+   RTL elaboration) are built once per campaign and reused. *)
+type harness = {
+  h_engine : string;
+  h_run :
+    inject:(int * (cycle:int -> unit)) option ->
+    (string * (int * Fixed.t) list) list;
+  h_poke : cycle:int -> seu_target -> unit;
+}
+
+let interp_harness sys ~cycles =
+  let regs = Array.of_list (Cycle_system.all_regs sys) in
+  let comps = Array.of_list (Cycle_system.timed_components sys) in
+  let h_run ~inject =
+    Cycle_system.reset sys;
+    (try
+       for c = 0 to cycles - 1 do
+         (match inject with
+         | Some (at, poke) when at = c -> poke ~cycle:c
+         | _ -> ());
+         Cycle_system.cycle sys
+       done
+     with e ->
+       Cycle_system.reset sys;
+       raise e);
+    let result = probe_histories sys in
+    Cycle_system.reset sys;
+    result
+  in
+  let h_poke ~cycle = function
+    | Reg_bit { t_reg; t_bit } ->
+      let r = regs.(t_reg) in
+      let v = Signal.Reg.value r in
+      (* Registers may hold values in a wider expression format than the
+         declared one; flip within the stored width. *)
+      let b = min t_bit ((Fixed.fmt v).Fixed.width - 1) in
+      Signal.Reg.set_value r (Fixed.flip_bit v b)
+    | State_bit { t_comp; t_bit } ->
+      let cname, fsm = comps.(t_comp) in
+      let n = List.length (Fsm.states fsm) in
+      let s' = Fsm.state_index (Fsm.current fsm) lxor (1 lsl t_bit) in
+      if s' < 0 || s' >= n then
+        raise (invalid_state_error ~engine:"interp" ~construct:cname ~cycle s' n)
+      else Fsm.force_state fsm s'
+  in
+  { h_engine = "interp"; h_run; h_poke }
+
+let compiled_harness sys ~cycles =
+  Cycle_system.reset sys;
+  let prog = Compiled_sim.compile sys in
+  let probes = Cycle_system.probes sys in
+  (* Map timed-component index to the program's component index. *)
+  let comp_index =
+    Array.of_list
+      (List.map
+         (fun (cname, _) ->
+           let rec find i =
+             if i >= Compiled_sim.component_count prog then
+               raise
+                 (Ocapi_error.Error
+                    (Ocapi_error.make Ocapi_error.Internal ~engine:"compiled"
+                       ~construct:cname "component missing from program"))
+             else if fst (Compiled_sim.component_info prog i) = cname then i
+             else find (i + 1)
+           in
+           find 0)
+         (Cycle_system.timed_components sys))
+  in
+  let h_run ~inject =
+    Compiled_sim.reset prog;
+    (try
+       for c = 0 to cycles - 1 do
+         (match inject with
+         | Some (at, poke) when at = c -> poke ~cycle:c
+         | _ -> ());
+         Compiled_sim.step prog
+       done
+     with e ->
+       Compiled_sim.reset prog;
+       raise e);
+    List.map (fun p -> (p, Compiled_sim.output_history prog p)) probes
+  in
+  let h_poke ~cycle = function
+    | Reg_bit { t_reg; t_bit } ->
+      Compiled_sim.flip_register_bit prog t_reg ~bit:t_bit
+    | State_bit { t_comp; t_bit } ->
+      let i = comp_index.(t_comp) in
+      let _, n = Compiled_sim.component_info prog i in
+      let s' = Compiled_sim.component_state prog i lxor (1 lsl t_bit) in
+      ignore cycle;
+      ignore n;
+      Compiled_sim.set_component_state prog i s'
+  in
+  { h_engine = "compiled"; h_run; h_poke }
+
+let rtl_harness ?max_deltas sys ~cycles =
+  Cycle_system.reset sys;
+  let rtl = Rtl.of_system ?max_deltas sys in
+  let probes = Cycle_system.probes sys in
+  let comp_index =
+    Array.of_list
+      (List.map
+         (fun (cname, _) ->
+           let rec find i =
+             if i >= Rtl.component_count rtl then
+               raise
+                 (Ocapi_error.Error
+                    (Ocapi_error.make Ocapi_error.Internal ~engine:"rtl"
+                       ~construct:cname "component missing from elaboration"))
+             else if fst (Rtl.component_info rtl i) = cname then i
+             else find (i + 1)
+           in
+           find 0)
+         (Cycle_system.timed_components sys))
+  in
+  let h_run ~inject =
+    Rtl.reset rtl;
+    (try
+       for c = 0 to cycles - 1 do
+         (match inject with
+         | Some (at, poke) when at = c -> poke ~cycle:c
+         | _ -> ());
+         Rtl.cycle rtl
+       done
+     with e ->
+       Rtl.reset rtl;
+       Cycle_system.reset sys;
+       raise e);
+    let result = List.map (fun p -> (p, Rtl.output_history rtl p)) probes in
+    Cycle_system.reset sys;
+    result
+  in
+  let h_poke ~cycle = function
+    | Reg_bit { t_reg; t_bit } -> Rtl.flip_register_bit rtl t_reg ~bit:t_bit
+    | State_bit { t_comp; t_bit } ->
+      let i = comp_index.(t_comp) in
+      let s' = Rtl.component_state rtl i lxor (1 lsl t_bit) in
+      ignore cycle;
+      Rtl.set_component_state rtl i s'
+  in
+  { h_engine = "rtl"; h_run; h_poke }
+
+let make_harness ?max_deltas ~engine sys ~cycles =
+  match engine with
+  | Interp -> interp_harness sys ~cycles
+  | Compiled -> compiled_harness sys ~cycles
+  | Rtl_sim -> rtl_harness ?max_deltas sys ~cycles
+
+let control_run ?max_deltas ~engine sys ~cycles =
+  let h = make_harness ?max_deltas ~engine sys ~cycles in
+  h.h_run ~inject:None
+
+(* The oracle: compare faulty probe histories against the fault-free
+   run.  A differing token value at the same cycle is silent data
+   corruption; a structural divergence — tokens shifted in time,
+   missing, or an output stream that stops — is what a system-level
+   watchdog monitor catches, so it is classified as detected. *)
+let classify_histories ~engine golden faulty =
+  let structural probe cycle detail =
+    Detected
+      (Ocapi_error.make Ocapi_error.Watchdog ~engine ~construct:probe ?cycle
+         (Printf.sprintf "output stream diverged structurally: %s" detail))
+  in
+  let rec scan_hist probe h1 h2 =
+    match h1, h2 with
+    | [], [] -> None
+    | (c1, v1) :: t1, (c2, v2) :: t2 ->
+      if c1 <> c2 then
+        Some
+          (structural probe
+             (Some (min c1 c2))
+             (Printf.sprintf "token cycles diverge (%d vs %d)" c1 c2))
+      else if not (Fixed.equal v1 v2) then
+        Some
+          (Sdc
+             {
+               probe;
+               cycle = Some c1;
+               detail =
+                 Printf.sprintf "%s vs %s" (Fixed.to_string v1)
+                   (Fixed.to_string v2);
+             })
+      else scan_hist probe t1 t2
+    | (c, _) :: _, [] ->
+      Some (structural probe (Some c) "faulty output stream ends early")
+    | [], (c, _) :: _ ->
+      Some (structural probe (Some c) "faulty run produces extra tokens")
+  in
+  let rec scan a b =
+    match a, b with
+    | [], [] -> Masked
+    | (p1, h1) :: t1, (p2, h2) :: t2 when p1 = p2 -> (
+      match scan_hist p1 h1 h2 with
+      | Some outcome -> outcome
+      | None -> scan t1 t2)
+    | (p, _) :: _, _ | _, (p, _) :: _ ->
+      structural p None "probe sets differ"
+  in
+  scan golden faulty
+
+(* The target universe of a system: every bit of every register, every
+   bit of every multi-state FSM's encoded state index. *)
+let seu_targets sys =
+  let regs = Cycle_system.all_regs sys in
+  let reg_targets =
+    List.concat
+      (List.mapi
+         (fun i r ->
+           let f = Signal.Reg.fmt r in
+           List.init f.Fixed.width (fun b ->
+               ( Reg_bit { t_reg = i; t_bit = b },
+                 Printf.sprintf "%s[%d]" (Signal.Reg.name r) b )))
+         regs)
+  in
+  let state_targets =
+    List.concat
+      (List.mapi
+         (fun i (cname, fsm) ->
+           let bits = state_bits (List.length (Fsm.states fsm)) in
+           List.init bits (fun b ->
+               ( State_bit { t_comp = i; t_bit = b },
+                 Printf.sprintf "%s.state[%d]" cname b )))
+         (Cycle_system.timed_components sys))
+  in
+  Array.of_list (reg_targets @ state_targets)
+
+let seu_campaign ?(engine = Compiled) ?(runs = 1000) ?(seed = 1) ?max_deltas
+    sys ~cycles =
+  if cycles <= 0 then invalid_arg "Ocapi_fault.seu_campaign: cycles must be > 0";
+  let targets = seu_targets sys in
+  if Array.length targets = 0 then
+    invalid_arg "Ocapi_fault.seu_campaign: design has no architectural state";
+  let h = make_harness ?max_deltas ~engine sys ~cycles in
+  let golden = h.h_run ~inject:None in
+  let rng = Random.State.make [| seed |] in
+  let obs = Ocapi_obs.enabled () in
+  let records = ref [] in
+  for i = 0 to runs - 1 do
+    let target, label = targets.(Random.State.int rng (Array.length targets)) in
+    let at = Random.State.int rng cycles in
+    let outcome =
+      match
+        h.h_run ~inject:(Some (at, fun ~cycle -> h.h_poke ~cycle target))
+      with
+      | faulty -> classify_histories ~engine:h.h_engine golden faulty
+      | exception e -> (
+        match Flow.classify_exn ~engine:h.h_engine ~cycle:at e with
+        | Some d -> Detected d
+        | None -> raise e)
+    in
+    if obs then
+      Ocapi_obs.count
+        (match outcome with
+        | Masked -> "fault.seu.masked"
+        | Sdc _ -> "fault.seu.sdc"
+        | Detected _ -> "fault.seu.detected");
+    records :=
+      { run_index = i; run_target = target; run_label = label; run_cycle = at;
+        run_outcome = outcome }
+      :: !records
+  done;
+  let records = List.rev !records in
+  let n_of p = List.length (List.filter p records) in
+  {
+    seu_design = Cycle_system.name sys;
+    seu_engine = engine_label engine;
+    seu_runs = runs;
+    seu_cycles = cycles;
+    seu_seed = seed;
+    seu_masked = n_of (fun r -> r.run_outcome = Masked);
+    seu_sdc =
+      n_of (fun r -> match r.run_outcome with Sdc _ -> true | _ -> false);
+    seu_detected =
+      n_of (fun r -> match r.run_outcome with Detected _ -> true | _ -> false);
+    seu_records = records;
+  }
+
+(* --- reports --------------------------------------------------------------- *)
+
+let pp_stuck_report ppf r =
+  Format.fprintf ppf
+    "@[<v>stuck-at campaign: %s@,\
+     fault universe  %d pins (collapsed %d, simulated %d)@,\
+     test vectors    %d cycles@,\
+     detected        %d@,\
+     undetected      %d@,\
+     diagnosed       %d@,\
+     coverage        %.1f%%@]" r.st_design r.st_universe r.st_collapsed
+    r.st_simulated r.st_vectors r.st_detected r.st_undetected r.st_diagnosed
+    (100.0 *. r.st_coverage);
+  let undet =
+    List.filter
+      (fun rc -> match rc.sr_outcome with Sa_undetected -> true | _ -> false)
+      r.st_records
+  in
+  if undet <> [] && List.length undet <= 16 then begin
+    Format.fprintf ppf "@,@[<v 2>undetected faults:";
+    List.iter (fun rc -> Format.fprintf ppf "@,%s" rc.sr_label) undet;
+    Format.fprintf ppf "@]"
+  end;
+  List.iter
+    (fun rc ->
+      match rc.sr_outcome with
+      | Sa_diagnosed d ->
+        Format.fprintf ppf "@,diagnostic %s: %a" rc.sr_label Ocapi_error.pp d
+      | _ -> ())
+    r.st_records
+
+let pp_seu_report ppf r =
+  Format.fprintf ppf
+    "@[<v>SEU campaign: %s on %s engine@,\
+     runs            %d (seed %d, %d cycles each)@,\
+     masked          %d@,\
+     silent data corruption %d@,\
+     detected        %d@]" r.seu_design r.seu_engine r.seu_runs r.seu_seed
+    r.seu_cycles r.seu_masked r.seu_sdc r.seu_detected;
+  (* One example diagnostic per distinct error code. *)
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun rc ->
+      match rc.run_outcome with
+      | Detected d when not (Hashtbl.mem seen d.Ocapi_error.e_code) ->
+        Hashtbl.add seen d.Ocapi_error.e_code ();
+        Format.fprintf ppf "@,run %d (%s @@ cycle %d): %a" rc.run_index
+          rc.run_label rc.run_cycle Ocapi_error.pp d
+      | _ -> ())
+    r.seu_records
+
+let error_json (d : Ocapi_error.t) =
+  let open Ocapi_obs.Json in
+  Obj
+    [
+      ("code", String (Ocapi_error.code_label d.Ocapi_error.e_code));
+      ("severity", String (Ocapi_error.severity_label d.Ocapi_error.e_severity));
+      ("engine", String d.Ocapi_error.e_engine);
+      ( "construct",
+        match d.Ocapi_error.e_construct with
+        | Some c -> String c
+        | None -> Null );
+      ( "cycle",
+        match d.Ocapi_error.e_cycle with Some c -> Int c | None -> Null );
+      ("nets", List (List.map (fun n -> String n) d.Ocapi_error.e_nets));
+      ("message", String d.Ocapi_error.e_message);
+    ]
+
+let stuck_report_json r =
+  let open Ocapi_obs.Json in
+  Obj
+    [
+      ("campaign", String "stuck-at");
+      ("design", String r.st_design);
+      ("fault_universe", Int r.st_universe);
+      ("collapsed", Int r.st_collapsed);
+      ("simulated", Int r.st_simulated);
+      ("detected", Int r.st_detected);
+      ("undetected", Int r.st_undetected);
+      ("diagnosed", Int r.st_diagnosed);
+      ("vectors", Int r.st_vectors);
+      ("coverage", Float r.st_coverage);
+      ( "diagnostics",
+        List
+          (List.filter_map
+             (fun rc ->
+               match rc.sr_outcome with
+               | Sa_diagnosed d ->
+                 Some
+                   (Obj [ ("fault", String rc.sr_label); ("error", error_json d) ])
+               | _ -> None)
+             r.st_records) );
+    ]
+
+let seu_report_json r =
+  let open Ocapi_obs.Json in
+  let outcome_row rc =
+    Obj
+      ([
+         ("run", Int rc.run_index);
+         ("target", String rc.run_label);
+         ("cycle", Int rc.run_cycle);
+       ]
+      @
+      match rc.run_outcome with
+      | Masked -> [ ("outcome", String "masked") ]
+      | Sdc { probe; cycle; detail } ->
+        [
+          ("outcome", String "sdc");
+          ("probe", String probe);
+          ("sdc_cycle", match cycle with Some c -> Int c | None -> Null);
+          ("detail", String detail);
+        ]
+      | Detected d -> [ ("outcome", String "detected"); ("error", error_json d) ])
+  in
+  Obj
+    [
+      ("campaign", String "seu");
+      ("design", String r.seu_design);
+      ("engine", String r.seu_engine);
+      ("runs", Int r.seu_runs);
+      ("cycles", Int r.seu_cycles);
+      ("seed", Int r.seu_seed);
+      ("masked", Int r.seu_masked);
+      ("sdc", Int r.seu_sdc);
+      ("detected", Int r.seu_detected);
+      ( "detected_runs",
+        List
+          (List.filter_map
+             (fun rc ->
+               match rc.run_outcome with
+               | Detected _ -> Some (outcome_row rc)
+               | _ -> None)
+             r.seu_records) );
+    ]

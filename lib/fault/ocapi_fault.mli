@@ -1,0 +1,170 @@
+(** Fault injection and fault simulation.
+
+    Two campaign styles over one design:
+
+    - {b Stuck-at fault simulation} (gate level): enumerate the classic
+      pin fault universe of the synthesized netlist
+      ({!Netlist.fault_universe}), collapse equivalent faults, and
+      serially simulate each survivor against recorded test-bench
+      stimuli, comparing every output word of every cycle against the
+      fault-free run.  The result is a {e fault-coverage} figure for the
+      test bench — the quality metric of the generated-test-bench flow
+      of fig 8.
+
+    - {b SEU campaigns} (register level): deterministic, seeded
+      campaigns of transient bit flips in the architectural state —
+      datapath registers and encoded FSM state — of the interpreted,
+      compiled or RTL cycle engine.  Each run flips one bit at one
+      cycle and is classified against the fault-free probe histories:
+      {e masked} (identical histories), {e silent data corruption}
+      (histories diverge), or {e detected} (the engine stopped with a
+      structured {!Ocapi_error.t} diagnostic — deadlock, overflow,
+      oscillation, invalid FSM state).
+
+    Campaigns never abort on a failing run: engine exceptions are
+    mapped through {!Flow.classify_exn} and recorded as per-run
+    diagnostics.  All randomness comes from an explicit seed; the same
+    seed reproduces the same classification table. *)
+
+(** {1 Stuck-at fault simulation} *)
+
+type stuck_outcome =
+  | Sa_detected of { at_cycle : int; at_output : string }
+      (** first cycle/output word differing from the fault-free run *)
+  | Sa_undetected  (** the stimuli never expose the fault *)
+  | Sa_diagnosed of Ocapi_error.t
+      (** the faulty circuit stopped simulating (e.g. oscillation);
+          recorded, not counted as coverage *)
+
+type stuck_record = {
+  sr_label : string;  (** {!Netlist.fault_label} *)
+  sr_fault : Netlist.fault;
+  sr_outcome : stuck_outcome;
+}
+
+type stuck_report = {
+  st_design : string;
+  st_universe : int;  (** full pin fault universe *)
+  st_collapsed : int;  (** after equivalence collapsing *)
+  st_simulated : int;  (** after optional [max_faults] sampling *)
+  st_detected : int;
+  st_undetected : int;
+  st_diagnosed : int;
+  st_vectors : int;  (** stimulus cycles replayed per fault *)
+  st_coverage : float;  (** detected / simulated *)
+  st_records : stuck_record list;
+}
+
+(** [stuck_at_netlist nl ~vectors] runs a serial stuck-at campaign on
+    [nl].  [vectors.(c)] lists the [(input bus, mantissa)] stimuli of
+    cycle [c].  [max_faults] caps the campaign to a deterministic
+    [seed]-driven sample of the collapsed fault list;
+    [settle_budget] is passed to {!Netlist.Sim.create} (the per-fault
+    oscillation watchdog). *)
+val stuck_at_netlist :
+  ?max_faults:int ->
+  ?seed:int ->
+  ?settle_budget:int ->
+  Netlist.t ->
+  vectors:(string * int64) list array ->
+  stuck_report
+
+(** [stuck_at_system sys ~cycles] records [cycles] of the system's own
+    stimuli (as the test-bench generator does), synthesizes the system
+    to gates, and runs {!stuck_at_netlist} with the recorded vectors. *)
+val stuck_at_system :
+  ?max_faults:int ->
+  ?seed:int ->
+  ?settle_budget:int ->
+  ?options:Synthesize.options ->
+  ?macro_of_kernel:(Dataflow.Kernel.t -> Synthesize.macro_spec option) ->
+  Cycle_system.t ->
+  cycles:int ->
+  stuck_report
+
+(** {1 SEU (transient bit-flip) campaigns} *)
+
+type engine = Interp | Compiled | Rtl_sim
+
+(** ["interp"], ["compiled"], ["rtl"]. *)
+val engine_label : engine -> string
+
+val engine_of_label : string -> engine option
+
+(** What a run flips: one bit of one register (indexed in
+    [Cycle_system.all_regs] order), or one bit of one timed component's
+    state register.  The engines hold FSM state as a 16-bit word (the
+    RTL elaboration's state-signal format), so all 16 bits are targets;
+    flips landing outside the encoded state indices are caught by the
+    engine's state decode and classified [Detected] with code
+    [Invalid_state].  Single-state FSMs carry no state register. *)
+type seu_target =
+  | Reg_bit of { t_reg : int; t_bit : int }
+  | State_bit of { t_comp : int; t_bit : int }
+
+type seu_outcome =
+  | Masked  (** probe histories identical to the fault-free run *)
+  | Sdc of { probe : string; cycle : int option; detail : string }
+      (** silent data corruption: a token value differs at the same
+          cycle *)
+  | Detected of Ocapi_error.t
+      (** the engine stopped with a structured diagnostic (deadlock,
+          overflow, oscillation, invalid FSM state), or the output
+          stream diverged structurally — tokens shifted, missing or
+          stopped, which a system-level watchdog monitor catches
+          (code [Watchdog]) *)
+
+type seu_run = {
+  run_index : int;
+  run_target : seu_target;
+  run_label : string;  (** e.g. ["acc\[3\]"], ["hcor.state\[1\]"] *)
+  run_cycle : int;  (** injection cycle *)
+  run_outcome : seu_outcome;
+}
+
+type seu_report = {
+  seu_design : string;
+  seu_engine : string;
+  seu_runs : int;
+  seu_cycles : int;
+  seu_seed : int;
+  seu_masked : int;
+  seu_sdc : int;
+  seu_detected : int;
+  seu_records : seu_run list;
+}
+
+(** [seu_campaign sys ~cycles] runs [runs] (default 1000) independent
+    simulations of [cycles] cycles on [engine] (default {!Compiled}).
+    Run [i] flips one seeded-random state bit at one seeded-random
+    cycle; outcomes are classified against the fault-free run of the
+    same engine.  [max_deltas] is the RTL engine's delta watchdog.
+    Deterministic: same [seed] (default 1), same report. *)
+val seu_campaign :
+  ?engine:engine ->
+  ?runs:int ->
+  ?seed:int ->
+  ?max_deltas:int ->
+  Cycle_system.t ->
+  cycles:int ->
+  seu_report
+
+(** The campaign harness run with {e no} injection — must be bit-
+    identical to the plain engine run (the zero-fault control of the
+    test suite). *)
+val control_run :
+  ?max_deltas:int ->
+  engine:engine ->
+  Cycle_system.t ->
+  cycles:int ->
+  (string * (int * Fixed.t) list) list
+
+(** {1 Reports} *)
+
+val pp_stuck_report : Format.formatter -> stuck_report -> unit
+val pp_seu_report : Format.formatter -> seu_report -> unit
+
+(** JSON renderings (for [BENCH_fault.json] and the CLI). *)
+val stuck_report_json : stuck_report -> Ocapi_obs.Json.t
+
+val seu_report_json : seu_report -> Ocapi_obs.Json.t

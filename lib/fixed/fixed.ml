@@ -260,6 +260,14 @@ let to_bits v =
   done;
   Bytes.to_string b
 
+let flip_bit v i =
+  if i < 0 || i >= v.fmt.width then
+    invalid_arg
+      (Printf.sprintf "Fixed.flip_bit: bit %d outside format %s" i
+         (format_to_string v.fmt));
+  let m = Int64.logxor v.mantissa (Int64.shift_left 1L i) in
+  { v with mantissa = wrap_mantissa v.fmt m }
+
 let of_bits fmt s =
   if String.length s <> fmt.width then
     format_error "of_bits: %d chars for width %d" (String.length s) fmt.width;

@@ -178,3 +178,9 @@ val to_bits : t -> string
 (** [of_bits fmt s] parses an MSB-first bit string.
     @raise Format_error if [String.length s <> fmt.width]. *)
 val of_bits : format -> string -> t
+
+(** [flip_bit v i] toggles bit [i] (LSB = 0) of the two's-complement
+    mantissa and reinterprets the result in [v]'s format — the
+    single-event-upset primitive of the fault-injection subsystem.
+    @raise Invalid_argument if [i] is outside [0 .. width-1]. *)
+val flip_bit : t -> int -> t

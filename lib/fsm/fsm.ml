@@ -186,6 +186,11 @@ let reset t =
   | Some s -> t.f_current <- Some s
   | None -> error "fsm %s: cannot reset, no initial state" t.name
 
+let force_state t i =
+  match List.find_opt (fun s -> s.s_index = i) t.f_states with
+  | Some s -> t.f_current <- Some s
+  | None -> error "fsm %s: force_state: no state with index %d" t.name i
+
 type check_issue =
   | Unreachable_state of string
   | Nondeterministic of string

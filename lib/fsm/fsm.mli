@@ -123,6 +123,13 @@ val advance : t -> transition -> unit
 (** Return to the initial state. Does not touch registers. *)
 val reset : t -> unit
 
+(** [force_state t i] jumps to the state whose {!state_index} is [i],
+    bypassing transitions — the fault-injection access used by SEU
+    campaigns on the interpreted engine (a bit flip in the encoded state
+    register selects an arbitrary index).
+    @raise Fsm_error if no state has index [i]. *)
+val force_state : t -> int -> unit
+
 (** {1 Checks} *)
 
 type check_issue =

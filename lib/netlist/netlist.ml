@@ -280,8 +280,126 @@ let rams_list t =
 let inputs_list t = List.rev t.inputs
 let outputs_list t = List.rev t.outputs
 
+(* Human-readable label for a single-bit net: its position in a named
+   input/output bus when it has one, else the bare index. *)
+let label_in_buses buses n =
+  List.fold_left
+    (fun acc (bname, bus) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        let rec idx i =
+          if i >= Array.length bus then None
+          else if bus.(i) = n then Some (Printf.sprintf "%s[%d]" bname i)
+          else idx (i + 1)
+        in
+        idx 0)
+    None buses
+
+let net_label t n =
+  match label_in_buses t.inputs n with
+  | Some s -> s
+  | None -> (
+    match label_in_buses t.outputs n with
+    | Some s -> s
+    | None -> Printf.sprintf "n%d" n)
+
+(* --- stuck-at fault model ------------------------------------------------ *)
+
+type fault_site = Stem of net | Branch of { br_gate : int; br_pin : int }
+type fault = { f_site : fault_site; f_stuck : bool }
+
+let gates_in_order t = Array.of_list (List.rev t.gates)
+
+let fault_label t f =
+  let v = if f.f_stuck then 1 else 0 in
+  match f.f_site with
+  | Stem n -> Printf.sprintf "%s/sa%d" (net_label t n) v
+  | Branch { br_gate; br_pin } ->
+    Printf.sprintf "g%d.in%d/sa%d" br_gate br_pin v
+
+let fault_universe t =
+  let gates = gates_in_order t in
+  let faults = ref [] in
+  let add site stuck = faults := { f_site = site; f_stuck = stuck } :: !faults in
+  let both site =
+    add site false;
+    add site true
+  in
+  (* Primary inputs and DFF outputs are fanout stems in their own right. *)
+  List.iter (fun (_, bus) -> Array.iter (fun n -> both (Stem n)) bus) t.inputs;
+  List.iter (fun d -> both (Stem d.d_q)) (List.rev t.dffs);
+  Array.iteri
+    (fun gi g ->
+      (match g.g_kind with
+      (* A constant output stuck at its own value is the fault-free
+         circuit; only the opposite polarity is a fault. *)
+      | Const0 -> add (Stem g.g_out) true
+      | Const1 -> add (Stem g.g_out) false
+      | _ -> both (Stem g.g_out));
+      Array.iteri (fun pin _ -> both (Branch { br_gate = gi; br_pin = pin }))
+        g.g_inputs)
+    gates;
+  List.rev !faults
+
+(* Equivalence-based collapsing: drop pin faults that some stem fault in
+   the universe provably dominates-and-is-dominated-by (classic gate
+   rules), and fold single-fanout branch faults onto their stem. *)
+let collapse_faults t faults =
+  let gates = gates_in_order t in
+  (* Gate-pin fanout count per net, plus loads that block branch->stem
+     folding (macro-cell reads, primary outputs). *)
+  let pin_fanout = Hashtbl.create 256 in
+  let bump n =
+    Hashtbl.replace pin_fanout n
+      (1 + Option.value ~default:0 (Hashtbl.find_opt pin_fanout n))
+  in
+  Array.iter (fun g -> Array.iter bump g.g_inputs) gates;
+  List.iter (fun d -> bump d.d_d) t.dffs;
+  let observed = Hashtbl.create 64 in
+  List.iter (fun r -> Array.iter (fun n -> Hashtbl.replace observed n ()) r.r_addr)
+    t.roms;
+  List.iter
+    (fun m ->
+      Array.iter (fun n -> Hashtbl.replace observed n ()) m.m_addr;
+      Array.iter (fun n -> Hashtbl.replace observed n ()) m.m_wdata;
+      Hashtbl.replace observed m.m_we ())
+    t.rams;
+  List.iter (fun (_, bus) -> Array.iter (fun n -> Hashtbl.replace observed n ()) bus)
+    t.outputs;
+  let stems = Hashtbl.create 256 in
+  List.iter
+    (fun f -> match f.f_site with Stem n -> Hashtbl.replace stems n () | _ -> ())
+    faults;
+  List.filter
+    (fun f ->
+      match f.f_site with
+      | Stem _ -> true
+      | Branch { br_gate; br_pin } -> (
+        let g = gates.(br_gate) in
+        let src = g.g_inputs.(br_pin) in
+        let controlled_equiv =
+          (* Pin fault equivalent to an output-stem fault of the same
+             gate: controlling input values, and any fault through an
+             inverter or buffer. *)
+          match g.g_kind, f.f_stuck with
+          | (Buf | Not), _ -> true
+          | (And | Nand), false -> true
+          | (Or | Nor), true -> true
+          | _ -> false
+        in
+        if controlled_equiv then false
+        else
+          (* Sole load of its stem and not otherwise observed: the
+             branch is electrically the stem. *)
+          match Hashtbl.find_opt pin_fanout src with
+          | Some 1 when (not (Hashtbl.mem observed src)) && Hashtbl.mem stems src
+            -> false
+          | _ -> true))
+    faults
+
 module Sim = struct
-  exception Did_not_settle of string
+  exception Did_not_settle of Ocapi_error.t
 
   type elem = Gate of gate | Rom_elem of rom_rec | Ram_elem of int * ram_rec
 
@@ -296,8 +414,17 @@ module Sim = struct
     queue : int Queue.t;
     queued : bool array;
     name : string;
+    settle_budget : int;
     mutable n_evaluations : int;
     mutable n_events : int;
+    mutable n_clocks : int;
+    (* Active stuck-at fault, if any: a forced net (stem fault) ignores
+       all writes; a faulty gate pin (branch fault) reads a constant. *)
+    mutable forced_net : net;  (* -1 = none *)
+    mutable forced_value : bool;
+    mutable fault_elem : int;  (* -1 = none *)
+    mutable fault_pin : int;
+    mutable fault_pin_value : bool;
   }
 
   let bus_value values ~signed bus =
@@ -310,7 +437,7 @@ module Sim = struct
       Int64.sub !m (Int64.shift_left 1L w)
     else !m
 
-  let create (nl : (* netlist *) _) =
+  let create ?settle_budget (nl : (* netlist *) _) =
     let nl_record : (* the outer type *) _ = nl in
     let values = Array.make (max 1 nl_record.n_nets) false in
     let rams = Array.of_list (List.rev nl_record.rams) in
@@ -344,8 +471,18 @@ module Sim = struct
         queue = Queue.create ();
         queued = Array.make (max 1 (Array.length elems)) false;
         name = nl_record.nl_name;
+        settle_budget =
+          (match settle_budget with
+          | Some b -> b
+          | None -> 1000 * max 64 (Array.length elems));
         n_evaluations = 0;
         n_events = 0;
+        n_clocks = 0;
+        forced_net = -1;
+        forced_value = false;
+        fault_elem = -1;
+        fault_pin = 0;
+        fault_pin_value = false;
       }
     in
     (* Initialize DFF outputs and evaluate everything once. *)
@@ -358,7 +495,7 @@ module Sim = struct
     t
 
   let set_net t n v =
-    if t.values.(n) <> v then begin
+    if n <> t.forced_net && t.values.(n) <> v then begin
       t.values.(n) <- v;
       t.n_events <- t.n_events + 1;
       List.iter
@@ -370,22 +507,22 @@ module Sim = struct
         t.fanout.(n)
     end
 
+  let gate_value g v =
+    match g.g_kind with
+    | Buf -> v 0
+    | Not -> not (v 0)
+    | And -> v 0 && v 1
+    | Or -> v 0 || v 1
+    | Xor -> v 0 <> v 1
+    | Nand -> not (v 0 && v 1)
+    | Nor -> not (v 0 || v 1)
+    | Mux2 -> if v 0 then v 1 else v 2
+    | Const0 -> false
+    | Const1 -> true
+
   let eval_gate t g =
     let v i = t.values.(g.g_inputs.(i)) in
-    let out =
-      match g.g_kind with
-      | Buf -> v 0
-      | Not -> not (v 0)
-      | And -> v 0 && v 1
-      | Or -> v 0 || v 1
-      | Xor -> v 0 <> v 1
-      | Nand -> not (v 0 && v 1)
-      | Nor -> not (v 0 || v 1)
-      | Mux2 -> if v 0 then v 1 else v 2
-      | Const0 -> false
-      | Const1 -> true
-    in
-    set_net t g.g_out out
+    set_net t g.g_out (gate_value g v)
 
   let drive_bus t bus m =
     Array.iteri
@@ -396,7 +533,14 @@ module Sim = struct
   let eval_elem t ei =
     t.n_evaluations <- t.n_evaluations + 1;
     match t.elems.(ei) with
-    | Gate g -> eval_gate t g
+    | Gate g ->
+      if ei = t.fault_elem then
+        let v i =
+          if i = t.fault_pin then t.fault_pin_value
+          else t.values.(g.g_inputs.(i))
+        in
+        set_net t g.g_out (gate_value g v)
+      else eval_gate t g
     | Rom_elem r ->
       let addr = Int64.to_int (bus_value t.values ~signed:false r.r_addr) in
       let word = r.r_contents.(addr mod Array.length r.r_contents) in
@@ -410,11 +554,42 @@ module Sim = struct
     let obs = Ocapi_obs.enabled () in
     let evals0 = t.n_evaluations and events0 = t.n_events in
     let t_settle = Ocapi_obs.span_begin () in
-    let budget = ref (1000 * max 64 (Array.length t.elems)) in
+    let budget = ref t.settle_budget in
     while not (Queue.is_empty t.queue) do
       decr budget;
-      if !budget < 0 then
-        raise (Did_not_settle (Printf.sprintf "netlist %s oscillates" t.name));
+      if !budget < 0 then begin
+        (* Report the nets still in motion: the output nets of every
+           element left on the event queue. *)
+        let ins, outs = t.nl in
+        let label n =
+          match label_in_buses ins n with
+          | Some s -> s
+          | None -> (
+            match label_in_buses outs n with
+            | Some s -> s
+            | None -> Printf.sprintf "n%d" n)
+        in
+        let toggling =
+          Queue.fold
+            (fun acc ei ->
+              match t.elems.(ei) with
+              | Gate g -> g.g_out :: acc
+              | Rom_elem r -> Array.to_list r.r_out @ acc
+              | Ram_elem (_, r) -> Array.to_list r.m_out @ acc)
+            [] t.queue
+          |> List.sort_uniq compare
+        in
+        let shown = List.filteri (fun i _ -> i < 12) toggling in
+        raise
+          (Did_not_settle
+             (Ocapi_error.make Ocapi_error.Did_not_settle ~engine:"gates"
+                ~construct:t.name ~cycle:t.n_clocks
+                ~nets:(List.map label shown)
+                (Printf.sprintf
+                   "netlist %s oscillates: %d nets still toggling after \
+                    %d evaluations"
+                   t.name (List.length toggling) t.settle_budget)))
+      end;
       let ei = Queue.pop t.queue in
       t.queued.(ei) <- false;
       eval_elem t ei
@@ -441,6 +616,7 @@ module Sim = struct
     | None -> raise (Netlist_error (Printf.sprintf "no output bus %s" name))
 
   let clock t =
+    t.n_clocks <- t.n_clocks + 1;
     if Ocapi_obs.enabled () then Ocapi_obs.count "gates.clocks";
     (* Sample all DFF inputs first, then update, so the edge is atomic. *)
     let sampled = Array.map (fun d -> t.values.(d.d_d)) t.dffs in
@@ -480,7 +656,41 @@ module Sim = struct
         Queue.add i t.queue)
       t.elems;
     t.n_evaluations <- 0;
-    t.n_events <- 0
+    t.n_events <- 0;
+    t.n_clocks <- 0
+
+  (* Activate a stuck-at fault.  A stem fault pins a net: its value is
+     forced now and every later write is ignored.  A branch fault makes
+     one gate read a constant on one input pin.  Inject after {!reset};
+     {!clear_fault} before the next reset restores the healthy circuit. *)
+  let inject t (f : fault) =
+    match f.f_site with
+    | Stem n ->
+      t.forced_net <- n;
+      t.forced_value <- f.f_stuck;
+      if t.values.(n) <> f.f_stuck then begin
+        t.values.(n) <- f.f_stuck;
+        t.n_events <- t.n_events + 1;
+        List.iter
+          (fun ei ->
+            if not t.queued.(ei) then begin
+              t.queued.(ei) <- true;
+              Queue.add ei t.queue
+            end)
+          t.fanout.(n)
+      end
+    | Branch { br_gate; br_pin } ->
+      t.fault_elem <- br_gate;
+      t.fault_pin <- br_pin;
+      t.fault_pin_value <- f.f_stuck;
+      if not t.queued.(br_gate) then begin
+        t.queued.(br_gate) <- true;
+        Queue.add br_gate t.queue
+      end
+
+  let clear_fault t =
+    t.forced_net <- -1;
+    t.fault_elem <- -1
 
   type stats = { evaluations : int; events : int }
 

@@ -140,15 +140,52 @@ val rams_list :
 val inputs_list : t -> (string * net array) list
 val outputs_list : t -> (string * net array) list
 
+(** [net_label t n] — the net's position in a named input/output bus
+    (["samples[3]"]) when it has one, else ["n<index>"]. *)
+val net_label : t -> net -> string
+
+(** {1 Stuck-at fault model}
+
+    The classic gate-level fault universe: every gate pin can be stuck
+    at 0 or 1.  A {!Stem} fault pins a whole net (the driver's output
+    pin and all its fanout); a {!Branch} fault affects a single input
+    pin of a single gate, leaving the other branches of the same net
+    healthy.  [br_gate] indexes gates in {!fold_gates} order. *)
+
+type fault_site = Stem of net | Branch of { br_gate : int; br_pin : int }
+type fault = { f_site : fault_site; f_stuck : bool }
+
+(** Every pin fault of the netlist: both polarities on each primary
+    input net, DFF output and gate output (stem faults) and on each
+    gate input pin (branch faults).  Constant gates contribute only
+    the polarity that differs from their value. *)
+val fault_universe : t -> fault list
+
+(** Drop faults equivalent to a remaining one: buffer/inverter pin
+    faults, controlling-value pin faults of AND/NAND/OR/NOR (equivalent
+    to an output-stem fault of the same gate), and branch faults on
+    single-load stems.  Coverage computed on the collapsed list equals
+    coverage on the full universe. *)
+val collapse_faults : t -> fault list -> fault list
+
+(** ["<net>/sa0"], ["g<i>.in<p>/sa1"], ... *)
+val fault_label : t -> fault -> string
+
 (** {1 Simulation} *)
 
 module Sim : sig
   type netlist := t
   type t
 
-  exception Did_not_settle of string
+  (** The event queue did not quiesce within the settle budget.  The
+      diagnostic lists (a sample of) the still-toggling nets, the
+      budget, and the clock cycle. *)
+  exception Did_not_settle of Ocapi_error.t
 
-  val create : netlist -> t
+  (** [create ?settle_budget nl] — [settle_budget] bounds the element
+      evaluations of one {!settle} call (default
+      [1000 * max 64 n_elements]). *)
+  val create : ?settle_budget:int -> netlist -> t
 
   (** [set_input sim name mantissa] drives an input bus with the low
       bits of a two's-complement mantissa. *)
@@ -169,6 +206,18 @@ module Sim : sig
       sample outputs and then call {!clock}. *)
 
   val reset : t -> unit
+
+  (** {2 Fault injection}
+
+      Serial stuck-at simulation: per fault, [reset]; [inject]; replay
+      the test-bench vectors; [clear_fault].  A stem fault forces its
+      net and masks all writes to it; a branch fault makes one gate pin
+      read a constant.  At most one fault of each kind is active; the
+      fault survives {!reset} (inject after reset to re-apply a stem's
+      forced value). *)
+
+  val inject : t -> fault -> unit
+  val clear_fault : t -> unit
 
   type stats = { evaluations : int; events : int }
 

@@ -94,7 +94,11 @@ type metric =
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
-let kind_clash name = invalid_arg ("Ocapi_obs: metric kind clash on " ^ name)
+let kind_clash name =
+  invalid_arg
+    ("Ocapi_obs: metric " ^ name
+   ^ " already registered with a different kind (counter, gauge and \
+      histogram names must not overlap)")
 
 let counter_ref name =
   match Hashtbl.find_opt registry name with

@@ -1,4 +1,4 @@
-exception Delta_overflow of string
+exception Delta_overflow of Ocapi_error.t
 exception Rtl_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Rtl_error s)) fmt
@@ -44,7 +44,10 @@ type t = {
   resets : (unit -> unit) list;  (* restore component-local state *)
   kernel_commits : (unit -> unit) list;
   kernel_procs : process_ list;
-  regs : Signal.Reg.t list;
+  regs : Signal.Reg.t array;  (* Cycle_system.all_regs order *)
+  reg_shadows : (int * rtl_signal) list;  (* Reg.id -> shadow signal *)
+  (* Per timed component: name, state signal, number of encoded states. *)
+  state_sigs : (string * rtl_signal * int) array;
   mutable traces : trace_rec list;  (* [] unless trace_all was called *)
   mutable cycle_count : int;
   mutable initialized : bool;
@@ -120,7 +123,7 @@ let net_formats sys =
     (Cycle_system.timed_components sys);
   (fmts, driver_index)
 
-let of_system sys =
+let of_system ?(max_deltas = 1000) sys =
   let fmts, driver_index = net_formats sys in
   let sink_index = Hashtbl.create 64 in
   List.iter
@@ -150,6 +153,9 @@ let of_system sys =
   let kernel_commits = ref [] in
   let kernel_procs = ref [] in
   let add_process p = processes := p :: !processes in
+  (* Fault-injection bookkeeping: register shadows and state signals. *)
+  let all_shadows = ref [] in
+  let state_sig_rows = ref [] in
   (* Timed components: comb + seq process pairs. *)
   List.iter
     (fun (cname, fsm) ->
@@ -178,6 +184,9 @@ let of_system sys =
       let next_state_sig =
         add_signal (cname ^ ".state_next") state_sig.sg_initial
       in
+      all_shadows := shadow @ !all_shadows;
+      state_sig_rows :=
+        (cname, state_sig, List.length (Fsm.states fsm)) :: !state_sig_rows;
       (* Input nets feeding this component, by SFG input name. *)
       let input_net port = Hashtbl.find_opt sink_index (cname, port) in
       let all_input_nets =
@@ -386,7 +395,9 @@ let of_system sys =
     resets = !resets;
     kernel_commits = !kernel_commits;
     kernel_procs = !kernel_procs;
-    regs = Cycle_system.all_regs sys;
+    regs = Array.of_list (Cycle_system.all_regs sys);
+    reg_shadows = !all_shadows;
+    state_sigs = Array.of_list (List.rev !state_sig_rows);
     traces = [];
     cycle_count = 0;
     initialized = false;
@@ -394,7 +405,7 @@ let of_system sys =
     n_transactions = 0;
     n_deltas = 0;
     n_activations = 0;
-    max_deltas = 1000;
+    max_deltas;
   }
 
 (* --- the event-driven kernel ---------------------------------------------- *)
@@ -411,11 +422,28 @@ let settle t initial_assignments =
       (* pending transactions = the event queue of this delta *)
       Ocapi_obs.max_gauge "rtl.queue_high_water"
         (float_of_int (List.length !pending));
-    if !deltas > t.max_deltas then
+    if !deltas > t.max_deltas then begin
+      (* Name the signals still being scheduled — the combinational loop
+         (or ping-ponging process pair) runs through them. *)
+      let culprits =
+        List.map (fun (s, _) -> s.sg_name) !pending
+        |> List.sort_uniq String.compare
+      in
+      let shown =
+        if List.length culprits <= 12 then culprits
+        else
+          (List.filteri (fun i _ -> i < 12) culprits)
+          @ [ Printf.sprintf "... %d more" (List.length culprits - 12) ]
+      in
       raise
         (Delta_overflow
-           (Printf.sprintf "no convergence after %d delta cycles (cycle %d)"
-              t.max_deltas t.cycle_count));
+           (Ocapi_error.make Ocapi_error.Delta_overflow ~engine:"rtl"
+              ~cycle:t.cycle_count ~nets:shown
+              (Printf.sprintf
+                 "no convergence after %d delta cycles: %d signals still \
+                  scheduling transactions"
+                 t.max_deltas (List.length culprits))))
+    end;
     (* Apply transactions; collect processes woken by events. *)
     let woken = Hashtbl.create 16 in
     List.iter
@@ -548,7 +576,7 @@ let reset t =
       s.sg_value <- s.sg_initial;
       s.sg_driven_this_cycle <- false)
     t.signals;
-  List.iter Signal.Reg.reset t.regs;
+  Array.iter Signal.Reg.reset t.regs;
   List.iter (fun f -> f ()) t.resets;
   List.iter (fun pb -> pb.pb_history <- []) t.probes;
   List.iter
@@ -574,6 +602,57 @@ let traced_histories t =
 
 let signal_count t = List.length t.signals
 let process_count t = List.length t.processes
+
+(* --- fault-injection access ----------------------------------------------- *)
+
+let register_count t = Array.length t.regs
+
+let register_info t i =
+  let r = t.regs.(i) in
+  (Signal.Reg.name r, Signal.Reg.fmt r)
+
+let flip_register_bit t i ~bit =
+  let r = t.regs.(i) in
+  let f = Signal.Reg.fmt r in
+  if bit < 0 || bit >= f.Fixed.width then
+    invalid_arg
+      (Printf.sprintf "Rtl.flip_register_bit: bit %d outside format %s of %s"
+         bit
+         (Fixed.format_to_string f)
+         (Signal.Reg.name r));
+  match List.assoc_opt (Signal.Reg.id r) t.reg_shadows with
+  | None ->
+    error "flip_register_bit: register %s has no shadow signal"
+      (Signal.Reg.name r)
+  | Some sh ->
+    initialize t;
+    let v = sh.sg_value in
+    (* The shadow may hold a value in a wider expression format than the
+       declared one; flip within the stored width. *)
+    let b = min bit ((Fixed.fmt v).Fixed.width - 1) in
+    settle t [ (sh, Fixed.flip_bit v b) ]
+
+let component_count t = Array.length t.state_sigs
+
+let component_info t i =
+  let cname, _, n = t.state_sigs.(i) in
+  (cname, n)
+
+let component_state t i =
+  let _, s, _ = t.state_sigs.(i) in
+  Fixed.to_int s.sg_value
+
+let set_component_state t i state =
+  let cname, s, n = t.state_sigs.(i) in
+  if state < 0 || state >= n then
+    raise
+      (Ocapi_error.Error
+         (Ocapi_error.make Ocapi_error.Invalid_state ~engine:"rtl"
+            ~construct:cname ~cycle:t.cycle_count
+            (Printf.sprintf "state index %d outside the %d encoded states"
+               state n)));
+  initialize t;
+  settle t [ (s, Fixed.of_int (Fixed.fmt s.sg_value) state) ]
 
 type stats = {
   cycles : int;

@@ -24,15 +24,20 @@
     unbounded delta chain (a combinational loop) raises
     {!Delta_overflow}. *)
 
-exception Delta_overflow of string
+(** The delta-cycle budget was exhausted.  The diagnostic names (a
+    sample of) the signals still scheduling transactions, the budget and
+    the clock cycle. *)
+exception Delta_overflow of Ocapi_error.t
+
 exception Rtl_error of string
 
 type t
 
 (** Elaborate a system for event-driven simulation.  The RTL engine
     shares the register objects of the source system: run only one
-    engine at a time and call {!reset} before a run. *)
-val of_system : Cycle_system.t -> t
+    engine at a time and call {!reset} before a run.  [max_deltas]
+    bounds the delta-cycle loop of one settle (default 1000). *)
+val of_system : ?max_deltas:int -> Cycle_system.t -> t
 
 (** Simulate one clock cycle (input drive + both clock edges). *)
 val cycle : t -> unit
@@ -62,6 +67,37 @@ val traced_histories : t -> (string * int * (int * Fixed.t) list) list
 
 val signal_count : t -> int
 val process_count : t -> int
+
+(** {1 Fault-injection access}
+
+    Registers are indexed in [Cycle_system.all_regs] order — the shared
+    indexing of the SEU campaigns, identical across engines. *)
+
+val register_count : t -> int
+
+(** [register_info t i] is the register's name and declared format. *)
+val register_info : t -> int -> string * Fixed.format
+
+(** [flip_register_bit t i ~bit] XORs one bit into register [i]'s shadow
+    signal and lets the event kernel propagate the change (a transient
+    SEU between two {!cycle}s).
+    @raise Invalid_argument if [bit] is outside the declared width. *)
+val flip_register_bit : t -> int -> bit:int -> unit
+
+(** Timed components (FSMs), in system order. *)
+val component_count : t -> int
+
+(** [component_info t i] is the component's name and state count. *)
+val component_info : t -> int -> string * int
+
+val component_state : t -> int -> int
+
+(** [set_component_state t i s] forces FSM [i]'s state signal to [s] and
+    propagates.
+    @raise Ocapi_error.Error with code [Invalid_state] if [s] is not an
+    encoded state — the detected-outcome path of SEU campaigns on state
+    registers. *)
+val set_component_state : t -> int -> int -> unit
 
 type stats = {
   cycles : int;

@@ -21,4 +21,5 @@ let () =
       ("opcomplete", Test_opcomplete.suite);
       ("flow", Test_flow.suite);
       ("obs", Test_obs.suite);
+      ("fault", Test_fault.suite);
     ]

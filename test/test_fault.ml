@@ -1,0 +1,205 @@
+(* Tests for the fault-injection subsystem: zero-fault SEU controls
+   against all three cycle engines, hand-computed stuck-at coverage,
+   campaign determinism, and graceful degradation of non-settling
+   faulty circuits into per-run diagnostics. *)
+
+let dect_design () =
+  let d =
+    Dect_transceiver.create
+      ~stimulus:(fun c ->
+        Some
+          (Fixed.of_float ~overflow:Fixed.Saturate Dect_transceiver.sample_format
+             (sin (float_of_int c *. 0.37) /. 2.2)))
+      ()
+  in
+  d.Dect_transceiver.system
+
+let hcor_design () =
+  let bits = Dect_stimuli.burst ~seed:1 () in
+  let tx = Dect_stimuli.transmit bits in
+  let rx = Dect_stimuli.channel ~snr_db:25.0 ~seed:1 tx in
+  let samples =
+    Dect_stimuli.quantize Hcor.sample_format (Array.map (fun x -> x /. 2.0) rx)
+  in
+  (Hcor.create ~stimulus:(Hcor.sample_stimulus samples) ()).Hcor.system
+
+(* --- zero-fault controls --------------------------------------------------- *)
+
+(* The SEU harness run with no injection must be bit-identical to the
+   plain engine run: the campaign machinery itself must not perturb
+   the simulation. *)
+let check_control engine plain =
+  let cycles = 48 in
+  let golden = plain (dect_design ()) ~cycles in
+  let control = Ocapi_fault.control_run ~engine (dect_design ()) ~cycles in
+  match Flow.first_history_mismatch golden control with
+  | None -> ()
+  | Some (probe, cycle, detail) ->
+    Alcotest.failf "%s control diverged at probe %s%s: %s"
+      (Ocapi_fault.engine_label engine)
+      probe
+      (match cycle with Some c -> Printf.sprintf " cycle %d" c | None -> "")
+      detail
+
+let test_control_interp () =
+  check_control Ocapi_fault.Interp (fun sys -> Flow.simulate sys)
+
+let test_control_compiled () =
+  check_control Ocapi_fault.Compiled (fun sys -> Flow.simulate_compiled sys)
+
+let test_control_rtl () =
+  check_control Ocapi_fault.Rtl_sim (fun sys -> Flow.simulate_rtl sys)
+
+(* --- stuck-at on a hand-computed netlist ----------------------------------- *)
+
+let and_netlist () =
+  let nl = Netlist.create "and2" in
+  let a = Netlist.input_bus nl "a" 1 and b = Netlist.input_bus nl "b" 1 in
+  Netlist.output_bus nl "y" [| Netlist.gate nl Netlist.And [ a.(0); b.(0) ] |];
+  nl
+
+(* Exhaustive stimuli expose every stuck-at fault of a 2-input AND:
+   coverage must be exactly 1. *)
+let test_stuck_at_and_exhaustive () =
+  let vectors =
+    [|
+      [ ("a", 0L); ("b", 0L) ];
+      [ ("a", 0L); ("b", 1L) ];
+      [ ("a", 1L); ("b", 0L) ];
+      [ ("a", 1L); ("b", 1L) ];
+    |]
+  in
+  let r = Ocapi_fault.stuck_at_netlist (and_netlist ()) ~vectors in
+  Alcotest.(check bool) "universe non-empty" true (r.Ocapi_fault.st_universe > 0);
+  Alcotest.(check bool)
+    "collapsing shrinks the universe" true
+    (r.Ocapi_fault.st_collapsed < r.Ocapi_fault.st_universe);
+  Alcotest.(check int)
+    "all collapsed faults simulated" r.Ocapi_fault.st_collapsed
+    r.Ocapi_fault.st_simulated;
+  Alcotest.(check int) "no diagnosed faults" 0 r.Ocapi_fault.st_diagnosed;
+  Alcotest.(check int)
+    "every fault detected" r.Ocapi_fault.st_simulated
+    r.Ocapi_fault.st_detected;
+  Alcotest.(check (float 1e-9)) "coverage 100%" 1.0 r.Ocapi_fault.st_coverage
+
+(* A single vector (1,1) cannot expose the stuck-at-1 faults: the
+   campaign must report them undetected and coverage strictly below 1. *)
+let test_stuck_at_and_weak_stimuli () =
+  let vectors = [| [ ("a", 1L); ("b", 1L) ] |] in
+  let r = Ocapi_fault.stuck_at_netlist (and_netlist ()) ~vectors in
+  Alcotest.(check bool) "some fault detected" true (r.Ocapi_fault.st_detected > 0);
+  Alcotest.(check bool)
+    "stuck-at-1 faults escape" true
+    (r.Ocapi_fault.st_undetected > 0);
+  Alcotest.(check bool)
+    "coverage below 100%" true
+    (r.Ocapi_fault.st_coverage < 1.0);
+  Alcotest.(check int)
+    "classes partition the campaign" r.Ocapi_fault.st_simulated
+    (r.Ocapi_fault.st_detected + r.Ocapi_fault.st_undetected
+   + r.Ocapi_fault.st_diagnosed)
+
+(* --- stuck-at on the synthesized HCOR -------------------------------------- *)
+
+let test_stuck_at_hcor () =
+  let r =
+    Ocapi_fault.stuck_at_system ~max_faults:60 ~seed:1 (hcor_design ())
+      ~cycles:8
+  in
+  Alcotest.(check int) "sample size honoured" 60 r.Ocapi_fault.st_simulated;
+  Alcotest.(check bool)
+    "collapsing shrinks the universe" true
+    (r.Ocapi_fault.st_collapsed < r.Ocapi_fault.st_universe);
+  Alcotest.(check int) "vectors recorded" 8 r.Ocapi_fault.st_vectors;
+  Alcotest.(check bool)
+    "stimuli expose some faults" true
+    (r.Ocapi_fault.st_detected > 0);
+  Alcotest.(check int)
+    "classes partition the campaign" r.Ocapi_fault.st_simulated
+    (r.Ocapi_fault.st_detected + r.Ocapi_fault.st_undetected
+   + r.Ocapi_fault.st_diagnosed)
+
+(* --- a non-settling faulty circuit degrades to a diagnostic ---------------- *)
+
+(* en = 0 keeps the NAND feedback loop stable (a = 1); forcing en
+   stuck-at-1 turns it into a ring oscillator.  The campaign must
+   record the oscillation as a Did_not_settle diagnostic and keep
+   going instead of aborting. *)
+let test_oscillation_diagnosed () =
+  let nl = Netlist.create "osc" in
+  let en = Netlist.input_bus nl "en" 1 in
+  let b = Netlist.new_net nl in
+  let a = Netlist.gate nl Netlist.Nand [ en.(0); b ] in
+  Netlist.buf_into nl ~dst:b a;
+  Netlist.output_bus nl "q" [| a |];
+  let vectors = [| [ ("en", 0L) ] |] in
+  let r = Ocapi_fault.stuck_at_netlist ~settle_budget:200 nl ~vectors in
+  Alcotest.(check bool)
+    "oscillating fault diagnosed" true
+    (r.Ocapi_fault.st_diagnosed > 0);
+  Alcotest.(check int)
+    "campaign completed despite it" r.Ocapi_fault.st_simulated
+    (r.Ocapi_fault.st_detected + r.Ocapi_fault.st_undetected
+   + r.Ocapi_fault.st_diagnosed);
+  let is_did_not_settle rec_ =
+    match rec_.Ocapi_fault.sr_outcome with
+    | Ocapi_fault.Sa_diagnosed d -> d.Ocapi_error.e_code = Ocapi_error.Did_not_settle
+    | _ -> false
+  in
+  Alcotest.(check bool)
+    "diagnostic carries Did_not_settle" true
+    (List.exists is_did_not_settle r.Ocapi_fault.st_records)
+
+(* --- SEU campaigns ---------------------------------------------------------- *)
+
+let test_seu_deterministic () =
+  let run () =
+    Ocapi_fault.seu_campaign ~engine:Ocapi_fault.Compiled ~runs:120 ~seed:7
+      (dect_design ()) ~cycles:32
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "same seed, same report" true (r1 = r2);
+  Alcotest.(check int)
+    "classes partition the runs" r1.Ocapi_fault.seu_runs
+    (r1.Ocapi_fault.seu_masked + r1.Ocapi_fault.seu_sdc
+   + r1.Ocapi_fault.seu_detected)
+
+(* Same seed must pick the same targets on every engine: target
+   selection depends only on the system's register/state inventory,
+   never on the engine. *)
+let test_seu_targets_engine_independent () =
+  let labels engine =
+    let r =
+      Ocapi_fault.seu_campaign ~engine ~runs:25 ~seed:3 (dect_design ())
+        ~cycles:16
+    in
+    List.map
+      (fun run -> (run.Ocapi_fault.run_label, run.Ocapi_fault.run_cycle))
+      r.Ocapi_fault.seu_records
+  in
+  let li = labels Ocapi_fault.Interp in
+  let lc = labels Ocapi_fault.Compiled in
+  let lr = labels Ocapi_fault.Rtl_sim in
+  Alcotest.(check bool) "interp = compiled targets" true (li = lc);
+  Alcotest.(check bool) "compiled = rtl targets" true (lc = lr)
+
+let suite =
+  [
+    Alcotest.test_case "zero-fault control: interpreted" `Quick
+      test_control_interp;
+    Alcotest.test_case "zero-fault control: compiled" `Quick
+      test_control_compiled;
+    Alcotest.test_case "zero-fault control: rtl" `Quick test_control_rtl;
+    Alcotest.test_case "stuck-at AND, exhaustive stimuli" `Quick
+      test_stuck_at_and_exhaustive;
+    Alcotest.test_case "stuck-at AND, weak stimuli" `Quick
+      test_stuck_at_and_weak_stimuli;
+    Alcotest.test_case "stuck-at HCOR sample" `Quick test_stuck_at_hcor;
+    Alcotest.test_case "oscillating fault diagnosed, not fatal" `Quick
+      test_oscillation_diagnosed;
+    Alcotest.test_case "SEU campaign deterministic" `Quick
+      test_seu_deterministic;
+    Alcotest.test_case "SEU targets engine-independent" `Quick
+      test_seu_targets_engine_independent;
+  ]
