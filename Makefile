@@ -1,9 +1,15 @@
-.PHONY: all build test bench bench-json fault profile clean
+.PHONY: all build doc test bench bench-json bench-par fault profile clean
 
-all: build
+all: build doc
 
 build:
 	dune build
+
+# API documentation: odoc over every public .mli.  When the odoc binary
+# is not installed, `dune build @doc` is an empty alias and succeeds
+# silently — the odoc comments still serve as in-source reference.
+doc:
+	dune build @doc
 
 test:
 	dune runtest
@@ -17,9 +23,16 @@ bench: build
 bench-json: build
 	dune exec bench/main.exe -- t1-json
 
+# Parallel campaign scaling: the DECT SEU campaign at 1, 2 and 4 worker
+# domains, with a bit-identity check of every parallel report against
+# the serial one; writes ./BENCH_parallel.json (runs/sec + speedups).
+bench-par: build
+	dune exec bench/main.exe -- par
+
 # Fault campaigns: a small deterministic DECT SEU campaign (seeded, so
 # repeated runs print the same classification table) plus the bench
 # target that writes ./BENCH_fault.json (coverage %, runs/sec).
+# Add --domains N to the CLI line to run the campaign on N domains.
 fault: build
 	dune exec bin/ocapi_cli.exe -- fault --design dect --campaign seu --runs 200 --seed 1
 	dune exec bench/main.exe -- fault

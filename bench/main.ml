@@ -3,7 +3,7 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- t1      -- one target
-     targets: t1 t1-json c3 c4 c5 c6 f5 figs fault micro
+     targets: t1 t1-json c3 c4 c5 c6 f5 figs fault par micro
 
    T1  Table 1 (source lines / cycles-per-second / process size for
        HCOR and DECT under four simulation engines); also written
@@ -16,6 +16,9 @@
    F5  the DECT architecture audit (fig 5) with per-component gates
    fault  fault-campaign throughput: HCOR stuck-at coverage and a DECT
        SEU campaign; written machine-readably to BENCH_fault.json
+   par  parallel SEU campaign scaling over 1/2/4 worker domains, with
+       a bit-identity check against the serial report; written
+       machine-readably to BENCH_parallel.json (`make bench-par`)
    micro  Bechamel micro-benchmarks of the engines' single cycles *)
 
 let hcor_design () =
@@ -531,11 +534,75 @@ let fault_bench () =
   print_endline "wrote BENCH_fault.json";
   print_newline ()
 
+(* ---- par: parallel campaign scaling --------------------------------------- *)
+
+let par () =
+  print_endline "== par: parallel SEU campaign scaling over worker domains ==";
+  let runs = 400 and cycles = 48 and seed = 1 in
+  let campaign domains =
+    let t0 = Unix.gettimeofday () in
+    let report =
+      Ocapi_fault.seu_campaign ~engine:Ocapi_fault.Compiled ~runs ~seed
+        ~domains ~replicate:dect_design (dect_design ()) ~cycles
+    in
+    (report, Unix.gettimeofday () -. t0)
+  in
+  ignore (campaign 1) (* warm-up *);
+  let serial, serial_seconds = campaign 1 in
+  Printf.printf "available domains: %d\n" (Ocapi_parallel.available_domains ());
+  let rows =
+    List.map
+      (fun domains ->
+        let report, seconds =
+          if domains = 1 then (serial, serial_seconds) else campaign domains
+        in
+        let rate = float_of_int runs /. seconds in
+        let identical = report = serial in
+        Printf.printf
+          "dect seu, %d domain(s): %.2fs, %.0f runs/s, x%.2f vs serial%s\n"
+          domains seconds rate (serial_seconds /. seconds)
+          (if identical then "" else "  REPORT DIFFERS FROM SERIAL!");
+        (domains, seconds, rate, identical))
+      [ 1; 2; 4 ]
+  in
+  let json =
+    Ocapi_obs.Json.(
+      Obj
+        [
+          ("design", String "dect");
+          ("engine", String "compiled");
+          ("runs", Int runs);
+          ("cycles", Int cycles);
+          ("seed", Int seed);
+          ("available_domains", Int (Ocapi_parallel.available_domains ()));
+          ("serial_seconds", Float serial_seconds);
+          ( "rows",
+            List
+              (List.map
+                 (fun (domains, seconds, rate, identical) ->
+                   Obj
+                     [
+                       ("domains", Int domains);
+                       ("seconds", Float seconds);
+                       ("runs_per_second", Float rate);
+                       ("speedup", Float (serial_seconds /. seconds));
+                       ("report_identical_to_serial", Bool identical);
+                     ])
+                 rows) );
+        ])
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Ocapi_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_parallel.json";
+  print_newline ()
+
 let () =
   let targets =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "t1"; "c3"; "c4"; "c5"; "c6"; "f5"; "figs"; "fault"; "micro" ]
+    | _ -> [ "t1"; "c3"; "c4"; "c5"; "c6"; "f5"; "figs"; "fault"; "par"; "micro" ]
   in
   List.iter
     (fun t ->
@@ -549,6 +616,7 @@ let () =
       | "f5" -> f5 ()
       | "figs" -> figs ()
       | "fault" -> fault_bench ()
+      | "par" -> par ()
       | "micro" -> micro ()
       | other -> Printf.printf "unknown bench target %s\n" other)
     targets

@@ -279,15 +279,29 @@ let fault_engine_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.")
 
+let domains_arg =
+  let doc =
+    "Worker domains for the campaign (1 = serial).  The report is \
+     bit-identical for any value."
+  in
+  Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
 let fault_cmd =
-  let run name campaign cycles runs seed max_faults engine json =
+  let run name campaign cycles runs seed max_faults engine domains json =
     with_design name (fun d ->
+        (* Each extra worker domain owns a fresh, isolated copy of the
+           design; [build_design] is deterministic, so replicas match. *)
+        let replicate () =
+          match build_design name with
+          | Ok d -> d.d_sys
+          | Error e -> failwith e
+        in
         match campaign with
         | "stuck-at" | "stuck_at" | "sa" ->
           let report, telemetry =
             Ocapi_obs.run_with_telemetry ~label:(name ^ ".stuck-at")
               (fun () ->
-                Ocapi_fault.stuck_at_system ?max_faults ~seed
+                Ocapi_fault.stuck_at_system ?max_faults ~seed ~domains
                   ~macro_of_kernel:d.d_macro d.d_sys ~cycles)
           in
           if json then
@@ -308,8 +322,8 @@ let fault_cmd =
           | Some eng ->
             let report, telemetry =
               Ocapi_obs.run_with_telemetry ~label:(name ^ ".seu") (fun () ->
-                  Ocapi_fault.seu_campaign ~engine:eng ~runs ~seed d.d_sys
-                    ~cycles)
+                  Ocapi_fault.seu_campaign ~engine:eng ~runs ~seed ~domains
+                    ~replicate d.d_sys ~cycles)
             in
             if json then
               print_endline
@@ -333,7 +347,7 @@ let fault_cmd =
           as masked / silent data corruption / detected.")
     Term.(
       const run $ fault_design_arg $ campaign_arg $ cycles_arg 64 $ runs_arg
-      $ seed_arg $ max_faults_arg $ fault_engine_arg $ json_arg)
+      $ seed_arg $ max_faults_arg $ fault_engine_arg $ domains_arg $ json_arg)
 
 let () =
   let info =

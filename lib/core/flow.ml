@@ -145,10 +145,35 @@ let first_history_mismatch a b =
   in
   scan a b
 
-let engine_disagreements sys ~cycles =
-  let interp = simulate sys ~cycles in
-  let compiled = simulate_compiled sys ~cycles in
-  let rtl = simulate_rtl sys ~cycles in
+let engine_disagreements ?(domains = 1) ?replicate sys ~cycles =
+  (* One task per engine; each worker domain owns an isolated copy of
+     the system (engines cache compiled/elaborated state inside it), so
+     the three runs can proceed concurrently.  Results are keyed by
+     engine index — the sweep is deterministic for any [domains]. *)
+  let make_state k =
+    if k = 0 then sys
+    else
+      match replicate with
+      | Some f -> f ()
+      | None ->
+        invalid_arg
+          "Flow.engine_disagreements: a ~replicate design factory is \
+           required when domains > 1 (each worker domain owns an isolated \
+           copy of the system)"
+  in
+  let histories =
+    Ocapi_parallel.map_tasks ~domains:(min domains 3) ~chunk:1 ~make_state
+      ~tasks:3
+      ~f:(fun s i ->
+        match i with
+        | 0 -> simulate s ~cycles
+        | 1 -> simulate_compiled s ~cycles
+        | _ -> simulate_rtl s ~cycles)
+      ()
+  in
+  let interp = histories.(0) in
+  let compiled = histories.(1) in
+  let rtl = histories.(2) in
   List.filter_map
     (fun (pair, a, b) ->
       match first_history_mismatch a b with
@@ -170,10 +195,10 @@ let pp_mismatch ppf m =
     | None -> "")
     m.mm_detail
 
-let engines_agree sys ~cycles =
+let engines_agree ?domains ?replicate sys ~cycles =
   List.map
     (fun m -> Format.asprintf "%a" pp_mismatch m)
-    (engine_disagreements sys ~cycles)
+    (engine_disagreements ?domains ?replicate sys ~cycles)
 
 (* --- structured diagnostics ----------------------------------------------- *)
 

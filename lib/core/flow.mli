@@ -85,15 +85,33 @@ val first_history_mismatch :
 
 (** [engine_disagreements sys ~cycles] runs interpreted, compiled and
     RTL simulation and reports each disagreeing engine pair with its
-    first mismatch (empty = all equivalent). *)
-val engine_disagreements : Cycle_system.t -> cycles:int -> mismatch list
+    first mismatch (empty = all equivalent).
+
+    [domains] (default [1] = the serial path) runs the three engines on
+    an {!Ocapi_parallel} pool, one task per engine.  Worker 0 reuses
+    [sys]; each further worker needs an isolated copy of the design
+    built by [replicate] (engines cache compiled state inside the
+    system).  The sweep result is identical for any [domains].
+
+    @raise Invalid_argument if [domains > 1] without [replicate]. *)
+val engine_disagreements :
+  ?domains:int ->
+  ?replicate:(unit -> Cycle_system.t) ->
+  Cycle_system.t ->
+  cycles:int ->
+  mismatch list
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
 
 (** [engines_agree sys ~cycles] — {!engine_disagreements} rendered as
     one diagnostic line per disagreeing pair, naming the first
     disagreeing probe and cycle (empty = all equivalent). *)
-val engines_agree : Cycle_system.t -> cycles:int -> string list
+val engines_agree :
+  ?domains:int ->
+  ?replicate:(unit -> Cycle_system.t) ->
+  Cycle_system.t ->
+  cycles:int ->
+  string list
 
 (** {1 Structured diagnostics} *)
 

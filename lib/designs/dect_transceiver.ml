@@ -272,11 +272,13 @@ let macro_of_kernel = Ram_cell.macro_of_kernel
    register value, as a 1-bit signal. *)
 let bit_of e i = Signal.resize bit (Signal.shift_right e i)
 
-let instance_counter = ref 0
+(* Atomic: each [create] call builds a fully isolated transceiver (its
+   RAM cells get instance-unique names), so factories may be invoked to
+   replicate the design for per-domain campaign workers. *)
+let instance_counter = Atomic.make 0
 
 let create ?(hold = fun _ -> false) ?(ctl = fun _ -> 0) ~stimulus () =
-  incr instance_counter;
-  let inst = !instance_counter in
+  let inst = Atomic.fetch_and_add instance_counter 1 + 1 in
   let ram_name base = Printf.sprintf "%s_%d" base inst in
   let clk = Clock.default in
   let sys = Cycle_system.create "dect" in

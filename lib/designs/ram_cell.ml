@@ -1,4 +1,10 @@
-(* Registry: kernel name -> (spec, backing store). *)
+(* Registry: kernel name -> (spec, backing store).  Each [kernel] call
+   allocates a fresh backing store captured by its own closures, so two
+   systems built from the same factory never share RAM state (domain
+   isolation for parallel campaigns); the registry — mutex-guarded, as
+   factories may run while another domain synthesizes — only serves the
+   by-name [peek]/[clear]/[macro_of_kernel] conveniences and maps a name
+   to its most recent instance. *)
 type instance = {
   words : int;
   data_fmt : Fixed.format;
@@ -6,10 +12,22 @@ type instance = {
 }
 
 let registry : (string, instance) Hashtbl.t = Hashtbl.create 8
+let registry_mutex = Mutex.create ()
+
+let registry_replace name inst =
+  Mutex.lock registry_mutex;
+  Hashtbl.replace registry name inst;
+  Mutex.unlock registry_mutex
+
+let registry_find name =
+  Mutex.lock registry_mutex;
+  let r = Hashtbl.find_opt registry name in
+  Mutex.unlock registry_mutex;
+  r
 
 let kernel ~name ~words ~data_fmt ~addr_fmt =
   let store = Array.make words (Fixed.zero data_fmt) in
-  Hashtbl.replace registry name { words; data_fmt; store };
+  registry_replace name { words; data_fmt; store };
   (* Writes are staged by the behaviour and applied by the commit hook:
      the event-driven RT engine may run the behaviour several times per
      cycle while signals settle, and only the settled staging counts. *)
@@ -53,7 +71,7 @@ let kernel ~name ~words ~data_fmt ~addr_fmt =
       [ ("rdata", [ out ]) ])
 
 let macro_of_kernel (k : Dataflow.Kernel.t) =
-  match Hashtbl.find_opt registry k.Dataflow.Kernel.k_name with
+  match registry_find k.Dataflow.Kernel.k_name with
   | Some inst ->
     Some
       (Synthesize.Ram_macro
@@ -68,12 +86,12 @@ let macro_of_kernel (k : Dataflow.Kernel.t) =
   | None -> None
 
 let peek ~name i =
-  match Hashtbl.find_opt registry name with
+  match registry_find name with
   | Some inst when i >= 0 && i < inst.words -> Some inst.store.(i)
   | Some _ | None -> None
 
 let clear ~name =
-  match Hashtbl.find_opt registry name with
+  match registry_find name with
   | Some inst ->
     Array.fill inst.store 0 inst.words (Fixed.zero inst.data_fmt)
   | None -> ()

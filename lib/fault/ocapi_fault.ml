@@ -41,24 +41,27 @@ let sample_list rng k l =
     Array.to_list (Array.sub arr 0 k)
   end
 
-let stuck_at_netlist ?max_faults ?(seed = 1) ?settle_budget nl ~vectors =
-  let sim = Netlist.Sim.create ?settle_budget nl in
+let stuck_at_netlist ?max_faults ?(seed = 1) ?settle_budget ?(domains = 1) nl
+    ~vectors =
   let out_names = List.map fst (Netlist.outputs_list nl) in
   let n_cycles = Array.length vectors in
-  let replay_cycle c =
+  let replay_cycle sim c =
     List.iter (fun (name, v) -> Netlist.Sim.set_input sim name v) vectors.(c);
     Netlist.Sim.settle sim
   in
-  (* Fault-free reference: every output word of every cycle. *)
+  (* Fault-free reference: every output word of every cycle.  Computed
+     once on the coordinating domain's own simulator and shared
+     read-only with the workers. *)
   let golden = Array.make (max 1 n_cycles) [] in
-  Netlist.Sim.reset sim;
+  let sim0 = Netlist.Sim.create ?settle_budget nl in
+  Netlist.Sim.reset sim0;
   for c = 0 to n_cycles - 1 do
-    replay_cycle c;
+    replay_cycle sim0 c;
     golden.(c) <-
       List.map
-        (fun o -> (o, Netlist.Sim.get_output sim ~signed:false o))
+        (fun o -> (o, Netlist.Sim.get_output sim0 ~signed:false o))
         out_names;
-    Netlist.Sim.clock sim
+    Netlist.Sim.clock sim0
   done;
   let universe = Netlist.fault_universe nl in
   let collapsed = Netlist.collapse_faults nl universe in
@@ -68,45 +71,59 @@ let stuck_at_netlist ?max_faults ?(seed = 1) ?settle_budget nl ~vectors =
       sample_list (Random.State.make [| seed; 0x5a |]) k collapsed
     | _ -> collapsed
   in
-  let obs = Ocapi_obs.enabled () in
+  let faults = Array.of_list simulated in
+  (* One fault, replayed on a given worker's simulator.  Everything the
+     body touches beyond [sim] is read-only ([nl], [vectors], [golden]),
+     so per-worker simulators are the whole isolation story. *)
+  let simulate_one sim f =
+    let outcome =
+      try
+        Netlist.Sim.reset sim;
+        Netlist.Sim.inject sim f;
+        let result = ref Sa_undetected in
+        (try
+           for c = 0 to n_cycles - 1 do
+             replay_cycle sim c;
+             List.iter
+               (fun (o, gold) ->
+                 if
+                   !result = Sa_undetected
+                   && Netlist.Sim.get_output sim ~signed:false o <> gold
+                 then result := Sa_detected { at_cycle = c; at_output = o })
+               golden.(c);
+             if !result <> Sa_undetected then raise Exit;
+             Netlist.Sim.clock sim
+           done
+         with Exit -> ());
+        !result
+      with e -> (
+        match Flow.classify_exn ~engine:"gates" e with
+        | Some d -> Sa_diagnosed d
+        | None -> raise e)
+    in
+    Netlist.Sim.clear_fault sim;
+    if Ocapi_obs.enabled () then
+      Ocapi_obs.count
+        (match outcome with
+        | Sa_detected _ -> "fault.stuck.detected"
+        | Sa_undetected -> "fault.stuck.undetected"
+        | Sa_diagnosed _ -> "fault.stuck.diagnosed");
+    outcome
+  in
+  let outcomes =
+    Ocapi_parallel.map_tasks ~domains
+      ~make_state:(fun k ->
+        if k = 0 && domains <= 1 then sim0
+        else Netlist.Sim.create ?settle_budget nl)
+      ~tasks:(Array.length faults)
+      ~f:(fun sim i -> simulate_one sim faults.(i))
+      ()
+  in
   let records =
-    List.map
-      (fun f ->
-        let outcome =
-          try
-            Netlist.Sim.reset sim;
-            Netlist.Sim.inject sim f;
-            let result = ref Sa_undetected in
-            (try
-               for c = 0 to n_cycles - 1 do
-                 replay_cycle c;
-                 List.iter
-                   (fun (o, gold) ->
-                     if
-                       !result = Sa_undetected
-                       && Netlist.Sim.get_output sim ~signed:false o <> gold
-                     then result := Sa_detected { at_cycle = c; at_output = o })
-                   golden.(c);
-                 if !result <> Sa_undetected then raise Exit;
-                 Netlist.Sim.clock sim
-               done
-             with Exit -> ());
-            !result
-          with e -> (
-            match Flow.classify_exn ~engine:"gates" e with
-            | Some d -> Sa_diagnosed d
-            | None -> raise e)
-        in
-        Netlist.Sim.clear_fault sim;
-        if obs then
-          Ocapi_obs.count
-            (match outcome with
-            | Sa_detected _ -> "fault.stuck.detected"
-            | Sa_undetected -> "fault.stuck.undetected"
-            | Sa_diagnosed _ -> "fault.stuck.diagnosed");
+    List.init (Array.length faults) (fun i ->
+        let f = faults.(i) in
         { sr_label = Netlist.fault_label nl f; sr_fault = f;
-          sr_outcome = outcome })
-      simulated
+          sr_outcome = outcomes.(i) })
   in
   let n_of p = List.length (List.filter p records) in
   let detected =
@@ -131,7 +148,7 @@ let stuck_at_netlist ?max_faults ?(seed = 1) ?settle_budget nl ~vectors =
   }
 
 let stuck_at_system ?max_faults ?seed ?settle_budget ?options ?macro_of_kernel
-    sys ~cycles =
+    ?domains sys ~cycles =
   (* Record the system's own stimuli, as the test-bench generator does. *)
   Cycle_system.reset sys;
   Cycle_system.run sys cycles;
@@ -143,7 +160,7 @@ let stuck_at_system ?max_faults ?seed ?settle_budget ?options ?macro_of_kernel
     (fun (c, name, v) ->
       if c < cycles then vectors.(c) <- (name, Fixed.mantissa v) :: vectors.(c))
     input_hist;
-  stuck_at_netlist ?max_faults ?seed ?settle_budget nl ~vectors
+  stuck_at_netlist ?max_faults ?seed ?settle_budget ?domains nl ~vectors
 
 (* --- SEU campaigns -------------------------------------------------------- *)
 
@@ -438,19 +455,28 @@ let seu_targets sys =
   Array.of_list (reg_targets @ state_targets)
 
 let seu_campaign ?(engine = Compiled) ?(runs = 1000) ?(seed = 1) ?max_deltas
-    sys ~cycles =
+    ?(domains = 1) ?replicate sys ~cycles =
   if cycles <= 0 then invalid_arg "Ocapi_fault.seu_campaign: cycles must be > 0";
   let targets = seu_targets sys in
   if Array.length targets = 0 then
     invalid_arg "Ocapi_fault.seu_campaign: design has no architectural state";
-  let h = make_harness ?max_deltas ~engine sys ~cycles in
-  let golden = h.h_run ~inject:None in
+  (* The full injection schedule is drawn up front, consuming the seeded
+     stream in exactly the order the historic serial loop did (target,
+     then cycle, per run).  Runs thereby become index-keyed independent
+     tasks: whatever domain simulates run [i], its target and cycle —
+     and so the merged report — are fixed by [seed] alone. *)
   let rng = Random.State.make [| seed |] in
-  let obs = Ocapi_obs.enabled () in
-  let records = ref [] in
+  let schedule =
+    Array.init runs (fun _ -> (0, 0)) (* placeholder; filled in order *)
+  in
   for i = 0 to runs - 1 do
-    let target, label = targets.(Random.State.int rng (Array.length targets)) in
+    let ti = Random.State.int rng (Array.length targets) in
     let at = Random.State.int rng cycles in
+    schedule.(i) <- (ti, at)
+  done;
+  let simulate_one (h, golden) i =
+    let ti, at = schedule.(i) in
+    let target, _ = targets.(ti) in
     let outcome =
       match
         h.h_run ~inject:(Some (at, fun ~cycle -> h.h_poke ~cycle target))
@@ -461,18 +487,50 @@ let seu_campaign ?(engine = Compiled) ?(runs = 1000) ?(seed = 1) ?max_deltas
         | Some d -> Detected d
         | None -> raise e)
     in
-    if obs then
+    if Ocapi_obs.enabled () then
       Ocapi_obs.count
         (match outcome with
         | Masked -> "fault.seu.masked"
         | Sdc _ -> "fault.seu.sdc"
         | Detected _ -> "fault.seu.detected");
-    records :=
-      { run_index = i; run_target = target; run_label = label; run_cycle = at;
-        run_outcome = outcome }
-      :: !records
-  done;
-  let records = List.rev !records in
+    outcome
+  in
+  let make_state k =
+    let s =
+      if k = 0 then sys
+      else begin
+        let replicate =
+          match replicate with
+          | Some f -> f
+          | None ->
+            invalid_arg
+              "Ocapi_fault.seu_campaign: a ~replicate design factory is \
+               required when domains > 1 (each worker domain owns an \
+               isolated copy of the system)"
+        in
+        let s = replicate () in
+        if Array.length (seu_targets s) <> Array.length targets then
+          invalid_arg
+            "Ocapi_fault.seu_campaign: ~replicate built a system with a \
+             different fault-target universe than the campaign system";
+        s
+      end
+    in
+    let h = make_harness ?max_deltas ~engine s ~cycles in
+    let golden = h.h_run ~inject:None in
+    (h, golden)
+  in
+  let outcomes =
+    Ocapi_parallel.map_tasks ~domains ~make_state ~tasks:runs ~f:simulate_one
+      ()
+  in
+  let records =
+    List.init runs (fun i ->
+        let ti, at = schedule.(i) in
+        let target, label = targets.(ti) in
+        { run_index = i; run_target = target; run_label = label;
+          run_cycle = at; run_outcome = outcomes.(i) })
+  in
   let n_of p = List.length (List.filter p records) in
   {
     seu_design = Cycle_system.name sys;

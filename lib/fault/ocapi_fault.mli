@@ -55,29 +55,35 @@ type stuck_report = {
   st_records : stuck_record list;
 }
 
-(** [stuck_at_netlist nl ~vectors] runs a serial stuck-at campaign on
-    [nl].  [vectors.(c)] lists the [(input bus, mantissa)] stimuli of
-    cycle [c].  [max_faults] caps the campaign to a deterministic
-    [seed]-driven sample of the collapsed fault list;
-    [settle_budget] is passed to {!Netlist.Sim.create} (the per-fault
-    oscillation watchdog). *)
+(** [stuck_at_netlist nl ~vectors] runs a stuck-at campaign on [nl].
+    [vectors.(c)] lists the [(input bus, mantissa)] stimuli of cycle
+    [c].  [max_faults] caps the campaign to a deterministic
+    [seed]-driven sample of the collapsed fault list; [settle_budget]
+    is passed to {!Netlist.Sim.create} (the per-fault oscillation
+    watchdog).  [domains] (default [1] = the serial path) simulates the
+    fault list on an {!Ocapi_parallel} pool, one gate-level simulator
+    per worker over the shared read-only netlist; the report is
+    bit-identical to the serial run for any [domains]. *)
 val stuck_at_netlist :
   ?max_faults:int ->
   ?seed:int ->
   ?settle_budget:int ->
+  ?domains:int ->
   Netlist.t ->
   vectors:(string * int64) list array ->
   stuck_report
 
 (** [stuck_at_system sys ~cycles] records [cycles] of the system's own
     stimuli (as the test-bench generator does), synthesizes the system
-    to gates, and runs {!stuck_at_netlist} with the recorded vectors. *)
+    to gates, and runs {!stuck_at_netlist} with the recorded vectors.
+    [domains] is forwarded to {!stuck_at_netlist}. *)
 val stuck_at_system :
   ?max_faults:int ->
   ?seed:int ->
   ?settle_budget:int ->
   ?options:Synthesize.options ->
   ?macro_of_kernel:(Dataflow.Kernel.t -> Synthesize.macro_spec option) ->
+  ?domains:int ->
   Cycle_system.t ->
   cycles:int ->
   stuck_report
@@ -139,12 +145,27 @@ type seu_report = {
     Run [i] flips one seeded-random state bit at one seeded-random
     cycle; outcomes are classified against the fault-free run of the
     same engine.  [max_deltas] is the RTL engine's delta watchdog.
-    Deterministic: same [seed] (default 1), same report. *)
+    Deterministic: same [seed] (default 1), same report.
+
+    [domains] (default [1] = the serial path) distributes the runs over
+    an {!Ocapi_parallel} pool.  The whole injection schedule is drawn
+    up front from [seed] in the historic serial draw order and runs are
+    merged by index, so the report is bit-identical to the serial run
+    for any [domains].  Worker 0 reuses [sys]; each further worker
+    needs its own isolated copy of the design, built by [replicate]
+    (engines cache compiled state inside the system, so systems cannot
+    be shared across domains).
+
+    @raise Invalid_argument if [domains > 1] without [replicate], or if
+    [replicate] builds a system whose fault-target universe differs
+    from [sys]'s. *)
 val seu_campaign :
   ?engine:engine ->
   ?runs:int ->
   ?seed:int ->
   ?max_deltas:int ->
+  ?domains:int ->
+  ?replicate:(unit -> Cycle_system.t) ->
   Cycle_system.t ->
   cycles:int ->
   seu_report

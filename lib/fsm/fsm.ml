@@ -22,12 +22,13 @@ type t = {
   mutable f_current : state option;
 }
 
-let fsm_counter = ref 0
+(* Atomic so machine construction is safe from any domain
+   (domain-isolation audit: construction-time gensym must not race). *)
+let fsm_counter = Atomic.make 0
 
 let create name =
-  incr fsm_counter;
   {
-    id = !fsm_counter;
+    id = Atomic.fetch_and_add fsm_counter 1 + 1;
     name;
     f_states = [];
     f_initial = None;
@@ -84,8 +85,18 @@ let initial t name =
 let state t name = add_state t name
 
 (* The table of live FSMs lets the operator spelling find the machine a
-   state belongs to without threading it through the expression. *)
+   state belongs to without threading it through the expression.  Writes
+   (at [create]) and the [|->] lookups both happen at design-construction
+   time; the mutex makes concurrent construction from several domains
+   safe.  Simulation never touches this table. *)
 let registry : (int, t) Hashtbl.t = Hashtbl.create 16
+let registry_mutex = Mutex.create ()
+
+let registry_find id =
+  Mutex.lock registry_mutex;
+  let r = Hashtbl.find_opt registry id in
+  Mutex.unlock registry_mutex;
+  r
 
 let add_transition t ~from ~guard ~actions ~goto =
   if from.s_fsm_id <> t.id || goto.s_fsm_id <> t.id then
@@ -104,7 +115,7 @@ let ( |-- ) s g = { p_from = s; p_guard = g; p_actions = [] }
 let ( |+ ) p sfg = { p with p_actions = sfg :: p.p_actions }
 
 let ( |-> ) p goto =
-  match Hashtbl.find_opt registry p.p_from.s_fsm_id with
+  match registry_find p.p_from.s_fsm_id with
   | None -> error "(|->): source state's machine is not registered"
   | Some t ->
     add_transition t ~from:p.p_from ~guard:p.p_guard
@@ -316,5 +327,7 @@ let to_dot t =
 (* Register machines in the operator-spelling registry at creation. *)
 let create name =
   let t = create name in
+  Mutex.lock registry_mutex;
   Hashtbl.replace registry t.id t;
+  Mutex.unlock registry_mutex;
   t

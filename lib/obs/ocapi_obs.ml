@@ -71,10 +71,13 @@ end
 
 (* --- master switch ------------------------------------------------------- *)
 
-let on = ref false
-let enabled () = !on
-let enable () = on := true
-let disable () = on := false
+(* Atomic so every domain reads one coherent flag; workers spawned while
+   telemetry is enabled instrument themselves into their own domain-local
+   registry (below) without any further coordination. *)
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
 
 (* --- metric registry ----------------------------------------------------- *)
 
@@ -92,7 +95,15 @@ type metric =
   | M_gauge of float ref
   | M_hist of histogram
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+(* One registry per domain (Domain.DLS): the hot instrumentation paths
+   stay lock-free, and the counters a worker domain accumulates are
+   merged into its parent's registry at join via [export_domain] /
+   [absorb_domain].  Single-domain programs see exactly the old
+   process-wide behaviour. *)
+let registry_key : (string, metric) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let registry () = Domain.DLS.get registry_key
 
 let kind_clash name =
   invalid_arg
@@ -101,6 +112,7 @@ let kind_clash name =
       histogram names must not overlap)")
 
 let counter_ref name =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some (M_counter r) -> r
   | Some _ -> kind_clash name
@@ -110,6 +122,7 @@ let counter_ref name =
     r
 
 let gauge_ref name =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some (M_gauge r) -> r
   | Some _ -> kind_clash name
@@ -122,6 +135,7 @@ let default_buckets =
   Array.init 21 (fun i -> Float.of_int (1 lsl i)) (* 1 .. 2^20 *)
 
 let hist ?(buckets = default_buckets) name =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some (M_hist h) -> h
   | Some _ -> kind_clash name
@@ -140,21 +154,21 @@ let hist ?(buckets = default_buckets) name =
     h
 
 let count ?(n = 1) name =
-  if !on then begin
+  if Atomic.get on then begin
     let r = counter_ref name in
     r := !r + n
   end
 
-let set_gauge name v = if !on then gauge_ref name := v
+let set_gauge name v = if Atomic.get on then gauge_ref name := v
 
 let max_gauge name v =
-  if !on then begin
+  if Atomic.get on then begin
     let r = gauge_ref name in
     if v > !r then r := v
   end
 
 let observe ?buckets name v =
-  if !on then begin
+  if Atomic.get on then begin
     let h = hist ?buckets name in
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum +. v;
@@ -209,7 +223,7 @@ let snapshot () =
             }
       in
       (name, v) :: acc)
-    registry []
+    (registry ()) []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let value_json = function
@@ -237,7 +251,7 @@ let value_json = function
 let metrics_json () =
   Json.Obj (List.map (fun (name, v) -> (name, value_json v)) (snapshot ()))
 
-let reset_metrics () = Hashtbl.reset registry
+let reset_metrics () = Hashtbl.reset (registry ())
 
 (* --- span tracing --------------------------------------------------------- *)
 
@@ -248,41 +262,58 @@ type trace_event = {
   ev_ts : float;  (* us since epoch *)
   ev_dur : float;  (* us; 0 for instants *)
   ev_args : (string * Json.t) list;
+  ev_tid : int;  (* producing domain *)
 }
 
 let max_events = 1_000_000
-let events : trace_event list ref = ref []  (* reversed *)
-let n_events = ref 0
-let n_dropped = ref 0
-let epoch_us = ref 0.
+
+(* One trace buffer per domain, like the metric registry.  [ev_tid]
+   records the producing domain so merged traces keep one Perfetto
+   track per worker.  The epoch is process-wide: it is (re)set by
+   [clear_trace]/[reset] on the coordinating domain before workers
+   spawn, so all domains share one time base. *)
+type trace_buf = {
+  mutable tb_events : trace_event list;  (* reversed *)
+  mutable tb_count : int;
+  mutable tb_dropped : int;
+}
+
+let trace_key : trace_buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { tb_events = []; tb_count = 0; tb_dropped = 0 })
+
+let trace_buf () = Domain.DLS.get trace_key
+let epoch_us = Atomic.make 0.
 
 let now_us () = Unix.gettimeofday () *. 1e6
 
 let clear_trace () =
-  events := [];
-  n_events := 0;
-  n_dropped := 0;
-  epoch_us := now_us ()
+  let tb = trace_buf () in
+  tb.tb_events <- [];
+  tb.tb_count <- 0;
+  tb.tb_dropped <- 0;
+  Atomic.set epoch_us (now_us ())
 
 let push ev =
-  if !n_events >= max_events then incr n_dropped
+  let tb = trace_buf () in
+  if tb.tb_count >= max_events then tb.tb_dropped <- tb.tb_dropped + 1
   else begin
-    events := ev :: !events;
-    incr n_events
+    tb.tb_events <- ev :: tb.tb_events;
+    tb.tb_count <- tb.tb_count + 1
   end
 
-let span_begin () = if !on then now_us () else Float.nan
+let span_begin () = if Atomic.get on then now_us () else Float.nan
 
 let span_end ?(cat = "ocapi") ?(args = []) name t0 =
-  if !on && not (Float.is_nan t0) then
+  if Atomic.get on && not (Float.is_nan t0) then
     push
       {
         ev_name = name;
         ev_cat = cat;
         ev_ph = 'X';
-        ev_ts = t0 -. !epoch_us;
+        ev_ts = t0 -. Atomic.get epoch_us;
         ev_dur = now_us () -. t0;
         ev_args = args;
+        ev_tid = (Domain.self () :> int);
       }
 
 let with_span ?cat ?args name f =
@@ -290,19 +321,20 @@ let with_span ?cat ?args name f =
   Fun.protect ~finally:(fun () -> span_end ?cat ?args name t0) f
 
 let instant ?(cat = "ocapi") ?(args = []) name =
-  if !on then
+  if Atomic.get on then
     push
       {
         ev_name = name;
         ev_cat = cat;
         ev_ph = 'i';
-        ev_ts = now_us () -. !epoch_us;
+        ev_ts = now_us () -. Atomic.get epoch_us;
         ev_dur = 0.;
         ev_args = args;
+        ev_tid = (Domain.self () :> int);
       }
 
-let event_count () = !n_events
-let dropped_events () = !n_dropped
+let event_count () = (trace_buf ()).tb_count
+let dropped_events () = (trace_buf ()).tb_dropped
 
 let event_json ev =
   let base =
@@ -312,7 +344,7 @@ let event_json ev =
       ("ph", Json.String (String.make 1 ev.ev_ph));
       ("ts", Json.Float ev.ev_ts);
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int ev.ev_tid);
     ]
   in
   let base = if ev.ev_ph = 'X' then base @ [ ("dur", Json.Float ev.ev_dur) ] else base in
@@ -328,14 +360,61 @@ let trace_json () =
        [
          ("displayTimeUnit", Json.String "ms");
          ("otherData", Json.Obj [ ("generator", Json.String "ocapi-ml telemetry");
-                                  ("droppedEvents", Json.Int !n_dropped) ]);
-         ("traceEvents", Json.List (List.rev_map event_json !events));
+                                  ("droppedEvents", Json.Int (trace_buf ()).tb_dropped) ]);
+         ("traceEvents", Json.List (List.rev_map event_json (trace_buf ()).tb_events));
        ])
 
 let write_trace ~path =
   let oc = open_out path in
   output_string oc (trace_json ());
   close_out oc
+
+(* --- cross-domain merge ---------------------------------------------------- *)
+
+type domain_export = {
+  de_metrics : (string * value) list;
+  de_events : trace_event list;  (* reversed *)
+  de_dropped : int;
+}
+
+let export_domain () =
+  let tb = trace_buf () in
+  { de_metrics = snapshot (); de_events = tb.tb_events;
+    de_dropped = tb.tb_dropped }
+
+let absorb_domain ex =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_v n ->
+        let r = counter_ref name in
+        r := !r + n
+      | Gauge_v v ->
+        (* High-water semantics: without an ordering between domains the
+           only associative, commutative merge of a gauge is its max. *)
+        let r = gauge_ref name in
+        if v > !r then r := v
+      | Histogram_v hs ->
+        let bounds =
+          Array.of_list
+            (List.filter_map
+               (fun (b, _) -> if b = infinity then None else Some b)
+               hs.hs_buckets)
+        in
+        let h = hist ~buckets:bounds name in
+        h.h_count <- h.h_count + hs.hs_count;
+        h.h_sum <- h.h_sum +. hs.hs_sum;
+        if hs.hs_min < h.h_min then h.h_min <- hs.hs_min;
+        if hs.hs_max > h.h_max then h.h_max <- hs.hs_max;
+        List.iteri
+          (fun i (_, n) ->
+            if i < Array.length h.h_counts then
+              h.h_counts.(i) <- h.h_counts.(i) + n)
+          hs.hs_buckets)
+    ex.de_metrics;
+  let tb = trace_buf () in
+  tb.tb_dropped <- tb.tb_dropped + ex.de_dropped;
+  List.iter push (List.rev ex.de_events)
 
 (* --- reports --------------------------------------------------------------- *)
 
@@ -352,7 +431,7 @@ type report = {
 }
 
 let run_with_telemetry ~label f =
-  let was = !on in
+  let was = Atomic.get on in
   reset ();
   enable ();
   let t0 = Unix.gettimeofday () in
@@ -363,10 +442,10 @@ let run_with_telemetry ~label f =
         rp_label = label;
         rp_seconds = seconds;
         rp_metrics = snapshot ();
-        rp_events = !n_events;
+        rp_events = (trace_buf ()).tb_count;
       }
     in
-    on := was;
+    Atomic.set on was;
     report
   in
   match f () with

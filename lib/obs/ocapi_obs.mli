@@ -42,10 +42,17 @@ val disable : unit -> unit
 
 (** {1 Metrics}
 
-    Metrics are identified by name in one process-wide registry.  The
-    by-name operations below look the metric up (creating it on first
-    use) and are intended for enabled-path instrumentation; they are
-    no-ops while telemetry is disabled. *)
+    Metrics are identified by name in one registry {e per domain}
+    (domain-local storage): the hot instrumentation paths stay
+    lock-free, and a single-domain program sees exactly the historical
+    process-wide behaviour.  A parallel campaign worker accumulates
+    into its own domain's registry; the campaign runner merges each
+    worker's {!export_domain} back into the coordinating domain with
+    {!absorb_domain} at join (see [Ocapi_parallel]).
+
+    The by-name operations below look the metric up (creating it on
+    first use) and are intended for enabled-path instrumentation; they
+    are no-ops while telemetry is disabled. *)
 
 (** [count ?n name] adds [n] (default 1) to the counter [name]. *)
 val count : ?n:int -> string -> unit
@@ -123,6 +130,29 @@ val clear_trace : unit -> unit
 val trace_json : unit -> string
 
 val write_trace : path:string -> unit
+
+(** {1 Cross-domain merge}
+
+    Metrics and trace events live in domain-local storage, so a worker
+    domain spawned while telemetry is enabled records into buffers of
+    its own.  Before such a worker terminates it calls
+    {!export_domain}; the coordinating domain then feeds every export
+    through {!absorb_domain} {e after joining} the workers.  Merging is
+    deterministic given a fixed absorption order: counters and
+    histograms add, gauges keep the maximum (the only associative,
+    commutative merge available without an ordering between domains),
+    and trace events append, keeping their producing domain as the
+    Chrome trace [tid] so each worker renders as its own track. *)
+
+(** A domain's telemetry, packaged for transfer to the joining domain. *)
+type domain_export
+
+(** Snapshot the {e calling} domain's metrics and trace buffer. *)
+val export_domain : unit -> domain_export
+
+(** Merge a worker's export into the {e calling} domain's registry and
+    trace buffer (counters/histograms add, gauges max, events append). *)
+val absorb_domain : domain_export -> unit
 
 (** {1 Reports} *)
 

@@ -1,0 +1,92 @@
+(* A fixed-size Domain.spawn pool with a chunked work queue and
+   index-keyed (hence scheduling-independent) result merging. *)
+
+exception
+  Worker_error of { we_worker : int; we_exn : exn; we_backtrace : string }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_error { we_worker; we_exn; _ } ->
+      Some
+        (Printf.sprintf "Ocapi_parallel.Worker_error(worker %d: %s)" we_worker
+           (Printexc.to_string we_exn))
+    | _ -> None)
+
+let available_domains () = Domain.recommended_domain_count ()
+
+let extract out =
+  Array.map (function Some v -> v | None -> assert false) out
+
+let serial_run ~make_state ~tasks ~f =
+  let st = make_state 0 in
+  let out = Array.make tasks None in
+  for i = 0 to tasks - 1 do
+    out.(i) <- Some (f st i)
+  done;
+  extract out
+
+let map_tasks ?(domains = 1) ?chunk ~make_state ~tasks ~f () =
+  if tasks < 0 then invalid_arg "Ocapi_parallel.map_tasks: tasks < 0";
+  (match chunk with
+  | Some c when c <= 0 -> invalid_arg "Ocapi_parallel.map_tasks: chunk <= 0"
+  | _ -> ());
+  if tasks = 0 then [||]
+  else begin
+    let domains = max 1 (min domains tasks) in
+    if domains = 1 then serial_run ~make_state ~tasks ~f
+    else begin
+      let chunk =
+        match chunk with
+        | Some c -> c
+        | None -> max 1 (tasks / (domains * 8))
+      in
+      (* Worker states are built serially in this domain (construction
+         touches process-wide gensyms/registries) and handed over. *)
+      let states = Array.make domains None in
+      for k = 0 to domains - 1 do
+        states.(k) <- Some (make_state k)
+      done;
+      let out = Array.make tasks None in
+      let next = Atomic.make 0 in
+      let failure = Array.make domains None in
+      let telemetry = Array.make domains None in
+      let worker k st () =
+        (try
+           let rec drain () =
+             let start = Atomic.fetch_and_add next chunk in
+             if start < tasks then begin
+               let stop = min (start + chunk) tasks in
+               for i = start to stop - 1 do
+                 out.(i) <- Some (f st i)
+               done;
+               drain ()
+             end
+           in
+           drain ()
+         with e ->
+           failure.(k) <- Some (e, Printexc.get_backtrace ()));
+        if Ocapi_obs.enabled () then
+          telemetry.(k) <- Some (Ocapi_obs.export_domain ())
+      in
+      let handles =
+        Array.init domains (fun k ->
+            match states.(k) with
+            | Some st -> Domain.spawn (worker k st)
+            | None -> assert false)
+      in
+      Array.iter Domain.join handles;
+      (* Deterministic merge: telemetry in worker order, then the first
+         failure by worker index, then the index-keyed results. *)
+      Array.iter
+        (function Some ex -> Ocapi_obs.absorb_domain ex | None -> ())
+        telemetry;
+      Array.iteri
+        (fun k fail ->
+          match fail with
+          | Some (we_exn, we_backtrace) ->
+            raise (Worker_error { we_worker = k; we_exn; we_backtrace })
+          | None -> ())
+        failure;
+      extract out
+    end
+  end

@@ -1,0 +1,77 @@
+(** A fixed-size domain pool for embarrassingly parallel campaigns.
+
+    Fault-injection campaigns, engine cross-verification sweeps and
+    throughput benches all share one shape: a fixed number of
+    {e independent} tasks, each a deterministic function of its index,
+    run against {e per-worker isolated} simulation state.  This module
+    runs that shape on OCaml 5 domains ([Domain.spawn], stdlib only —
+    no [domainslib]) while keeping the result {b bit-identical to the
+    serial run}: results are keyed by task index and merged in index
+    order, so scheduling can never reorder, duplicate or drop a record.
+
+    Design rules the pool enforces or relies on:
+
+    - {b Per-worker state, built serially.}  [make_state k] is invoked
+      in the {e calling} domain, for [k = 0, 1, ...], before any worker
+      spawns.  Design construction and engine elaboration touch
+      construction-time gensyms and registries (clock/signal/FSM ids,
+      RAM-cell instances), so they stay single-domain; workers receive
+      ownership of their state and must be the only domain touching it.
+    - {b Chunked work queue.}  Workers pull half-open index ranges
+      [\[start, start+chunk)] from one atomic counter until the queue
+      is empty — cheap dynamic load balancing with no per-task
+      synchronization.
+    - {b Deterministic merge.}  Worker [k] writes result [i] into slot
+      [i] of the output; after joining, worker telemetry is absorbed in
+      worker order ({!Ocapi_obs.absorb_domain}), so merged counters
+      equal the serial run's counters exactly.
+    - {b Serial short-circuit.}  [domains <= 1] runs the same loop in
+      the calling domain with a single state and spawns nothing: the
+      default path is the existing serial path.
+
+    Telemetry: when {!Ocapi_obs.enabled} is on at spawn time, each
+    worker domain records into its own domain-local registry and trace
+    buffer; the pool exports them at worker exit and merges them at
+    join, so instrumented parallel campaigns aggregate correctly. *)
+
+(** A worker died on an exception the task body did not handle.
+    [we_worker] is the worker index, [we_exn] the original exception,
+    [we_backtrace] its raw backtrace (empty unless backtraces are on).
+    Raised in the calling domain after all workers have joined; the
+    lowest-indexed failing worker wins. *)
+exception
+  Worker_error of { we_worker : int; we_exn : exn; we_backtrace : string }
+
+(** What the runtime believes this machine can usefully run in
+    parallel ({!Domain.recommended_domain_count}).  A campaign asking
+    for more domains than this still works — the extra domains just
+    time-share cores. *)
+val available_domains : unit -> int
+
+(** [map_tasks ~domains ~make_state ~tasks ~f ()] computes
+    [[| f s0 0; f s? 1; ...; f s? (tasks-1) |]] where each task [i]
+    runs exactly once on some worker's state.
+
+    - [domains] (default [1]): pool size, clamped to [\[1, tasks\]].
+      [1] runs serially in the calling domain — no spawn, no merge.
+    - [chunk] (default [max 1 (tasks / (domains * 8))]): tasks per
+      queue pull.  Larger chunks amortize the atomic fetch; smaller
+      chunks balance uneven task costs.
+    - [make_state k]: build worker [k]'s isolated state (a fresh
+      simulator, a replicated system...).  Called serially in the
+      calling domain before any spawn; see the module preamble.
+    - [f state i]: run task [i].  Must touch only [state], data local
+      to the call, and immutable shared structure; the result lands in
+      slot [i] regardless of which worker ran it.
+
+    @raise Worker_error when a task raises; every worker still joins
+    first, and telemetry of the surviving workers is still merged.
+    @raise Invalid_argument on [tasks < 0] or [chunk <= 0]. *)
+val map_tasks :
+  ?domains:int ->
+  ?chunk:int ->
+  make_state:(int -> 'w) ->
+  tasks:int ->
+  f:('w -> int -> 'a) ->
+  unit ->
+  'a array

@@ -60,24 +60,24 @@ type t = {
 
 (* --- construction -------------------------------------------------------- *)
 
-let sig_counter = ref 0
+(* Atomic so elaborations may run concurrently in different domains
+   (domain-isolation audit: construction-time gensyms must not race). *)
+let sig_counter = Atomic.make 0
 
 let make_signal name init =
-  incr sig_counter;
   {
-    sg_id = !sig_counter;
+    sg_id = Atomic.fetch_and_add sig_counter 1 + 1;
     sg_name = name;
     sg_value = init;
     sg_initial = init;
     sg_driven_this_cycle = false;
   }
 
-let proc_counter = ref 0
+let proc_counter = Atomic.make 0
 
 let make_process name sensitivity exec =
-  incr proc_counter;
-  { pr_id = !proc_counter; pr_name = name; pr_sensitivity = sensitivity;
-    pr_exec = exec }
+  { pr_id = Atomic.fetch_and_add proc_counter 1 + 1; pr_name = name;
+    pr_sensitivity = sensitivity; pr_exec = exec }
 
 (* Formats of every net, reusing the conventions of the compiled engine:
    timed outputs carry the producing expression's format. *)

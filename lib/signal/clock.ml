@@ -1,10 +1,10 @@
 type t = { id : int; name : string }
 
-let counter = ref 0
+(* Atomic so clock creation is safe from any domain (domain-isolation
+   audit: construction-time gensym must not race). *)
+let counter = Atomic.make 0
 
-let create name =
-  incr counter;
-  { id = !counter; name }
+let create name = { id = Atomic.fetch_and_add counter 1 + 1; name }
 
 let name t = t.name
 let equal a b = a.id = b.id

@@ -4,11 +4,11 @@ let error fmt = Format.kasprintf (fun s -> raise (Signal_error s)) fmt
 
 type format = Fixed.format
 
+(* Atomic so expression/register construction is safe from any domain
+   (domain-isolation audit: construction-time gensym must not race). *)
 let next_id =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
 
 module Reg = struct
   type t = {

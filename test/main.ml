@@ -22,4 +22,5 @@ let () =
       ("flow", Test_flow.suite);
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -1,0 +1,191 @@
+(* Tests for the domain pool and the parallel campaign paths: the pool
+   itself (identity merge, chunking, worker failure), bit-identity of
+   parallel fault campaigns against the serial reports on multiple
+   engines, and cross-domain telemetry aggregation. *)
+
+let dect_design () =
+  let d =
+    Dect_transceiver.create
+      ~stimulus:(fun c ->
+        Some
+          (Fixed.of_float ~overflow:Fixed.Saturate Dect_transceiver.sample_format
+             (sin (float_of_int c *. 0.37) /. 2.2)))
+      ()
+  in
+  d.Dect_transceiver.system
+
+let hcor_design () =
+  let bits = Dect_stimuli.burst ~seed:1 () in
+  let tx = Dect_stimuli.transmit bits in
+  let rx = Dect_stimuli.channel ~snr_db:25.0 ~seed:1 tx in
+  let samples =
+    Dect_stimuli.quantize Hcor.sample_format (Array.map (fun x -> x /. 2.0) rx)
+  in
+  (Hcor.create ~stimulus:(Hcor.sample_stimulus samples) ()).Hcor.system
+
+(* --- the pool itself ------------------------------------------------------- *)
+
+(* Results land in task-index order whatever the pool size or chunk:
+   the merged array must equal the serial map exactly. *)
+let test_pool_identity () =
+  let tasks = 97 in
+  let expect = Array.init tasks (fun i -> (i * i) mod 31) in
+  List.iter
+    (fun (domains, chunk) ->
+      let got =
+        Ocapi_parallel.map_tasks ~domains ?chunk
+          ~make_state:(fun _k -> ())
+          ~tasks
+          ~f:(fun () i -> (i * i) mod 31)
+          ()
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains %d" domains)
+        expect got)
+    [ (1, None); (2, None); (4, None); (4, Some 1); (3, Some 100) ]
+
+let test_pool_states_are_per_worker () =
+  (* Each worker only ever sees the state built for its index, so
+     mutating a per-worker counter from tasks is race-free, and the
+     per-worker totals account for every task exactly once. *)
+  let domains = 4 and tasks = 200 in
+  let states = ref [] in
+  let _ =
+    Ocapi_parallel.map_tasks ~domains
+      ~make_state:(fun _k ->
+        let r = ref 0 in
+        states := r :: !states;
+        r)
+      ~tasks
+      ~f:(fun acc _i -> incr acc)
+      ()
+  in
+  Alcotest.(check int) "one state per worker" domains (List.length !states);
+  Alcotest.(check int)
+    "every task ran exactly once" tasks
+    (List.fold_left (fun a r -> a + !r) 0 !states)
+
+let test_pool_worker_error () =
+  match
+    Ocapi_parallel.map_tasks ~domains:3
+      ~make_state:(fun _ -> ())
+      ~tasks:30
+      ~f:(fun () i -> if i = 17 then failwith "boom" else i)
+      ()
+  with
+  | _ -> Alcotest.fail "expected Worker_error"
+  | exception Ocapi_parallel.Worker_error { we_exn = Failure msg; _ } ->
+    Alcotest.(check string) "original exception preserved" "boom" msg
+  | exception e ->
+    Alcotest.failf "expected Worker_error, got %s" (Printexc.to_string e)
+
+(* --- parallel campaigns are bit-identical to serial ------------------------ *)
+
+let check_seu_parallel engine sys_of =
+  let run domains =
+    Ocapi_fault.seu_campaign ~engine ~runs:40 ~seed:11 ~domains
+      ~replicate:sys_of (sys_of ()) ~cycles:20
+  in
+  let serial = run 1 in
+  Alcotest.(check bool)
+    "campaign classified something" true
+    (serial.Ocapi_fault.seu_masked + serial.Ocapi_fault.seu_sdc
+     + serial.Ocapi_fault.seu_detected
+    = 40);
+  List.iter
+    (fun domains ->
+      let par = run domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s report at %d domains = serial"
+           (Ocapi_fault.engine_label engine)
+           domains)
+        true (par = serial))
+    [ 2; 4 ]
+
+let test_seu_parallel_compiled () =
+  check_seu_parallel Ocapi_fault.Compiled dect_design
+
+let test_seu_parallel_interp () =
+  check_seu_parallel Ocapi_fault.Interp hcor_design
+
+let test_seu_parallel_needs_replicate () =
+  match
+    Ocapi_fault.seu_campaign ~runs:4 ~domains:2 (dect_design ()) ~cycles:8
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_stuck_at_parallel () =
+  let run domains =
+    Ocapi_fault.stuck_at_system ~max_faults:60 ~seed:5 ~domains
+      (hcor_design ()) ~cycles:16
+  in
+  let serial = run 1 in
+  List.iter
+    (fun domains ->
+      let par = run domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "stuck-at report at %d domains = serial" domains)
+        true (par = serial))
+    [ 2; 4 ]
+
+(* --- cross-domain telemetry ------------------------------------------------ *)
+
+(* The campaign counters of a parallel run, merged at join, must equal
+   the serial run's counters exactly. *)
+let test_parallel_telemetry_counters () =
+  let counters domains =
+    Ocapi_obs.reset ();
+    Ocapi_obs.enable ();
+    ignore
+      (Ocapi_fault.seu_campaign ~engine:Ocapi_fault.Compiled ~runs:30 ~seed:3
+         ~domains ~replicate:dect_design (dect_design ()) ~cycles:16);
+    let snap =
+      List.filter_map
+        (fun (name, v) ->
+          match v with
+          | Ocapi_obs.Counter_v n
+            when String.length name >= 9 && String.sub name 0 9 = "fault.seu" ->
+            Some (name, n)
+          | _ -> None)
+        (Ocapi_obs.snapshot ())
+    in
+    Ocapi_obs.disable ();
+    Ocapi_obs.reset ();
+    snap
+  in
+  let serial = counters 1 in
+  let par = counters 4 in
+  Alcotest.(check bool) "campaign counted runs" true (serial <> []);
+  Alcotest.(check int)
+    "serial counters total 30" 30
+    (List.fold_left (fun a (_, n) -> a + n) 0 serial);
+  Alcotest.(check (list (pair string int))) "merged = serial" serial par
+
+(* --- parallel engine cross-verification ------------------------------------ *)
+
+let test_engine_sweep_parallel () =
+  Alcotest.(check (list string))
+    "parallel sweep finds no disagreement" []
+    (Flow.engines_agree ~domains:3 ~replicate:hcor_design (hcor_design ())
+       ~cycles:40)
+
+let suite =
+  [
+    Alcotest.test_case "pool merge identity" `Quick test_pool_identity;
+    Alcotest.test_case "pool per-worker states" `Quick
+      test_pool_states_are_per_worker;
+    Alcotest.test_case "pool worker error" `Quick test_pool_worker_error;
+    Alcotest.test_case "SEU parallel = serial (compiled)" `Quick
+      test_seu_parallel_compiled;
+    Alcotest.test_case "SEU parallel = serial (interp)" `Quick
+      test_seu_parallel_interp;
+    Alcotest.test_case "SEU domains>1 needs replicate" `Quick
+      test_seu_parallel_needs_replicate;
+    Alcotest.test_case "stuck-at parallel = serial" `Quick
+      test_stuck_at_parallel;
+    Alcotest.test_case "parallel telemetry merge" `Quick
+      test_parallel_telemetry_counters;
+    Alcotest.test_case "engine sweep parallel" `Quick
+      test_engine_sweep_parallel;
+  ]
