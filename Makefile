@@ -1,4 +1,4 @@
-.PHONY: all build doc test bench bench-json bench-par fault profile clean
+.PHONY: all build doc test bench bench-json bench-par cache-stats fault profile clean
 
 all: build doc
 
@@ -18,10 +18,17 @@ test:
 bench: build
 	dune exec bench/main.exe
 
-# Machine-readable Table 1 only: writes ./BENCH_table1.json
-# (engine -> cycles/sec, process bytes, source lines).
+# Machine-readable Table 1 plus the result-cache cold/warm comparison:
+# writes ./BENCH_table1.json (engine -> cycles/sec, process bytes,
+# source lines) and ./BENCH_cache.json (hit/miss counters, per-engine
+# cold vs warm seconds with a bit-identity check).
 bench-json: build
-	dune exec bench/main.exe -- t1-json
+	dune exec bench/main.exe -- t1-json cache
+
+# Print the Flow.Cache hit/miss counters recorded in ./BENCH_cache.json
+# by the last `make bench-json` (or `bench/main.exe -- cache`) run.
+cache-stats:
+	dune exec bench/main.exe -- cache-stats
 
 # Parallel campaign scaling: the DECT SEU campaign at 1, 2 and 4 worker
 # domains, with a bit-identity check of every parallel report against

@@ -3,7 +3,7 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- t1      -- one target
-     targets: t1 t1-json c3 c4 c5 c6 f5 figs fault par micro
+     targets: t1 t1-json c3 c4 c5 c6 f5 figs fault par micro cache cache-stats
 
    T1  Table 1 (source lines / cycles-per-second / process size for
        HCOR and DECT under four simulation engines); also written
@@ -19,7 +19,10 @@
    par  parallel SEU campaign scaling over 1/2/4 worker domains, with
        a bit-identity check against the serial report; written
        machine-readably to BENCH_parallel.json (`make bench-par`)
-   micro  Bechamel micro-benchmarks of the engines' single cycles *)
+   micro  Bechamel micro-benchmarks of the engines' single cycles
+   cache  Flow.Cache cold-vs-warm runs per registry engine, with a
+       bit-identity check; written machine-readably to BENCH_cache.json
+   cache-stats  print the hit/miss counters recorded in BENCH_cache.json *)
 
 let hcor_design () =
   let bits = Dect_stimuli.burst ~seed:1 () in
@@ -428,36 +431,38 @@ let figs () =
 let micro () =
   print_endline "== micro: Bechamel single-cycle benchmarks (HCOR) ==";
   let open Bechamel in
-  let sys = hcor_design () in
-  Cycle_system.reset sys;
-  let prog = Compiled_sim.compile sys in
-  Cycle_system.reset sys;
-  let rtl = Rtl.of_system sys in
-  Rtl.reset rtl;
-  Cycle_system.reset sys;
-  let nl, _ = Synthesize.synthesize sys in
+  (* One session per registry engine, each on its own freshly built design so
+     no two engine sessions share mutable register state. *)
+  let sessions =
+    List.map
+      (fun e ->
+        let module E = (val e : Ocapi_engine.ENGINE) in
+        let ses = E.make (hcor_design ()) in
+        ses.Ocapi_engine.ses_reset ();
+        ses)
+      (Ocapi_engine.all ())
+  in
+  let nl, _ = Synthesize.synthesize (hcor_design ()) in
   let gate_sim = Netlist.Sim.create nl in
   Netlist.Sim.settle gate_sim;
-  Cycle_system.reset sys;
   (* One Test.make per Table 1 row. *)
   let tests =
     Test.make_grouped ~name:"table1"
-      [
-        Test.make ~name:"interpreted-objects"
-          (Staged.stage (fun () -> Cycle_system.cycle sys));
-        Test.make ~name:"compiled-code"
-          (Staged.stage (fun () -> Compiled_sim.step prog));
-        Test.make ~name:"rt-event-driven"
-          (Staged.stage (fun () -> Rtl.cycle rtl));
-        (let tick = ref 0 in
-         Test.make ~name:"gate-netlist"
-           (Staged.stage (fun () ->
-                incr tick;
-                Netlist.Sim.set_input gate_sim "sample_in"
-                  (Int64.of_int ((!tick * 7 mod 61) - 30));
-                Netlist.Sim.settle gate_sim;
-                Netlist.Sim.clock gate_sim)));
-      ]
+      (List.map
+         (fun ses ->
+           Test.make ~name:ses.Ocapi_engine.ses_engine
+             (Staged.stage (fun () -> ses.Ocapi_engine.ses_step ())))
+         sessions
+      @ [
+          (let tick = ref 0 in
+           Test.make ~name:"gate-netlist"
+             (Staged.stage (fun () ->
+                  incr tick;
+                  Netlist.Sim.set_input gate_sim "sample_in"
+                    (Int64.of_int ((!tick * 7 mod 61) - 30));
+                  Netlist.Sim.settle gate_sim;
+                  Netlist.Sim.clock gate_sim)));
+        ])
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg =
@@ -475,6 +480,7 @@ let micro () =
       | Some [ ns ] -> Printf.printf "  %-40s %12.0f ns/cycle\n" name ns
       | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
     ols;
+  List.iter (fun ses -> ses.Ocapi_engine.ses_close ()) sessions;
   print_newline ()
 
 (* ---- fault: fault-campaign coverage and throughput ----------------------- *)
@@ -497,7 +503,7 @@ let fault_bench () =
     sa_rate;
   let t1 = Unix.gettimeofday () in
   let seu =
-    Ocapi_fault.seu_campaign ~engine:Ocapi_fault.Compiled ~runs:1000 ~seed:1
+    Ocapi_fault.seu_campaign ~engine:"compiled" ~runs:1000 ~seed:1
       (dect_design ()) ~cycles:64
   in
   let seu_seconds = Unix.gettimeofday () -. t1 in
@@ -542,8 +548,8 @@ let par () =
   let campaign domains =
     let t0 = Unix.gettimeofday () in
     let report =
-      Ocapi_fault.seu_campaign ~engine:Ocapi_fault.Compiled ~runs ~seed
-        ~domains ~replicate:dect_design (dect_design ()) ~cycles
+      Ocapi_fault.seu_campaign ~engine:"compiled" ~runs ~seed ~domains
+        ~replicate:dect_design (dect_design ()) ~cycles
     in
     (report, Unix.gettimeofday () -. t0)
   in
@@ -598,11 +604,134 @@ let par () =
   print_endline "wrote BENCH_parallel.json";
   print_newline ()
 
+(* ---- cache: keyed result cache, cold vs warm ------------------------------ *)
+
+let cache_dir = "_generated/cache"
+
+let cache_bench () =
+  print_endline "== cache: Flow.Cache cold vs warm simulation runs (HCOR) ==";
+  (* Start genuinely cold: drop any disk entries left by a previous run. *)
+  if Sys.file_exists cache_dir then
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".cache" then
+          Sys.remove (Filename.concat cache_dir f))
+      (Sys.readdir cache_dir);
+  Flow.Cache.enable ~dir:cache_dir ();
+  Flow.Cache.clear ();
+  Flow.Cache.reset_stats ();
+  let cycles = 400 in
+  let sys = hcor_design () in
+  let rows =
+    List.map
+      (fun e ->
+        let engine = Ocapi_engine.name_of e in
+        let time () =
+          let t0 = Unix.gettimeofday () in
+          let h = Flow.simulate ~engine sys ~cycles in
+          (h, Unix.gettimeofday () -. t0)
+        in
+        let cold_histories, cold_seconds = time () in
+        let warm_histories, warm_seconds = time () in
+        let identical = cold_histories = warm_histories in
+        Printf.printf "%-10s cold %.4fs, warm %.4fs (x%.1f)%s\n" engine
+          cold_seconds warm_seconds
+          (cold_seconds /. warm_seconds)
+          (if identical then "" else "  WARM RUN DIFFERS FROM COLD!");
+        (engine, cold_seconds, warm_seconds, identical))
+      (Ocapi_engine.all ())
+  in
+  let st = Flow.Cache.stats () in
+  Printf.printf "cache: %d hits (%d from disk), %d misses, %d entries\n"
+    st.Flow.Cache.hits st.Flow.Cache.disk_hits st.Flow.Cache.misses
+    st.Flow.Cache.entries;
+  let json =
+    Ocapi_obs.Json.(
+      Obj
+        [
+          ("design", String "hcor");
+          ("cycles", Int cycles);
+          ("hits", Int st.Flow.Cache.hits);
+          ("disk_hits", Int st.Flow.Cache.disk_hits);
+          ("misses", Int st.Flow.Cache.misses);
+          ("entries", Int st.Flow.Cache.entries);
+          ("disk_writes", Int st.Flow.Cache.disk_writes);
+          ( "rows",
+            List
+              (List.map
+                 (fun (engine, cold_seconds, warm_seconds, identical) ->
+                   Obj
+                     [
+                       ("engine", String engine);
+                       ("cold_seconds", Float cold_seconds);
+                       ("warm_seconds", Float warm_seconds);
+                       ("speedup", Float (cold_seconds /. warm_seconds));
+                       ("warm_identical_to_cold", Bool identical);
+                     ])
+                 rows) );
+        ])
+  in
+  let oc = open_out "BENCH_cache.json" in
+  output_string oc (Ocapi_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_cache.json";
+  Flow.Cache.disable ();
+  Flow.Cache.clear ();
+  print_newline ()
+
+(* Print the counters recorded in BENCH_cache.json (the `make cache-stats`
+   entry point).  A naive scanner keeps this free of a JSON-parsing dep. *)
+let cache_stats () =
+  if not (Sys.file_exists "BENCH_cache.json") then
+    print_endline
+      "BENCH_cache.json not found -- run `dune exec bench/main.exe -- cache` \
+       (or `make bench-json`) first"
+  else begin
+    let ic = open_in "BENCH_cache.json" in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let int_field key =
+      let needle = Printf.sprintf "\"%s\":" key in
+      let n = String.length text and m = String.length needle in
+      let rec find i =
+        if i + m > n then None
+        else if String.sub text i m = needle then Some (i + m)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> None
+      | Some pos ->
+        let i = ref pos in
+        while !i < n && text.[!i] = ' ' do incr i done;
+        let j = ref !i in
+        while
+          !j < n && (match text.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+        do
+          incr j
+        done;
+        if !j > !i then int_of_string_opt (String.sub text !i (!j - !i))
+        else None
+    in
+    match
+      (int_field "hits", int_field "disk_hits", int_field "misses",
+       int_field "entries")
+    with
+    | Some hits, Some disk_hits, Some misses, Some entries ->
+      Printf.printf "cache: %d hits (%d from disk), %d misses, %d entries\n"
+        hits disk_hits misses entries
+    | _ -> print_endline "BENCH_cache.json: no cache counters found"
+  end
+
 let () =
   let targets =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "t1"; "c3"; "c4"; "c5"; "c6"; "f5"; "figs"; "fault"; "par"; "micro" ]
+    | _ ->
+      [
+        "t1"; "c3"; "c4"; "c5"; "c6"; "f5"; "figs"; "fault"; "par"; "micro";
+        "cache";
+      ]
   in
   List.iter
     (fun t ->
@@ -618,5 +747,7 @@ let () =
       | "fault" -> fault_bench ()
       | "par" -> par ()
       | "micro" -> micro ()
+      | "cache" -> cache_bench ()
+      | "cache-stats" -> cache_stats ()
       | other -> Printf.printf "unknown bench target %s\n" other)
     targets

@@ -67,12 +67,45 @@ let check_cmd =
 
 (* simulate *)
 let engine_arg =
-  let doc = "Engine: interp, compiled, rtl or gates." in
+  let doc =
+    "Cycle engine (resolved from the engine registry: interp, compiled, \
+     rtl) or gates."
+  in
   Arg.(value & opt string "interp" & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
 
+let telemetry_arg =
+  Arg.(
+    value & flag
+    & info [ "telemetry" ]
+        ~doc:"Run under telemetry and print the metrics report afterwards.")
+
+let cache_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Enable the keyed result cache with its on-disk store under \
+           _generated/cache/ (warm reruns skip re-simulation).")
+
+(* Run [f] plainly, or under a fresh telemetry scope with the report
+   printed afterwards. *)
+let maybe_telemetry flag ~label f =
+  if flag then begin
+    let result, report = Ocapi_obs.run_with_telemetry ~label f in
+    Format.printf "%a@." Ocapi_obs.pp_report report;
+    result
+  end
+  else f ()
+
+let unknown_engine other =
+  Printf.eprintf "unknown engine %S (try %s or gates)\n" other
+    (String.concat ", " (Ocapi_engine.names ()));
+  1
+
 let simulate_cmd =
-  let run name cycles engine =
+  let run name cycles engine telemetry cache =
     with_design name (fun d ->
+        if cache then Flow.Cache.enable ~dir:"_generated/cache" ();
         let show histories =
           List.iter
             (fun (p, hist) ->
@@ -83,31 +116,42 @@ let simulate_cmd =
               print_newline ())
             histories
         in
-        match engine with
-        | "interp" ->
-          show (Flow.simulate d.d_sys ~cycles);
-          0
-        | "compiled" ->
-          show (Flow.simulate_compiled d.d_sys ~cycles);
-          0
-        | "rtl" ->
-          show (Flow.simulate_rtl d.d_sys ~cycles);
-          0
-        | "gates" ->
-          let r =
-            Flow.verify_netlist ~macro_of_kernel:d.d_macro d.d_sys ~cycles
-          in
-          Printf.printf "gate-level run: %d vectors, %d mismatches\n"
-            r.Synthesize.vectors_checked
-            (List.length r.Synthesize.mismatches);
-          if r.Synthesize.mismatches = [] then 0 else 1
-        | other ->
-          Printf.eprintf "unknown engine %S\n" other;
-          1)
+        let code =
+          match engine with
+          | "gates" ->
+            let r =
+              maybe_telemetry telemetry ~label:(name ^ ".gates") (fun () ->
+                  Flow.verify_netlist ~macro_of_kernel:d.d_macro d.d_sys
+                    ~cycles)
+            in
+            Printf.printf "gate-level run: %d vectors, %d mismatches\n"
+              r.Synthesize.vectors_checked
+              (List.length r.Synthesize.mismatches);
+            if r.Synthesize.mismatches = [] then 0 else 1
+          | other -> (
+            match Ocapi_engine.find other with
+            | None -> unknown_engine other
+            | Some e ->
+              let engine = Ocapi_engine.name_of e in
+              show
+                (maybe_telemetry telemetry ~label:("simulate." ^ engine)
+                   (fun () -> Flow.simulate ~engine d.d_sys ~cycles));
+              0)
+        in
+        if cache then begin
+          let s = Flow.Cache.stats () in
+          Printf.printf
+            "cache: %d hits (%d from disk), %d misses, %d entries\n"
+            s.Flow.Cache.hits s.Flow.Cache.disk_hits s.Flow.Cache.misses
+            s.Flow.Cache.entries
+        end;
+        code)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate a design on one of the engines.")
-    Term.(const run $ design_arg $ cycles_arg 200 $ engine_arg)
+    Term.(
+      const run $ design_arg $ cycles_arg 200 $ engine_arg $ telemetry_arg
+      $ cache_arg)
 
 (* synth *)
 let no_share_arg =
@@ -118,25 +162,26 @@ let optimize_arg =
          ~doc:"Run gate-level optimization after synthesis.")
 
 let synth_cmd =
-  let run name no_share optimize =
+  let run name no_share optimize telemetry =
     with_design name (fun d ->
         let options =
           { Synthesize.default_options with
             Synthesize.share_operators = not no_share }
         in
-        let nl, rep =
-          Synthesize.synthesize ~options ~macro_of_kernel:d.d_macro d.d_sys
-        in
-        Format.printf "%a@." Synthesize.pp_report rep;
-        if optimize then begin
-          let _, st = Netopt.run nl in
-          Format.printf "%a@." Netopt.pp_stats st
-        end;
+        maybe_telemetry telemetry ~label:(name ^ ".synth") (fun () ->
+            let nl, rep =
+              Synthesize.synthesize ~options ~macro_of_kernel:d.d_macro d.d_sys
+            in
+            Format.printf "%a@." Synthesize.pp_report rep;
+            if optimize then begin
+              let _, st = Netopt.run nl in
+              Format.printf "%a@." Netopt.pp_stats st
+            end);
         0)
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize a design and print the gate report.")
-    Term.(const run $ design_arg $ no_share_arg $ optimize_arg)
+    Term.(const run $ design_arg $ no_share_arg $ optimize_arg $ telemetry_arg)
 
 (* emit *)
 let dir_arg =
@@ -191,10 +236,6 @@ let profile_cmd =
     with_design name (fun d ->
         let workload =
           match engine with
-          | "interp" -> Some (fun () -> ignore (Flow.simulate d.d_sys ~cycles))
-          | "compiled" ->
-            Some (fun () -> ignore (Flow.simulate_compiled d.d_sys ~cycles))
-          | "rtl" -> Some (fun () -> ignore (Flow.simulate_rtl d.d_sys ~cycles))
           | "gates" ->
             Some
               (fun () ->
@@ -208,11 +249,18 @@ let profile_cmd =
                   Synthesize.synthesize ~macro_of_kernel:d.d_macro d.d_sys
                 in
                 ignore (Netopt.run nl))
-          | _ -> None
+          | other ->
+            Option.map
+              (fun e () ->
+                ignore
+                  (Flow.simulate ~engine:(Ocapi_engine.name_of e) d.d_sys
+                     ~cycles))
+              (Ocapi_engine.find other)
         in
         match workload with
         | None ->
-          Printf.eprintf "unknown engine %S\n" engine;
+          Printf.eprintf "unknown engine %S (try %s, gates or synth)\n" engine
+            (String.concat ", " (Ocapi_engine.names ()));
           1
         | Some f ->
           let (), report =
@@ -314,15 +362,16 @@ let fault_cmd =
           end;
           0
         | "seu" -> (
-          match Ocapi_fault.engine_of_label engine with
+          match Ocapi_engine.find engine with
           | None ->
-            Printf.eprintf "unknown engine %S (try interp, compiled, rtl)\n"
-              engine;
+            Printf.eprintf "unknown engine %S (try %s)\n" engine
+              (String.concat ", " (Ocapi_engine.names ()));
             1
-          | Some eng ->
+          | Some e ->
+            let engine = Ocapi_engine.name_of e in
             let report, telemetry =
               Ocapi_obs.run_with_telemetry ~label:(name ^ ".seu") (fun () ->
-                  Ocapi_fault.seu_campaign ~engine:eng ~runs ~seed ~domains
+                  Ocapi_fault.seu_campaign ~engine ~runs ~seed ~domains
                     ~replicate d.d_sys ~cycles)
             in
             if json then

@@ -52,14 +52,6 @@ let pp_check_report ppf r =
     Format.fprintf ppf "@]"
   end
 
-let probe_histories sys =
-  List.filter_map
-    (fun p ->
-      match Cycle_system.find_component sys p with
-      | Some c -> Some (p, Cycle_system.output_history sys c)
-      | None -> None)
-    (Cycle_system.probes sys)
-
 (* Run [f] plainly, or — when a [telemetry] cell is supplied — under a
    fresh enabled telemetry scope, leaving the report in the cell. *)
 let scoped ?telemetry ~label f =
@@ -70,36 +62,195 @@ let scoped ?telemetry ~label f =
     cell := Some report;
     result
 
-let simulate ?telemetry ?(two_phase = false) sys ~cycles =
-  scoped ?telemetry ~label:"simulate.interp" (fun () ->
-      Cycle_system.reset sys;
-      Cycle_system.run ~two_phase sys cycles;
-      let result = probe_histories sys in
-      Cycle_system.reset sys;
-      result)
+(* --- keyed result cache ----------------------------------------------------
+
+   Memoizes probe histories by (design digest, stimulus fingerprint,
+   engine key, seed, cycles).  The structural digest
+   ([Cycle_system.digest]) does not cover primary-input stimulus
+   closures, so the key samples every stimulus over the simulated
+   cycle range — stimuli must be pure functions of the cycle index for
+   caching to be sound, which every generated test bench already
+   requires.  Disabled by default; [enable ~dir] adds a Marshal-based
+   on-disk store so warm runs survive the process. *)
+module Cache = struct
+  type stats = {
+    hits : int;
+    misses : int;
+    entries : int;
+    disk_hits : int;
+    disk_writes : int;
+  }
+
+  let lock = Mutex.create ()
+  let table : (string, (string * (int * Fixed.t) list) list) Hashtbl.t =
+    Hashtbl.create 64
+
+  (* None = disabled; Some dir = enabled, with an optional disk store. *)
+  let state : string option option ref = ref None
+  let hits = ref 0
+  let misses = ref 0
+  let disk_hits = ref 0
+  let disk_writes = ref 0
+
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+  let rec mkdir_p dir =
+    if not (Sys.file_exists dir) then begin
+      let parent = Filename.dirname dir in
+      if parent <> dir then mkdir_p parent;
+      try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+    end
+
+  let enable ?dir () =
+    (match dir with Some d -> mkdir_p d | None -> ());
+    locked (fun () -> state := Some dir)
+
+  let disable () = locked (fun () -> state := None)
+  let enabled () = !state <> None
+  let clear () = locked (fun () -> Hashtbl.reset table)
+
+  let stats () =
+    locked (fun () ->
+        {
+          hits = !hits;
+          misses = !misses;
+          entries = Hashtbl.length table;
+          disk_hits = !disk_hits;
+          disk_writes = !disk_writes;
+        })
+
+  let reset_stats () =
+    locked (fun () ->
+        hits := 0;
+        misses := 0;
+        disk_hits := 0;
+        disk_writes := 0)
+
+  let key ~engine ~seed sys ~cycles =
+    let digest = Cycle_system.digest sys in
+    let stim_buf = Buffer.create 256 in
+    List.iter
+      (fun (name, _, stim) ->
+        Buffer.add_string stim_buf name;
+        Buffer.add_char stim_buf ':';
+        for c = 0 to cycles - 1 do
+          (match stim c with
+          | Some v -> Buffer.add_string stim_buf (Int64.to_string (Fixed.mantissa v))
+          | None -> Buffer.add_char stim_buf '-');
+          Buffer.add_char stim_buf ','
+        done;
+        Buffer.add_char stim_buf ';')
+      (List.sort
+         (fun (a, _, _) (b, _, _) -> String.compare a b)
+         (Cycle_system.primary_inputs sys));
+    let stim_fp = Digest.to_hex (Digest.string (Buffer.contents stim_buf)) in
+    String.concat "|"
+      [ digest; stim_fp; engine; string_of_int seed; string_of_int cycles ]
+
+  let disk_path dir k =
+    Filename.concat dir ("v1-" ^ Digest.to_hex (Digest.string k) ^ ".cache")
+
+  (* Disk entries carry their full key so an MD5 filename collision
+     degrades to a miss, never a wrong result. *)
+  let disk_read dir k =
+    let path = disk_path dir k in
+    if not (Sys.file_exists path) then None
+    else
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let stored_key, histories =
+              (Marshal.from_channel ic
+                : string * (string * (int * Fixed.t) list) list)
+            in
+            if stored_key = k then Some histories else None)
+      with _ -> None
+
+  let disk_write dir k v =
+    try
+      let oc = open_out_bin (disk_path dir k) in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Marshal.to_channel oc (k, v) []);
+      true
+    with Sys_error _ -> false
+
+  let lookup k =
+    locked (fun () ->
+        match !state with
+        | None -> None
+        | Some dir -> (
+          match Hashtbl.find_opt table k with
+          | Some v ->
+            incr hits;
+            Ocapi_obs.count "flow.cache.hit";
+            Some v
+          | None -> (
+            match Option.bind dir (fun d -> disk_read d k) with
+            | Some v ->
+              Hashtbl.replace table k v;
+              incr hits;
+              incr disk_hits;
+              Ocapi_obs.count "flow.cache.hit";
+              Some v
+            | None ->
+              incr misses;
+              Ocapi_obs.count "flow.cache.miss";
+              None)))
+
+  let store k v =
+    locked (fun () ->
+        match !state with
+        | None -> ()
+        | Some dir ->
+          Hashtbl.replace table k v;
+          Option.iter
+            (fun d -> if disk_write d k v then incr disk_writes)
+            dir)
+end
+
+(* One cache key per distinct behaviour: scheduling discipline and the
+   RTL delta budget change what a run can produce, so they fold into
+   the engine component of the key. *)
+let engine_key name ~two_phase ~max_deltas =
+  name
+  ^ (if two_phase then "+two-phase" else "")
+  ^ match max_deltas with Some n -> "+md" ^ string_of_int n | None -> ""
+
+let simulate ?telemetry ?(two_phase = false) ?(engine = "interp") ?max_deltas
+    ?(seed = 0) sys ~cycles =
+  let (module E : Ocapi_engine.ENGINE) = Ocapi_engine.get engine in
+  scoped ?telemetry ~label:("simulate." ^ E.name) (fun () ->
+      let k =
+        if Cache.enabled () then
+          Some (Cache.key ~engine:(engine_key E.name ~two_phase ~max_deltas)
+                  ~seed sys ~cycles)
+        else None
+      in
+      match Option.bind k Cache.lookup with
+      | Some histories -> histories
+      | None ->
+        let options =
+          { Ocapi_engine.opt_two_phase = two_phase;
+            opt_max_deltas = max_deltas }
+        in
+        let ses = E.make ~options sys in
+        let histories =
+          Fun.protect ~finally:ses.Ocapi_engine.ses_close (fun () ->
+              Ocapi_engine.run ses ~cycles)
+        in
+        Option.iter (fun k -> Cache.store k histories) k;
+        histories)
 
 let simulate_compiled ?telemetry sys ~cycles =
-  scoped ?telemetry ~label:"simulate.compiled" (fun () ->
-      Cycle_system.reset sys;
-      let prog = Compiled_sim.compile sys in
-      Compiled_sim.run prog cycles;
-      List.map
-        (fun p -> (p, Compiled_sim.output_history prog p))
-        (Cycle_system.probes sys))
+  simulate ?telemetry ~engine:"compiled" sys ~cycles
 
 let simulate_rtl ?telemetry sys ~cycles =
-  scoped ?telemetry ~label:"simulate.rtl" (fun () ->
-      Cycle_system.reset sys;
-      let rtl = Rtl.of_system sys in
-      Rtl.reset rtl;
-      Rtl.run rtl cycles;
-      let result =
-        List.map
-          (fun p -> (p, Rtl.output_history rtl p))
-          (Cycle_system.probes sys)
-      in
-      Cycle_system.reset sys;
-      result)
+  simulate ?telemetry ~engine:"rtl" sys ~cycles
 
 type mismatch = {
   mm_pair : string;
@@ -145,16 +296,56 @@ let first_history_mismatch a b =
   in
   scan a b
 
+(* The [~replicate] contract: each worker domain must own an isolated
+   copy of the design, because engine sessions cache compiled and
+   elaborated state inside (or aliasing) the system.  A factory that
+   hands back the campaign system, the same system twice, or a system
+   some live session still owns would silently share mutable engine
+   state across domains — detect all three and refuse. *)
+let check_replica ~context ~campaign ~seen replica =
+  let refuse msg =
+    raise
+      (Ocapi_error.Error
+         (Ocapi_error.make Ocapi_error.Shared_state ~engine:"flow"
+            ~construct:(Cycle_system.name replica)
+            (context ^ ": " ^ msg)))
+  in
+  if replica == campaign then
+    refuse
+      "~replicate returned the campaign system itself; worker domains \
+       would share mutable engine state";
+  if List.memq replica seen then
+    refuse
+      "~replicate returned the same system twice; each worker domain \
+       needs its own copy";
+  match Cycle_system.attached_engines replica with
+  | [] -> ()
+  | attached ->
+    refuse
+      (Printf.sprintf
+         "~replicate returned a system with live engine sessions (%s); \
+          close them (or build a fresh system) before handing it to a \
+          worker"
+         (String.concat ", " attached))
+
 let engine_disagreements ?(domains = 1) ?replicate sys ~cycles =
-  (* One task per engine; each worker domain owns an isolated copy of
-     the system (engines cache compiled/elaborated state inside it), so
-     the three runs can proceed concurrently.  Results are keyed by
-     engine index — the sweep is deterministic for any [domains]. *)
+  (* One task per registered engine; each worker domain owns an
+     isolated copy of the system, so the runs can proceed concurrently.
+     Results are keyed by engine index — the sweep is deterministic for
+     any [domains]. *)
+  let engines = Array.of_list (Ocapi_engine.all ()) in
+  let n = Array.length engines in
+  let seen = ref [] in
   let make_state k =
     if k = 0 then sys
     else
       match replicate with
-      | Some f -> f ()
+      | Some f ->
+        let s = f () in
+        check_replica ~context:"Flow.engine_disagreements" ~campaign:sys
+          ~seen:!seen s;
+        seen := s :: !seen;
+        s
       | None ->
         invalid_arg
           "Flow.engine_disagreements: a ~replicate design factory is \
@@ -162,18 +353,18 @@ let engine_disagreements ?(domains = 1) ?replicate sys ~cycles =
            copy of the system)"
   in
   let histories =
-    Ocapi_parallel.map_tasks ~domains:(min domains 3) ~chunk:1 ~make_state
-      ~tasks:3
-      ~f:(fun s i ->
-        match i with
-        | 0 -> simulate s ~cycles
-        | 1 -> simulate_compiled s ~cycles
-        | _ -> simulate_rtl s ~cycles)
+    Ocapi_parallel.map_tasks ~domains:(min domains n) ~chunk:1 ~make_state
+      ~tasks:n
+      ~f:(fun s i -> simulate ~engine:(Ocapi_engine.name_of engines.(i)) s ~cycles)
       ()
   in
-  let interp = histories.(0) in
-  let compiled = histories.(1) in
-  let rtl = histories.(2) in
+  let baseline_display = Ocapi_engine.display_of engines.(0) in
+  let pairs =
+    List.init (n - 1) (fun j ->
+        ( baseline_display ^ "-vs-" ^ Ocapi_engine.display_of engines.(j + 1),
+          histories.(0),
+          histories.(j + 1) ))
+  in
   List.filter_map
     (fun (pair, a, b) ->
       match first_history_mismatch a b with
@@ -182,10 +373,7 @@ let engine_disagreements ?(domains = 1) ?replicate sys ~cycles =
         Some
           { mm_pair = pair; mm_probe = probe; mm_cycle = cycle;
             mm_detail = detail })
-    [
-      ("interpreted-vs-compiled", interp, compiled);
-      ("interpreted-vs-rtl", interp, rtl);
-    ]
+    pairs
 
 let pp_mismatch ppf m =
   Format.fprintf ppf "%s: first mismatch at probe %s%s: %s" m.mm_pair

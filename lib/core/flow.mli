@@ -40,28 +40,83 @@ val check_clean : check_report -> bool
     wall time, trace-event count).  Without it the run pays only the
     disabled-telemetry cost (one flag check per cycle). *)
 
-(** Interpreted simulation for [cycles]; returns the probe histories by
-    probe name.  Resets the system first. *)
+(** [simulate ?engine sys ~cycles] simulates on the named engine
+    (resolved from the {!Ocapi_engine} registry; default ["interp"])
+    and returns the probe histories by probe name.  Resets the system
+    first and leaves it reset.  [two_phase] selects the classic
+    two-phase scheduler (interpreted engine only); [max_deltas] is the
+    RTL engine's delta budget; [seed] only keys the result {!Cache}
+    (plain simulation is deterministic).
+
+    When the {!Cache} is enabled, the run is served from it on a key
+    hit — bit-identical to a cold run — and stored into it otherwise.
+
+    @raise Ocapi_error.Error with code [Unsupported] on an unknown
+    engine name. *)
 val simulate :
   ?telemetry:Ocapi_obs.report option ref ->
   ?two_phase:bool ->
+  ?engine:string ->
+  ?max_deltas:int ->
+  ?seed:int ->
   Cycle_system.t ->
   cycles:int ->
   (string * (int * Fixed.t) list) list
 
-(** Compiled simulation of the same system; same result shape. *)
+(** Same as [simulate ~engine:"compiled"].
+    @deprecated use {!simulate} with [~engine:"compiled"]. *)
 val simulate_compiled :
   ?telemetry:Ocapi_obs.report option ref ->
   Cycle_system.t ->
   cycles:int ->
   (string * (int * Fixed.t) list) list
 
-(** Event-driven RT simulation; same result shape. *)
+(** Same as [simulate ~engine:"rtl"].
+    @deprecated use {!simulate} with [~engine:"rtl"]. *)
 val simulate_rtl :
   ?telemetry:Ocapi_obs.report option ref ->
   Cycle_system.t ->
   cycles:int ->
   (string * (int * Fixed.t) list) list
+
+(** {1 Keyed result cache}
+
+    Memoizes {!simulate} results by
+    [(Cycle_system.digest, stimulus fingerprint, engine, seed, cycles)].
+    The structural digest does not cover primary-input stimulus
+    closures, so the key additionally fingerprints every stimulus
+    sampled over the simulated cycle range — stimuli must be pure
+    functions of the cycle index for caching to be sound.
+
+    Disabled by default.  With [enable ~dir] each stored entry is also
+    marshalled to [dir] (e.g. [_generated/cache/]) and warm processes
+    read it back; entries carry their full key, so a filename collision
+    degrades to a miss, never a wrong result.  Delete the directory for
+    clean benchmark numbers.  Hits and misses count into the
+    [flow.cache.hit] / [flow.cache.miss] telemetry counters when
+    telemetry is enabled. *)
+module Cache : sig
+  type stats = {
+    hits : int;  (** lookups served (memory or disk) *)
+    misses : int;
+    entries : int;  (** in-memory entries right now *)
+    disk_hits : int;  (** subset of [hits] read from disk *)
+    disk_writes : int;
+  }
+
+  (** [enable ?dir ()] turns the cache on; [dir] adds the on-disk
+      store (created if missing). *)
+  val enable : ?dir:string -> unit -> unit
+
+  val disable : unit -> unit
+  val enabled : unit -> bool
+
+  (** Drop the in-memory entries (the disk store, if any, persists). *)
+  val clear : unit -> unit
+
+  val stats : unit -> stats
+  val reset_stats : unit -> unit
+end
 
 (** {1 Engine cross-checks} *)
 
@@ -83,17 +138,35 @@ val first_history_mismatch :
   (string * (int * Fixed.t) list) list ->
   (string * int option * string) option
 
-(** [engine_disagreements sys ~cycles] runs interpreted, compiled and
-    RTL simulation and reports each disagreeing engine pair with its
-    first mismatch (empty = all equivalent).
+(** [check_replica ~context ~campaign ~seen replica] enforces the
+    [~replicate] contract shared by every parallel campaign: [replica]
+    must not be [campaign] itself, must not appear in [seen] (systems
+    already handed to other workers), and must have no live engine
+    sessions ([Cycle_system.attached_engines]).
+    @raise Ocapi_error.Error with code [Shared_state] otherwise. *)
+val check_replica :
+  context:string ->
+  campaign:Cycle_system.t ->
+  seen:Cycle_system.t list ->
+  Cycle_system.t ->
+  unit
 
-    [domains] (default [1] = the serial path) runs the three engines on
-    an {!Ocapi_parallel} pool, one task per engine.  Worker 0 reuses
+(** [engine_disagreements sys ~cycles] runs every engine of the
+    {!Ocapi_engine} registry and reports each pair (first registered
+    engine vs each other) that disagrees, with its first mismatch
+    (empty = all equivalent).  With the built-in registry the pairs are
+    ["interpreted-vs-compiled"] and ["interpreted-vs-rtl"].
+
+    [domains] (default [1] = the serial path) runs the engines on an
+    {!Ocapi_parallel} pool, one task per engine.  Worker 0 reuses
     [sys]; each further worker needs an isolated copy of the design
     built by [replicate] (engines cache compiled state inside the
     system).  The sweep result is identical for any [domains].
 
-    @raise Invalid_argument if [domains > 1] without [replicate]. *)
+    @raise Invalid_argument if [domains > 1] without [replicate].
+    @raise Ocapi_error.Error with code [Shared_state] if [replicate]
+    hands a worker a shared or session-owned system
+    (see {!check_replica}). *)
 val engine_disagreements :
   ?domains:int ->
   ?replicate:(unit -> Cycle_system.t) ->

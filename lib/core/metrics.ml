@@ -33,38 +33,40 @@ let timed f =
    probe histories of a long run would otherwise dominate. *)
 let resident_bytes root = Obj.reachable_words (Obj.repr root) * (Sys.word_size / 8)
 
+(* The registry engine behind a Table 1 row, for the cycle engines. *)
+let session_engine = function
+  | Interpreted_objects -> Some "interp"
+  | Compiled_code -> Some "compiled"
+  | Rt_event_driven -> Some "rtl"
+  | Gate_netlist -> None
+
 let measure ?(ocaml_source_lines = 0) ?macro_of_kernel sys engine ~cycles =
   let seconds, source_lines, process_bytes =
-    match engine with
-    | Interpreted_objects ->
-      Cycle_system.reset sys;
-      Cycle_system.run sys (min 16 cycles) (* warm-up *);
-      Cycle_system.reset sys;
-      let resident = resident_bytes sys in
-      let s = timed (fun () -> Cycle_system.run sys cycles) in
-      (s, ocaml_source_lines, resident)
-    | Compiled_code ->
-      Cycle_system.reset sys;
-      let prog = Compiled_sim.compile sys in
-      Compiled_sim.run prog (min 16 cycles);
-      Compiled_sim.reset prog;
-      let resident = resident_bytes prog in
-      let s = timed (fun () -> Compiled_sim.run prog cycles) in
-      ignore (Sys.opaque_identity prog);
-      (* The size of the regenerated program stands in for the paper's
-         generated-C++ line count. *)
-      (s, Compiled_sim.statement_count prog, resident)
-    | Rt_event_driven ->
-      Cycle_system.reset sys;
-      let rtl = Rtl.of_system sys in
-      Rtl.reset rtl;
-      Rtl.run rtl (min 16 cycles);
-      Rtl.reset rtl;
-      let resident = resident_bytes rtl in
-      let s = timed (fun () -> Rtl.run rtl cycles) in
-      ignore (Sys.opaque_identity rtl);
-      (s, Vhdl.line_count (Vhdl.of_system sys), resident)
-    | Gate_netlist ->
+    match session_engine engine with
+    | Some name ->
+      let (module E : Ocapi_engine.ENGINE) = Ocapi_engine.get name in
+      let ses = E.make sys in
+      Fun.protect ~finally:ses.Ocapi_engine.ses_close (fun () ->
+          let open Ocapi_engine in
+          ses.ses_reset ();
+          for _ = 1 to min 16 cycles do ses.ses_step () done (* warm-up *);
+          ses.ses_reset ();
+          let resident = ses.ses_resident_words () * (Sys.word_size / 8) in
+          let s =
+            timed (fun () ->
+                for _ = 1 to cycles do ses.ses_step () done)
+          in
+          let lines =
+            match engine with
+            | Interpreted_objects -> ocaml_source_lines
+            | Compiled_code ->
+              (* The static program size stands in for the paper's
+                 generated-C++ line count. *)
+              Option.value ~default:0 ses.ses_static_size
+            | _ -> Vhdl.line_count (Vhdl.of_system sys)
+          in
+          (s, lines, resident))
+    | None ->
       let vectors = Testbench.record sys ~cycles in
       let nl, _report = Synthesize.synthesize ?macro_of_kernel sys in
       let sim = Netlist.Sim.create nl in

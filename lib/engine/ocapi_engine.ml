@@ -1,0 +1,305 @@
+(* The uniform cycle-engine interface: one session calling convention
+   over the interpreted, compiled and RTL engines, plus the registry
+   the upper layers (Flow, fault campaigns, CLI, bench) resolve
+   engines from by name. *)
+
+type histories = (string * (int * Fixed.t) list) list
+
+type session = {
+  ses_engine : string;
+  ses_step : unit -> unit;
+  ses_cycle : unit -> int;
+  ses_reset : unit -> unit;
+  ses_histories : unit -> histories;
+  ses_register_count : int;
+  ses_register_info : int -> string * Fixed.format;
+  ses_poke_register_bit : int -> bit:int -> unit;
+  ses_component_count : int;
+  ses_component_info : int -> string * int;
+  ses_component_state : int -> int;
+  ses_force_component_state : int -> int -> unit;
+  ses_resident_words : unit -> int;
+  ses_static_size : int option;
+  ses_close : unit -> unit;
+}
+
+type options = { opt_two_phase : bool; opt_max_deltas : int option }
+
+let default_options = { opt_two_phase = false; opt_max_deltas = None }
+
+type capabilities = {
+  cap_two_phase : bool;
+  cap_max_deltas : bool;
+  cap_shares_registers : bool;
+  cap_static_size : bool;
+}
+
+module type ENGINE = sig
+  val name : string
+  val display : string
+  val aliases : string list
+  val capabilities : capabilities
+  val make : ?options:options -> Cycle_system.t -> session
+end
+
+type t = (module ENGINE)
+
+let name_of (module E : ENGINE) = E.name
+let display_of (module E : ENGINE) = E.display
+
+(* A close that detaches exactly once, however many times callers'
+   cleanup paths run it. *)
+let closer sys name =
+  let closed = ref false in
+  fun () ->
+    if not !closed then begin
+      closed := true;
+      Cycle_system.detach_engine sys name
+    end
+
+let probe_histories sys =
+  List.filter_map
+    (fun p ->
+      match Cycle_system.find_component sys p with
+      | Some c -> Some (p, Cycle_system.output_history sys c)
+      | None -> None)
+    (Cycle_system.probes sys)
+
+(* Engines index timed components in their own elaboration order; map
+   the system's order onto it once per session. *)
+let component_index ~engine ~count ~info comps =
+  Array.of_list
+    (List.map
+       (fun (cname, _) ->
+         let rec find i =
+           if i >= count then
+             raise
+               (Ocapi_error.Error
+                  (Ocapi_error.make Ocapi_error.Internal ~engine
+                     ~construct:cname
+                     (Printf.sprintf "component missing from %s"
+                        (if engine = "rtl" then "elaboration" else "program"))))
+           else if fst (info i) = cname then i
+           else find (i + 1)
+         in
+         find 0)
+       comps)
+
+(* --- interpreted three-phase engine -------------------------------------- *)
+
+module Interp_engine = struct
+  let name = "interp"
+  let display = "interpreted"
+  let aliases = [ "interpreted" ]
+
+  let capabilities =
+    {
+      cap_two_phase = true;
+      cap_max_deltas = false;
+      cap_shares_registers = true;
+      cap_static_size = false;
+    }
+
+  let make ?(options = default_options) sys =
+    let regs = Array.of_list (Cycle_system.all_regs sys) in
+    let comps = Array.of_list (Cycle_system.timed_components sys) in
+    let step =
+      if options.opt_two_phase then fun () -> Cycle_system.cycle_two_phase sys
+      else fun () -> Cycle_system.cycle sys
+    in
+    Cycle_system.attach_engine sys name;
+    {
+      ses_engine = name;
+      ses_step = step;
+      ses_cycle = (fun () -> Cycle_system.current_cycle sys);
+      ses_reset = (fun () -> Cycle_system.reset sys);
+      ses_histories = (fun () -> probe_histories sys);
+      ses_register_count = Array.length regs;
+      ses_register_info =
+        (fun i ->
+          let r = regs.(i) in
+          (Signal.Reg.name r, Signal.Reg.fmt r));
+      ses_poke_register_bit =
+        (fun i ~bit ->
+          let r = regs.(i) in
+          let v = Signal.Reg.value r in
+          (* Registers may hold values in a wider expression format than
+             the declared one; flip within the stored width. *)
+          let b = min bit ((Fixed.fmt v).Fixed.width - 1) in
+          Signal.Reg.set_value r (Fixed.flip_bit v b));
+      ses_component_count = Array.length comps;
+      ses_component_info =
+        (fun i ->
+          let cname, fsm = comps.(i) in
+          (cname, List.length (Fsm.states fsm)));
+      ses_component_state =
+        (fun i ->
+          let _, fsm = comps.(i) in
+          Fsm.state_index (Fsm.current fsm));
+      ses_force_component_state =
+        (fun i s ->
+          let cname, fsm = comps.(i) in
+          let n = List.length (Fsm.states fsm) in
+          if s < 0 || s >= n then
+            raise
+              (Ocapi_error.Error
+                 (Ocapi_error.make Ocapi_error.Invalid_state ~engine:name
+                    ~construct:cname
+                    ~cycle:(Cycle_system.current_cycle sys)
+                    (Printf.sprintf
+                       "state index %d outside the %d encoded states" s n)))
+          else Fsm.force_state fsm s);
+      ses_resident_words = (fun () -> Obj.reachable_words (Obj.repr sys));
+      ses_static_size = None;
+      ses_close = closer sys name;
+    }
+end
+
+(* --- compiled closure-program engine -------------------------------------- *)
+
+module Compiled_engine = struct
+  let name = "compiled"
+  let display = "compiled"
+  let aliases = []
+
+  let capabilities =
+    {
+      cap_two_phase = false;
+      cap_max_deltas = false;
+      cap_shares_registers = false;
+      cap_static_size = true;
+    }
+
+  let make ?options:_ sys =
+    Cycle_system.reset sys;
+    let prog = Compiled_sim.compile sys in
+    let probes = Cycle_system.probes sys in
+    let comp_index =
+      component_index ~engine:name
+        ~count:(Compiled_sim.component_count prog)
+        ~info:(Compiled_sim.component_info prog)
+        (Cycle_system.timed_components sys)
+    in
+    Cycle_system.attach_engine sys name;
+    {
+      ses_engine = name;
+      ses_step = (fun () -> Compiled_sim.step prog);
+      ses_cycle = (fun () -> Compiled_sim.current_cycle prog);
+      ses_reset = (fun () -> Compiled_sim.reset prog);
+      ses_histories =
+        (fun () ->
+          List.map (fun p -> (p, Compiled_sim.output_history prog p)) probes);
+      ses_register_count = Compiled_sim.register_count prog;
+      ses_register_info = Compiled_sim.register_info prog;
+      ses_poke_register_bit = Compiled_sim.flip_register_bit prog;
+      ses_component_count = Compiled_sim.component_count prog;
+      ses_component_info =
+        (fun i -> Compiled_sim.component_info prog comp_index.(i));
+      ses_component_state =
+        (fun i -> Compiled_sim.component_state prog comp_index.(i));
+      ses_force_component_state =
+        (fun i s -> Compiled_sim.set_component_state prog comp_index.(i) s);
+      ses_resident_words = (fun () -> Obj.reachable_words (Obj.repr prog));
+      ses_static_size = Some (Compiled_sim.statement_count prog);
+      ses_close = closer sys name;
+    }
+end
+
+(* --- event-driven RTL engine ---------------------------------------------- *)
+
+module Rtl_engine = struct
+  let name = "rtl"
+  let display = "rtl"
+  let aliases = [ "rtl-sim"; "rt" ]
+
+  let capabilities =
+    {
+      cap_two_phase = false;
+      cap_max_deltas = true;
+      cap_shares_registers = true;
+      cap_static_size = false;
+    }
+
+  let make ?(options = default_options) sys =
+    Cycle_system.reset sys;
+    let rtl = Rtl.of_system ?max_deltas:options.opt_max_deltas sys in
+    let probes = Cycle_system.probes sys in
+    let comp_index =
+      component_index ~engine:name
+        ~count:(Rtl.component_count rtl)
+        ~info:(Rtl.component_info rtl)
+        (Cycle_system.timed_components sys)
+    in
+    Cycle_system.attach_engine sys name;
+    {
+      ses_engine = name;
+      ses_step = (fun () -> Rtl.cycle rtl);
+      ses_cycle = (fun () -> Rtl.current_cycle rtl);
+      ses_reset =
+        (fun () ->
+          (* The elaboration shares the system's register objects:
+             restore both so the system is pristine between runs. *)
+          Rtl.reset rtl;
+          Cycle_system.reset sys);
+      ses_histories =
+        (fun () -> List.map (fun p -> (p, Rtl.output_history rtl p)) probes);
+      ses_register_count = Rtl.register_count rtl;
+      ses_register_info = Rtl.register_info rtl;
+      ses_poke_register_bit = Rtl.flip_register_bit rtl;
+      ses_component_count = Rtl.component_count rtl;
+      ses_component_info = (fun i -> Rtl.component_info rtl comp_index.(i));
+      ses_component_state =
+        (fun i -> Rtl.component_state rtl comp_index.(i));
+      ses_force_component_state =
+        (fun i s -> Rtl.set_component_state rtl comp_index.(i) s);
+      ses_resident_words = (fun () -> Obj.reachable_words (Obj.repr rtl));
+      ses_static_size = None;
+      ses_close = closer sys name;
+    }
+end
+
+(* --- registry -------------------------------------------------------------- *)
+
+let engines : t list ref = ref []
+
+let register e = engines := !engines @ [ e ]
+
+let all () = !engines
+
+let names () = List.map name_of !engines
+
+let find label =
+  List.find_opt
+    (fun (module E : ENGINE) -> E.name = label || List.mem label E.aliases)
+    !engines
+
+let get label =
+  match find label with
+  | Some e -> e
+  | None ->
+    Ocapi_error.fail Ocapi_error.Unsupported ~engine:"registry"
+      "unknown engine %S (known: %s)" label
+      (String.concat ", " (names ()))
+
+let () =
+  register (module Interp_engine : ENGINE);
+  register (module Compiled_engine : ENGINE);
+  register (module Rtl_engine : ENGINE)
+
+(* --- uniform execution ----------------------------------------------------- *)
+
+let run ?inject ses ~cycles =
+  ses.ses_reset ();
+  (try
+     for c = 0 to cycles - 1 do
+       (match inject with
+       | Some (at, poke) when at = c -> poke ()
+       | _ -> ());
+       ses.ses_step ()
+     done
+   with e ->
+     ses.ses_reset ();
+     raise e);
+  let result = ses.ses_histories () in
+  ses.ses_reset ();
+  result

@@ -1,0 +1,142 @@
+(** The uniform cycle-engine interface and registry.
+
+    The paper's environment runs the {e same} captured design through
+    interchangeable evaluation back-ends — three-phase interpreted
+    scheduling, compiled-code simulation, event-driven RT simulation
+    (sections 4–5, Table 1).  This module is that interchangeability
+    made first-class: one module type {!ENGINE}, one {!session} calling
+    convention (stepwise execution, probe histories, and the register /
+    FSM-state poke surface the SEU campaigns need), and a registry of
+    first-class modules wrapping the three implementations.
+
+    Everything above this layer — [Flow], [Ocapi_fault], the CLI, the
+    benchmarks — selects engines by {e name} through the registry
+    instead of branching per engine.  The gate-level simulator
+    ([Netlist.Sim]) is not a cycle engine and stays outside. *)
+
+(** Probe histories, as [(probe name, (cycle, token) list)] pairs —
+    the shape of [Cycle_system.output_history] across all engines. *)
+type histories = (string * (int * Fixed.t) list) list
+
+(** {1 Sessions}
+
+    A session is one engine instance elaborated over one system:
+    the interpreted engine walks the system itself, the compiled
+    engine holds a flattened closure program, the RTL engine an
+    event-driven elaboration (which {e shares the register objects}
+    of the source system).  Sessions mark their system
+    ([Cycle_system.attach_engine]) for the lifetime of the session;
+    {!run} and the campaign layers use that mark to detect designs
+    handed to two consumers at once (code [Shared_state]). *)
+
+type session = {
+  ses_engine : string;  (** registry name of the engine *)
+  ses_step : unit -> unit;  (** simulate one clock cycle *)
+  ses_cycle : unit -> int;  (** cycles simulated since reset *)
+  ses_reset : unit -> unit;
+      (** cycle counter to zero, registers/FSMs to initial, histories
+          cleared — restores the underlying system where the engine
+          aliases it *)
+  ses_histories : unit -> histories;
+  ses_register_count : int;
+      (** registers indexed in [Cycle_system.all_regs] order — the
+          shared indexing of the SEU campaigns, identical across
+          engines *)
+  ses_register_info : int -> string * Fixed.format;
+  ses_poke_register_bit : int -> bit:int -> unit;
+      (** XOR one bit into a register between two steps (a transient
+          SEU) *)
+  ses_component_count : int;  (** timed components, in system order *)
+  ses_component_info : int -> string * int;  (** name, state count *)
+  ses_component_state : int -> int;
+  ses_force_component_state : int -> int -> unit;
+      (** force an FSM's encoded state; driving an unencoded index
+          raises [Ocapi_error.Error] with code [Invalid_state] — the
+          detected-outcome path of SEU campaigns *)
+  ses_resident_words : unit -> int;
+      (** reachable heap words of the engine's root state (Table 1's
+          memory column) *)
+  ses_static_size : int option;
+      (** compiled statement count, for engines with a static program
+          image *)
+  ses_close : unit -> unit;
+      (** detach the engine mark from the system; idempotent *)
+}
+
+(** {1 Engine options} *)
+
+type options = {
+  opt_two_phase : bool;
+      (** interpreted engine: classic two-phase scheduling (bench C4
+          ablation) instead of three-phase *)
+  opt_max_deltas : int option;
+      (** RTL engine: delta-cycle budget per settle *)
+}
+
+val default_options : options
+(** three-phase, engine-default delta budget *)
+
+type capabilities = {
+  cap_two_phase : bool;  (** honours [opt_two_phase] *)
+  cap_max_deltas : bool;  (** honours [opt_max_deltas] *)
+  cap_shares_registers : bool;
+      (** the session aliases the system's register objects — run only
+          one such session per system at a time *)
+  cap_static_size : bool;  (** sessions carry [ses_static_size] *)
+}
+
+(** {1 The engine interface} *)
+
+module type ENGINE = sig
+  (** registry key, e.g. ["compiled"] *)
+  val name : string
+
+  (** human label used in disagreement-pair names, e.g.
+      ["interpreted"] *)
+  val display : string
+
+  (** extra names {!find} accepts *)
+  val aliases : string list
+
+  val capabilities : capabilities
+
+  val make : ?options:options -> Cycle_system.t -> session
+  (** Elaborate a session.  Resets the system first where elaboration
+      requires a pristine state (compiled, RTL). *)
+end
+
+type t = (module ENGINE)
+
+val name_of : t -> string
+val display_of : t -> string
+
+(** {1 Registry}
+
+    The built-in engines register themselves in paper order —
+    ["interp"], ["compiled"], ["rtl"] — when this module is linked;
+    {!all} preserves registration order (the first engine is the
+    baseline of engine-agreement sweeps). *)
+
+val register : t -> unit
+
+(** [find name] resolves [name] against engine names and aliases
+    (["interpreted"] finds ["interp"]). *)
+val find : string -> t option
+
+(** [get name] is [find], raising [Ocapi_error.Error] with code
+    [Unsupported] (listing the known names) on an unknown engine. *)
+val get : string -> t
+
+val all : unit -> t list
+val names : unit -> string list
+
+(** {1 Uniform execution} *)
+
+(** [run ?inject ses ~cycles] is the one stepping discipline shared by
+    plain simulation, campaign controls and faulty runs: reset, step
+    [cycles] times — calling [inject]'s thunk just before the step of
+    its cycle — read histories, reset again so the session (and any
+    aliased system state) is left pristine.  On an engine exception the
+    session is reset before the exception propagates, keeping the
+    session reusable for the next run (the campaign discipline). *)
+val run : ?inject:int * (unit -> unit) -> session -> cycles:int -> histories

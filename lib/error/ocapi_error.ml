@@ -8,6 +8,7 @@ type code =
   | Invalid_state
   | Watchdog
   | Unsupported
+  | Shared_state
   | Internal
 
 type t = {
@@ -47,6 +48,7 @@ let code_label = function
   | Invalid_state -> "invalid-state"
   | Watchdog -> "watchdog"
   | Unsupported -> "unsupported"
+  | Shared_state -> "shared-state"
   | Internal -> "internal"
 
 let severity_label = function

@@ -28,6 +28,10 @@ type code =
   | Invalid_state  (** FSM driven into an unencoded state *)
   | Watchdog  (** a configured cycle/settle budget was exceeded *)
   | Unsupported  (** construct outside an engine's subset *)
+  | Shared_state
+      (** a design object still owned by a live engine session (or by
+          another worker domain) was handed to a second consumer — e.g.
+          a [~replicate] factory returning the campaign system itself *)
   | Internal  (** violated internal invariant *)
 
 type t = {

@@ -164,19 +164,6 @@ let stuck_at_system ?max_faults ?seed ?settle_budget ?options ?macro_of_kernel
 
 (* --- SEU campaigns -------------------------------------------------------- *)
 
-type engine = Interp | Compiled | Rtl_sim
-
-let engine_label = function
-  | Interp -> "interp"
-  | Compiled -> "compiled"
-  | Rtl_sim -> "rtl"
-
-let engine_of_label = function
-  | "interp" | "interpreted" -> Some Interp
-  | "compiled" -> Some Compiled
-  | "rtl" -> Some Rtl_sim
-  | _ -> None
-
 type seu_target =
   | Reg_bit of { t_reg : int; t_bit : int }
   | State_bit of { t_comp : int; t_bit : int }
@@ -206,14 +193,6 @@ type seu_report = {
   seu_records : seu_run list;
 }
 
-let probe_histories sys =
-  List.filter_map
-    (fun p ->
-      match Cycle_system.find_component sys p with
-      | Some c -> Some (p, Cycle_system.output_history sys c)
-      | None -> None)
-    (Cycle_system.probes sys)
-
 (* The engines hold a timed component's state as a 16-bit word (the RTL
    elaboration's state signal format); every bit of that word is a
    flippable target.  Flips landing outside the encoded state indices
@@ -222,163 +201,29 @@ let probe_histories sys =
 let state_register_width = 16
 let state_bits n = if n <= 1 then 0 else state_register_width
 
-let invalid_state_error ~engine ~construct ~cycle state n =
-  Ocapi_error.Error
-    (Ocapi_error.make Ocapi_error.Invalid_state ~engine ~construct ~cycle
-       (Printf.sprintf "state index %d outside the %d encoded states" state n))
+(* Engine instances (compiled program, RTL elaboration) are built once
+   per campaign as an [Ocapi_engine.session] and reused run after run;
+   the uniform poke surface of the session replaces the per-engine
+   harness dispatch. *)
+let make_session ?max_deltas ~engine sys =
+  let (module E : Ocapi_engine.ENGINE) = Ocapi_engine.get engine in
+  E.make
+    ~options:{ Ocapi_engine.default_options with opt_max_deltas = max_deltas }
+    sys
 
-(* One engine behind a common harness: reset, step with an optional poke
-   at one cycle, read histories.  Engine instances (compiled program,
-   RTL elaboration) are built once per campaign and reused. *)
-type harness = {
-  h_engine : string;
-  h_run :
-    inject:(int * (cycle:int -> unit)) option ->
-    (string * (int * Fixed.t) list) list;
-  h_poke : cycle:int -> seu_target -> unit;
-}
-
-let interp_harness sys ~cycles =
-  let regs = Array.of_list (Cycle_system.all_regs sys) in
-  let comps = Array.of_list (Cycle_system.timed_components sys) in
-  let h_run ~inject =
-    Cycle_system.reset sys;
-    (try
-       for c = 0 to cycles - 1 do
-         (match inject with
-         | Some (at, poke) when at = c -> poke ~cycle:c
-         | _ -> ());
-         Cycle_system.cycle sys
-       done
-     with e ->
-       Cycle_system.reset sys;
-       raise e);
-    let result = probe_histories sys in
-    Cycle_system.reset sys;
-    result
-  in
-  let h_poke ~cycle = function
-    | Reg_bit { t_reg; t_bit } ->
-      let r = regs.(t_reg) in
-      let v = Signal.Reg.value r in
-      (* Registers may hold values in a wider expression format than the
-         declared one; flip within the stored width. *)
-      let b = min t_bit ((Fixed.fmt v).Fixed.width - 1) in
-      Signal.Reg.set_value r (Fixed.flip_bit v b)
-    | State_bit { t_comp; t_bit } ->
-      let cname, fsm = comps.(t_comp) in
-      let n = List.length (Fsm.states fsm) in
-      let s' = Fsm.state_index (Fsm.current fsm) lxor (1 lsl t_bit) in
-      if s' < 0 || s' >= n then
-        raise (invalid_state_error ~engine:"interp" ~construct:cname ~cycle s' n)
-      else Fsm.force_state fsm s'
-  in
-  { h_engine = "interp"; h_run; h_poke }
-
-let compiled_harness sys ~cycles =
-  Cycle_system.reset sys;
-  let prog = Compiled_sim.compile sys in
-  let probes = Cycle_system.probes sys in
-  (* Map timed-component index to the program's component index. *)
-  let comp_index =
-    Array.of_list
-      (List.map
-         (fun (cname, _) ->
-           let rec find i =
-             if i >= Compiled_sim.component_count prog then
-               raise
-                 (Ocapi_error.Error
-                    (Ocapi_error.make Ocapi_error.Internal ~engine:"compiled"
-                       ~construct:cname "component missing from program"))
-             else if fst (Compiled_sim.component_info prog i) = cname then i
-             else find (i + 1)
-           in
-           find 0)
-         (Cycle_system.timed_components sys))
-  in
-  let h_run ~inject =
-    Compiled_sim.reset prog;
-    (try
-       for c = 0 to cycles - 1 do
-         (match inject with
-         | Some (at, poke) when at = c -> poke ~cycle:c
-         | _ -> ());
-         Compiled_sim.step prog
-       done
-     with e ->
-       Compiled_sim.reset prog;
-       raise e);
-    List.map (fun p -> (p, Compiled_sim.output_history prog p)) probes
-  in
-  let h_poke ~cycle = function
-    | Reg_bit { t_reg; t_bit } ->
-      Compiled_sim.flip_register_bit prog t_reg ~bit:t_bit
-    | State_bit { t_comp; t_bit } ->
-      let i = comp_index.(t_comp) in
-      let _, n = Compiled_sim.component_info prog i in
-      let s' = Compiled_sim.component_state prog i lxor (1 lsl t_bit) in
-      ignore cycle;
-      ignore n;
-      Compiled_sim.set_component_state prog i s'
-  in
-  { h_engine = "compiled"; h_run; h_poke }
-
-let rtl_harness ?max_deltas sys ~cycles =
-  Cycle_system.reset sys;
-  let rtl = Rtl.of_system ?max_deltas sys in
-  let probes = Cycle_system.probes sys in
-  let comp_index =
-    Array.of_list
-      (List.map
-         (fun (cname, _) ->
-           let rec find i =
-             if i >= Rtl.component_count rtl then
-               raise
-                 (Ocapi_error.Error
-                    (Ocapi_error.make Ocapi_error.Internal ~engine:"rtl"
-                       ~construct:cname "component missing from elaboration"))
-             else if fst (Rtl.component_info rtl i) = cname then i
-             else find (i + 1)
-           in
-           find 0)
-         (Cycle_system.timed_components sys))
-  in
-  let h_run ~inject =
-    Rtl.reset rtl;
-    (try
-       for c = 0 to cycles - 1 do
-         (match inject with
-         | Some (at, poke) when at = c -> poke ~cycle:c
-         | _ -> ());
-         Rtl.cycle rtl
-       done
-     with e ->
-       Rtl.reset rtl;
-       Cycle_system.reset sys;
-       raise e);
-    let result = List.map (fun p -> (p, Rtl.output_history rtl p)) probes in
-    Cycle_system.reset sys;
-    result
-  in
-  let h_poke ~cycle = function
-    | Reg_bit { t_reg; t_bit } -> Rtl.flip_register_bit rtl t_reg ~bit:t_bit
-    | State_bit { t_comp; t_bit } ->
-      let i = comp_index.(t_comp) in
-      let s' = Rtl.component_state rtl i lxor (1 lsl t_bit) in
-      ignore cycle;
-      Rtl.set_component_state rtl i s'
-  in
-  { h_engine = "rtl"; h_run; h_poke }
-
-let make_harness ?max_deltas ~engine sys ~cycles =
-  match engine with
-  | Interp -> interp_harness sys ~cycles
-  | Compiled -> compiled_harness sys ~cycles
-  | Rtl_sim -> rtl_harness ?max_deltas sys ~cycles
+let poke_target ses = function
+  | Reg_bit { t_reg; t_bit } ->
+    ses.Ocapi_engine.ses_poke_register_bit t_reg ~bit:t_bit
+  | State_bit { t_comp; t_bit } ->
+    let s' =
+      ses.Ocapi_engine.ses_component_state t_comp lxor (1 lsl t_bit)
+    in
+    ses.Ocapi_engine.ses_force_component_state t_comp s'
 
 let control_run ?max_deltas ~engine sys ~cycles =
-  let h = make_harness ?max_deltas ~engine sys ~cycles in
-  h.h_run ~inject:None
+  let ses = make_session ?max_deltas ~engine sys in
+  Fun.protect ~finally:ses.Ocapi_engine.ses_close (fun () ->
+      Ocapi_engine.run ses ~cycles)
 
 (* The oracle: compare faulty probe histories against the fault-free
    run.  A differing token value at the same cycle is silent data
@@ -454,9 +299,13 @@ let seu_targets sys =
   in
   Array.of_list (reg_targets @ state_targets)
 
-let seu_campaign ?(engine = Compiled) ?(runs = 1000) ?(seed = 1) ?max_deltas
+let seu_campaign ?(engine = "compiled") ?(runs = 1000) ?(seed = 1) ?max_deltas
     ?(domains = 1) ?replicate sys ~cycles =
   if cycles <= 0 then invalid_arg "Ocapi_fault.seu_campaign: cycles must be > 0";
+  (* Resolve the engine up front so an unknown name fails before any
+     simulation; the report records the canonical registry name even
+     when an alias was passed. *)
+  let engine = Ocapi_engine.name_of (Ocapi_engine.get engine) in
   let targets = seu_targets sys in
   if Array.length targets = 0 then
     invalid_arg "Ocapi_fault.seu_campaign: design has no architectural state";
@@ -474,16 +323,20 @@ let seu_campaign ?(engine = Compiled) ?(runs = 1000) ?(seed = 1) ?max_deltas
     let at = Random.State.int rng cycles in
     schedule.(i) <- (ti, at)
   done;
-  let simulate_one (h, golden) i =
+  let simulate_one (ses, golden) i =
     let ti, at = schedule.(i) in
     let target, _ = targets.(ti) in
     let outcome =
       match
-        h.h_run ~inject:(Some (at, fun ~cycle -> h.h_poke ~cycle target))
+        Ocapi_engine.run ses ~cycles
+          ~inject:(at, fun () -> poke_target ses target)
       with
-      | faulty -> classify_histories ~engine:h.h_engine golden faulty
+      | faulty ->
+        classify_histories ~engine:ses.Ocapi_engine.ses_engine golden faulty
       | exception e -> (
-        match Flow.classify_exn ~engine:h.h_engine ~cycle:at e with
+        match
+          Flow.classify_exn ~engine:ses.Ocapi_engine.ses_engine ~cycle:at e
+        with
         | Some d -> Detected d
         | None -> raise e)
     in
@@ -495,6 +348,11 @@ let seu_campaign ?(engine = Compiled) ?(runs = 1000) ?(seed = 1) ?max_deltas
         | Detected _ -> "fault.seu.detected");
     outcome
   in
+  (* [make_state] runs serially on the coordinating domain, so plain
+     refs suffice to track replicas (for the shared-state audit) and
+     open sessions (closed after the joins below). *)
+  let replicas = ref [] in
+  let sessions = ref [] in
   let make_state k =
     let s =
       if k = 0 then sys
@@ -509,6 +367,9 @@ let seu_campaign ?(engine = Compiled) ?(runs = 1000) ?(seed = 1) ?max_deltas
                isolated copy of the system)"
         in
         let s = replicate () in
+        Flow.check_replica ~context:"Ocapi_fault.seu_campaign" ~campaign:sys
+          ~seen:!replicas s;
+        replicas := s :: !replicas;
         if Array.length (seu_targets s) <> Array.length targets then
           invalid_arg
             "Ocapi_fault.seu_campaign: ~replicate built a system with a \
@@ -516,13 +377,18 @@ let seu_campaign ?(engine = Compiled) ?(runs = 1000) ?(seed = 1) ?max_deltas
         s
       end
     in
-    let h = make_harness ?max_deltas ~engine s ~cycles in
-    let golden = h.h_run ~inject:None in
-    (h, golden)
+    let ses = make_session ?max_deltas ~engine s in
+    sessions := ses :: !sessions;
+    let golden = Ocapi_engine.run ses ~cycles in
+    (ses, golden)
   in
   let outcomes =
-    Ocapi_parallel.map_tasks ~domains ~make_state ~tasks:runs ~f:simulate_one
-      ()
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun s -> s.Ocapi_engine.ses_close ()) !sessions)
+      (fun () ->
+        Ocapi_parallel.map_tasks ~domains ~make_state ~tasks:runs
+          ~f:simulate_one ())
   in
   let records =
     List.init runs (fun i ->
@@ -534,7 +400,7 @@ let seu_campaign ?(engine = Compiled) ?(runs = 1000) ?(seed = 1) ?max_deltas
   let n_of p = List.length (List.filter p records) in
   {
     seu_design = Cycle_system.name sys;
-    seu_engine = engine_label engine;
+    seu_engine = engine;
     seu_runs = runs;
     seu_cycles = cycles;
     seu_seed = seed;

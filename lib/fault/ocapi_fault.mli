@@ -88,14 +88,13 @@ val stuck_at_system :
   cycles:int ->
   stuck_report
 
-(** {1 SEU (transient bit-flip) campaigns} *)
+(** {1 SEU (transient bit-flip) campaigns}
 
-type engine = Interp | Compiled | Rtl_sim
-
-(** ["interp"], ["compiled"], ["rtl"]. *)
-val engine_label : engine -> string
-
-val engine_of_label : string -> engine option
+    Campaigns run on any cycle engine of the {!Ocapi_engine} registry,
+    selected by name (["interp"], ["compiled"], ["rtl"], or an alias);
+    injection goes through the uniform session poke surface, so adding
+    an engine to the registry makes it campaign-capable with no change
+    here. *)
 
 (** What a run flips: one bit of one register (indexed in
     [Cycle_system.all_regs] order), or one bit of one timed component's
@@ -141,11 +140,13 @@ type seu_report = {
 }
 
 (** [seu_campaign sys ~cycles] runs [runs] (default 1000) independent
-    simulations of [cycles] cycles on [engine] (default {!Compiled}).
-    Run [i] flips one seeded-random state bit at one seeded-random
-    cycle; outcomes are classified against the fault-free run of the
-    same engine.  [max_deltas] is the RTL engine's delta watchdog.
-    Deterministic: same [seed] (default 1), same report.
+    simulations of [cycles] cycles on the registry engine named
+    [engine] (default ["compiled"]; the report records the canonical
+    registry name even when an alias was passed).  Run [i] flips one
+    seeded-random state bit at one seeded-random cycle; outcomes are
+    classified against the fault-free run of the same engine.
+    [max_deltas] is the RTL engine's delta watchdog.  Deterministic:
+    same [seed] (default 1), same report.
 
     [domains] (default [1] = the serial path) distributes the runs over
     an {!Ocapi_parallel} pool.  The whole injection schedule is drawn
@@ -153,14 +154,18 @@ type seu_report = {
     merged by index, so the report is bit-identical to the serial run
     for any [domains].  Worker 0 reuses [sys]; each further worker
     needs its own isolated copy of the design, built by [replicate]
-    (engines cache compiled state inside the system, so systems cannot
-    be shared across domains).
+    (engine sessions cache compiled state inside — or aliasing — the
+    system, so systems cannot be shared across domains).
 
+    @raise Ocapi_error.Error with code [Unsupported] on an unknown
+    engine name, and with code [Shared_state] if [replicate] hands a
+    worker the campaign system itself, the same system twice, or a
+    system with live engine sessions ({!Flow.check_replica}).
     @raise Invalid_argument if [domains > 1] without [replicate], or if
     [replicate] builds a system whose fault-target universe differs
     from [sys]'s. *)
 val seu_campaign :
-  ?engine:engine ->
+  ?engine:string ->
   ?runs:int ->
   ?seed:int ->
   ?max_deltas:int ->
@@ -170,12 +175,13 @@ val seu_campaign :
   cycles:int ->
   seu_report
 
-(** The campaign harness run with {e no} injection — must be bit-
+(** The campaign session run with {e no} injection — must be bit-
     identical to the plain engine run (the zero-fault control of the
-    test suite). *)
+    test suite).  [engine] is a registry name, as for
+    {!seu_campaign}. *)
 val control_run :
   ?max_deltas:int ->
-  engine:engine ->
+  engine:string ->
   Cycle_system.t ->
   cycles:int ->
   (string * (int * Fixed.t) list) list

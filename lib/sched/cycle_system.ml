@@ -33,6 +33,7 @@ type t = {
   mutable tokens_transferred : int;
   mutable eval_iterations : int;
   mutable untimed_fires : int;
+  mutable s_attached : string list;  (* engine names of open sessions *)
 }
 
 let create ?(clock = Clock.default) s_name =
@@ -47,7 +48,21 @@ let create ?(clock = Clock.default) s_name =
     tokens_transferred = 0;
     eval_iterations = 0;
     untimed_fires = 0;
+    s_attached = [];
   }
+
+let attach_engine t engine = t.s_attached <- engine :: t.s_attached
+
+let detach_engine t engine =
+  (* Remove one occurrence: nested sessions of the same engine each
+     hold their own mark. *)
+  let rec drop = function
+    | [] -> []
+    | e :: rest -> if e = engine then rest else e :: drop rest
+  in
+  t.s_attached <- drop t.s_attached
+
+let attached_engines t = t.s_attached
 
 let name t = t.s_name
 let component_name c = c.c_name
@@ -717,6 +732,150 @@ let to_dot t =
     (nets_in_order t);
   pf "}\n";
   Buffer.contents buf
+
+(* --- canonical structural digest ---------------------------------------- *)
+
+(* The rendering below is the design's canonical identity: everything
+   structural (topology, formats, expressions, FSMs, ROM contents,
+   firing rules) and nothing incidental (global instance counters,
+   construction order of components and nets, closures).  Shared
+   expression nodes are numbered in traversal order, so two builds of
+   the same design — even under different instance-counter offsets —
+   produce byte-identical renderings. *)
+let digest t =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let fmt_s = Fixed.format_to_string in
+  let rounding_s = function
+    | Fixed.Truncate -> "trunc"
+    | Fixed.Round_nearest -> "nearest"
+    | Fixed.Round_even -> "even"
+  in
+  let overflow_s = function Fixed.Wrap -> "wrap" | Fixed.Saturate -> "sat" in
+  let reg_s r =
+    Printf.sprintf "%s:%s=%s@%s" (Signal.Reg.name r)
+      (fmt_s (Signal.Reg.fmt r))
+      (Fixed.to_string (Signal.Reg.init r))
+      (Clock.name (Signal.Reg.clock r))
+  in
+  (* Local DAG numbering: global node ids key the memo table but never
+     reach the buffer. *)
+  let local = Hashtbl.create 256 in
+  let next = ref 0 in
+  let rec expr e =
+    match Hashtbl.find_opt local (Signal.id e) with
+    | Some k -> pf "#%d;" k
+    | None ->
+      Hashtbl.add local (Signal.id e) !next;
+      incr next;
+      pf "(%s " (fmt_s (Signal.fmt e));
+      (match Signal.op e with
+      | Signal.Const v -> pf "const %s" (Fixed.to_string v)
+      | Signal.Input_read i ->
+        pf "in %s:%s" (Signal.Input.name i) (fmt_s (Signal.Input.fmt i))
+      | Signal.Reg_read r -> pf "reg %s" (reg_s r)
+      | Signal.Add (a, b) -> pf "add "; expr a; expr b
+      | Signal.Sub (a, b) -> pf "sub "; expr a; expr b
+      | Signal.Mul (a, b) -> pf "mul "; expr a; expr b
+      | Signal.Neg a -> pf "neg "; expr a
+      | Signal.Abs a -> pf "abs "; expr a
+      | Signal.And (a, b) -> pf "and "; expr a; expr b
+      | Signal.Or (a, b) -> pf "or "; expr a; expr b
+      | Signal.Xor (a, b) -> pf "xor "; expr a; expr b
+      | Signal.Not a -> pf "not "; expr a
+      | Signal.Eq (a, b) -> pf "eq "; expr a; expr b
+      | Signal.Lt (a, b) -> pf "lt "; expr a; expr b
+      | Signal.Le (a, b) -> pf "le "; expr a; expr b
+      | Signal.Mux (s, a, b) -> pf "mux "; expr s; expr a; expr b
+      | Signal.Resize (r, o, a) ->
+        pf "resize %s %s " (rounding_s r) (overflow_s o);
+        expr a
+      | Signal.Rom_read (rom, a) ->
+        pf "rom %s:%s[%d]{" (Signal.Rom.name rom)
+          (fmt_s (Signal.Rom.fmt rom))
+          (Signal.Rom.size rom);
+        for i = 0 to Signal.Rom.size rom - 1 do
+          pf "%Ld," (Fixed.mantissa (Signal.Rom.get rom i))
+        done;
+        pf "} ";
+        expr a
+      | Signal.Shift_left (a, k) -> pf "shl %d " k; expr a
+      | Signal.Shift_right (a, k) -> pf "shr %d " k; expr a);
+      pf ")"
+  in
+  let sfg s =
+    pf "sfg %s ins[" (Sfg.name s);
+    List.iter
+      (fun i ->
+        pf "%s:%s," (Signal.Input.name i) (fmt_s (Signal.Input.fmt i)))
+      (Sfg.inputs s);
+    pf "] outs[";
+    List.iter
+      (fun (port, e) ->
+        pf "%s=" port;
+        expr e;
+        pf ",")
+      (Sfg.outputs s);
+    pf "] assigns[";
+    List.iter
+      (fun (r, e) ->
+        pf "%s<-" (reg_s r);
+        expr e;
+        pf ",")
+      (Sfg.assigns s);
+    pf "]\n"
+  in
+  let fsm f =
+    pf "fsm %s states[" (Fsm.name f);
+    List.iter (fun s -> pf "%s," (Fsm.state_name s)) (Fsm.states f);
+    pf "] initial %s\n" (Fsm.state_name (Fsm.initial_state f));
+    List.iter (fun s -> sfg s) (Fsm.all_sfgs f);
+    List.iter
+      (fun tr ->
+        pf "tr %s -[" (Fsm.state_name tr.Fsm.t_from);
+        expr (Fsm.guard_expr tr.Fsm.t_guard);
+        pf "]-> %s {" (Fsm.state_name tr.Fsm.t_goto);
+        List.iter (fun s -> pf "%s," (Sfg.name s)) tr.Fsm.t_actions;
+        pf "}\n")
+      (Fsm.transitions f)
+  in
+  pf "system %s clock %s\n" t.s_name (Clock.name t.clock);
+  let comps =
+    List.sort (fun a b -> String.compare a.c_name b.c_name) t.comps
+  in
+  List.iter
+    (fun c ->
+      match c.c_kind with
+      | Timed f ->
+        pf "timed %s " c.c_name;
+        fsm f
+      | Untimed k ->
+        (* Firing rule and declared formats are structural; the
+           behaviour closure is opaque (documented digest limit). *)
+        pf "untimed %s ins[" c.c_name;
+        List.iter (fun (p, r) -> pf "%s*%d," p r) k.Dataflow.Kernel.k_inputs;
+        pf "] outs[";
+        List.iter (fun (p, r) -> pf "%s*%d," p r) k.Dataflow.Kernel.k_outputs;
+        pf "] formats[";
+        List.iter
+          (fun (p, f) -> pf "%s:%s," p (fmt_s f))
+          (List.sort compare k.Dataflow.Kernel.k_formats);
+        pf "]\n"
+      | Primary_input (f, _stim) -> pf "input %s:%s\n" c.c_name (fmt_s f)
+      | Primary_output -> pf "output %s\n" c.c_name)
+    comps;
+  List.iter
+    (fun n ->
+      let d, dp = n.n_driver in
+      pf "net %s %s.%s ->" n.n_name d.c_name dp;
+      List.iter
+        (fun (s, sp) -> pf " %s.%s" s.c_name sp)
+        (List.sort
+           (fun (a, ap) (b, bp) -> compare (a.c_name, ap) (b.c_name, bp))
+           n.n_sinks);
+      pf "\n")
+    (List.sort (fun a b -> String.compare a.n_name b.n_name) t.s_nets);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 type stats = {
   cycles : int;

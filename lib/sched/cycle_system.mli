@@ -158,6 +158,39 @@ val net_formats : t -> (string, Fixed.format) Hashtbl.t
 (** All registers of all timed components. *)
 val all_regs : t -> Signal.Reg.t list
 
+(** {1 Canonical structural digest}
+
+    [digest t] is a hex MD5 of a canonical rendering of the captured
+    structure: components (sorted by name) with their FSMs, SFG
+    expression DAGs, registers (name/format/init), ROM contents,
+    kernel firing rules and declared port formats, primary input
+    formats, and the interconnect (nets sorted by name).
+
+    The rendering never uses the global instance counters of signals,
+    registers or inputs — shared expression nodes are numbered in
+    traversal order — so the same design built twice, in the same or
+    another process, under any instance-counter offsets, hashes equal;
+    any wordlength or topology edit hashes different.
+
+    Not covered (documented limits): primary-input {e stimulus}
+    closures and untimed kernels' behaviour closures are opaque —
+    result caches must fingerprint stimuli separately (see
+    [Flow.Cache]). *)
+val digest : t -> string
+
+(** {1 Engine attachment}
+
+    Engine sessions ([Ocapi_engine]) mark the systems they elaborate:
+    compiled programs and RTL elaborations cache state derived from
+    (or aliasing — the RTL engine shares the register objects) the
+    system, so a system with a live session must not be handed to
+    another engine or worker domain.  [attached_engines] lists the
+    engine names of currently open sessions, most recent first. *)
+
+val attach_engine : t -> string -> unit
+val detach_engine : t -> string -> unit
+val attached_engines : t -> string list
+
 (** Graphviz dot rendering of the component/interconnect structure —
     the textual twin of the paper's architecture diagrams (figs 1, 5,
     6).  Timed components are boxes, untimed components (RAM cells)

@@ -9,6 +9,7 @@ let () =
       ("dataflow", Test_dataflow.suite);
       ("sched", Test_sched.suite);
       ("engines", Test_engines.suite);
+      ("engine", Test_engine.suite);
       ("netlist", Test_netlist.suite);
       ("sop", Test_sop.suite);
       ("wordgen", Test_wordgen.suite);

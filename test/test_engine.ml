@@ -1,0 +1,252 @@
+(* Tests for the ENGINE registry and its supporting machinery: the
+   canonical design digest (stability across rebuilds and global
+   instance-counter offsets, sensitivity to wordlength and topology
+   edits), registry lookup and aliasing, the keyed result cache
+   (warm-vs-cold bit-identity on every engine, memory and disk hits),
+   and the replicate shared-state footgun detection. *)
+
+let s8 = Fixed.signed ~width:8 ~frac:0
+let clk = Clock.default
+
+(* A small accumulator design, parameterized so the digest tests can
+   make targeted edits: [width] changes only a register/net wordlength,
+   [tap] changes only the interconnect topology. *)
+let tiny ?(width = 8) ?(tap = false) () =
+  let fmt = Fixed.signed ~width ~frac:0 in
+  let acc = Signal.Reg.create clk "tiny_acc" fmt in
+  let sfg =
+    Sfg.build "tiny_step" (fun b ->
+        let x = Sfg.Builder.input b "x" fmt in
+        Sfg.Builder.output b "y"
+          (Signal.resize ~overflow:Fixed.Saturate fmt
+             Signal.(x +: reg_q acc));
+        Sfg.Builder.assign_resized b acc Signal.(x -: reg_q acc))
+  in
+  let fsm = Fsm.create "tiny_ctl" in
+  let s0 = Fsm.initial fsm "s0" in
+  Fsm.(s0 |-- always |+ sfg |-> s0);
+  let sys = Cycle_system.create "tiny" in
+  let t = Cycle_system.add_timed sys "t" fsm in
+  let stim =
+    Cycle_system.add_input sys "x_in" fmt (fun c ->
+        Some (Fixed.of_int fmt ((c mod 5) - 2)))
+  in
+  let p = Cycle_system.add_output sys "y_out" in
+  ignore (Cycle_system.connect sys (stim, "out") [ (t, "x") ]);
+  let y_sinks =
+    if tap then
+      [ (p, "in"); (Cycle_system.add_output sys "y_tap", "in") ]
+    else [ (p, "in") ]
+  in
+  ignore (Cycle_system.connect sys (t, "y") y_sinks);
+  sys
+
+(* --- digest stability ------------------------------------------------------- *)
+
+let test_digest_built_twice_equal () =
+  Alcotest.(check string)
+    "same construction, same digest"
+    (Cycle_system.digest (tiny ()))
+    (Cycle_system.digest (tiny ()))
+
+(* The digest must be derived from the structure alone, never from the
+   global signal/register instance counters: building unrelated designs
+   in between (which advances every counter) must not change it. *)
+let test_digest_instance_counter_independent () =
+  let d1 = Cycle_system.digest (tiny ()) in
+  for i = 0 to 9 do
+    ignore (Signal.Reg.create clk (Printf.sprintf "spacer_%d" i) s8)
+  done;
+  ignore (tiny ~width:11 ());
+  let d2 = Cycle_system.digest (tiny ()) in
+  Alcotest.(check string) "digest survives counter offsets" d1 d2
+
+let test_digest_wordlength_sensitive () =
+  Alcotest.(check bool)
+    "wordlength edit changes the digest" false
+    (Cycle_system.digest (tiny ~width:8 ())
+    = Cycle_system.digest (tiny ~width:9 ()))
+
+let test_digest_topology_sensitive () =
+  Alcotest.(check bool)
+    "topology edit changes the digest" false
+    (Cycle_system.digest (tiny ())
+    = Cycle_system.digest (tiny ~tap:true ()))
+
+(* --- registry --------------------------------------------------------------- *)
+
+let test_registry_names_and_aliases () =
+  Alcotest.(check (list string))
+    "registry order is the Table 1 order"
+    [ "interp"; "compiled"; "rtl" ]
+    (Ocapi_engine.names ());
+  let name n =
+    match Ocapi_engine.find n with
+    | Some e -> Ocapi_engine.name_of e
+    | None -> Alcotest.failf "engine %S not found" n
+  in
+  Alcotest.(check string) "canonical name" "interp" (name "interp");
+  Alcotest.(check string) "alias interpreted" "interp" (name "interpreted");
+  Alcotest.(check string) "alias rtl-sim" "rtl" (name "rtl-sim");
+  Alcotest.(check bool) "unknown name" true (Ocapi_engine.find "gates" = None)
+
+let test_unknown_engine_structured_error () =
+  match Flow.simulate ~engine:"bogus" (tiny ()) ~cycles:4 with
+  | _ -> Alcotest.fail "expected Ocapi_error.Error"
+  | exception Ocapi_error.Error e ->
+    Alcotest.(check bool)
+      "code is Unsupported" true
+      (e.Ocapi_error.e_code = Ocapi_error.Unsupported);
+    Alcotest.(check bool)
+      "message names the registry" true
+      (String.length e.Ocapi_error.e_message > 0)
+
+(* Sessions mark their system while open and unmark it on close, which
+   is what the replicate footgun detection keys on. *)
+let test_session_attach_detach () =
+  let sys = tiny () in
+  Alcotest.(check (list string))
+    "fresh system unowned" [] (Cycle_system.attached_engines sys);
+  let module E = (val Ocapi_engine.get "interp") in
+  let ses = E.make sys in
+  Alcotest.(check (list string))
+    "open session owns it" [ "interp" ]
+    (Cycle_system.attached_engines sys);
+  ses.Ocapi_engine.ses_close ();
+  ses.Ocapi_engine.ses_close () (* idempotent *);
+  Alcotest.(check (list string))
+    "closed session released it" [] (Cycle_system.attached_engines sys)
+
+(* --- the keyed result cache -------------------------------------------------- *)
+
+let with_cache f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ocapi_cache_test_%d" (Unix.getpid ()))
+  in
+  Flow.Cache.enable ~dir ();
+  Flow.Cache.clear ();
+  Flow.Cache.reset_stats ();
+  Fun.protect
+    ~finally:(fun () ->
+      Flow.Cache.disable ();
+      Flow.Cache.clear ();
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f ())
+
+(* A warm run must be bit-identical to the cold run on every registry
+   engine, and count one hit per engine. *)
+let test_cache_warm_identical_all_engines () =
+  with_cache (fun () ->
+      let sys = tiny () in
+      let cycles = 24 in
+      List.iter
+        (fun e ->
+          let engine = Ocapi_engine.name_of e in
+          let cold = Flow.simulate ~engine sys ~cycles in
+          let warm = Flow.simulate ~engine sys ~cycles in
+          Alcotest.(check bool)
+            (engine ^ " warm = cold") true (cold = warm);
+          Alcotest.(check bool)
+            (engine ^ " histories non-empty") true
+            (List.exists (fun (_, h) -> h <> []) cold))
+        (Ocapi_engine.all ());
+      let st = Flow.Cache.stats () in
+      Alcotest.(check int) "one hit per engine" 3 st.Flow.Cache.hits;
+      Alcotest.(check int) "one miss per engine" 3 st.Flow.Cache.misses;
+      Alcotest.(check int) "one entry per engine" 3 st.Flow.Cache.entries)
+
+(* Key discrimination: a different engine, seed or cycle count must not
+   be served from an existing entry. *)
+let test_cache_key_discriminates () =
+  with_cache (fun () ->
+      let sys = tiny () in
+      ignore (Flow.simulate ~engine:"interp" sys ~cycles:16);
+      ignore (Flow.simulate ~engine:"compiled" sys ~cycles:16);
+      ignore (Flow.simulate ~engine:"interp" ~seed:1 sys ~cycles:16);
+      ignore (Flow.simulate ~engine:"interp" sys ~cycles:17);
+      let st = Flow.Cache.stats () in
+      Alcotest.(check int) "four distinct keys" 4 st.Flow.Cache.misses;
+      Alcotest.(check int) "no false hits" 0 st.Flow.Cache.hits)
+
+(* Dropping the in-memory table must leave the disk store serving warm
+   runs, still bit-identically. *)
+let test_cache_disk_roundtrip () =
+  with_cache (fun () ->
+      let sys = tiny () in
+      let cold = Flow.simulate ~engine:"compiled" sys ~cycles:20 in
+      Flow.Cache.clear () (* memory gone, disk survives *);
+      let warm = Flow.simulate ~engine:"compiled" sys ~cycles:20 in
+      Alcotest.(check bool) "disk warm = cold" true (cold = warm);
+      let st = Flow.Cache.stats () in
+      Alcotest.(check bool) "disk hit recorded" true
+        (st.Flow.Cache.disk_hits >= 1);
+      Alcotest.(check bool) "entry written to disk" true
+        (st.Flow.Cache.disk_writes >= 1))
+
+(* --- the replicate footgun --------------------------------------------------- *)
+
+let shared_state_code = function
+  | Ocapi_error.Error e -> e.Ocapi_error.e_code = Ocapi_error.Shared_state
+  | _ -> false
+
+let test_replicate_returns_campaign_rejected () =
+  let sys = tiny () in
+  match
+    Flow.engine_disagreements ~domains:2 ~replicate:(fun () -> sys) sys
+      ~cycles:8
+  with
+  | _ -> Alcotest.fail "expected Shared_state error"
+  | exception e ->
+    Alcotest.(check bool)
+      "structured Shared_state error" true (shared_state_code e)
+
+let test_replicate_live_session_rejected () =
+  let sys = tiny () in
+  let replica = tiny () in
+  let module E = (val Ocapi_engine.get "compiled") in
+  let ses = E.make replica in
+  Fun.protect ~finally:ses.Ocapi_engine.ses_close (fun () ->
+      match
+        Ocapi_fault.seu_campaign ~runs:4 ~domains:2
+          ~replicate:(fun () -> replica)
+          sys ~cycles:8
+      with
+      | _ -> Alcotest.fail "expected Shared_state error"
+      | exception e ->
+        Alcotest.(check bool)
+          "session-owned replica rejected" true (shared_state_code e))
+
+let suite =
+  [
+    Alcotest.test_case "digest: built twice, equal" `Quick
+      test_digest_built_twice_equal;
+    Alcotest.test_case "digest: instance-counter independent" `Quick
+      test_digest_instance_counter_independent;
+    Alcotest.test_case "digest: wordlength sensitive" `Quick
+      test_digest_wordlength_sensitive;
+    Alcotest.test_case "digest: topology sensitive" `Quick
+      test_digest_topology_sensitive;
+    Alcotest.test_case "registry names and aliases" `Quick
+      test_registry_names_and_aliases;
+    Alcotest.test_case "unknown engine is a structured error" `Quick
+      test_unknown_engine_structured_error;
+    Alcotest.test_case "sessions mark and release their system" `Quick
+      test_session_attach_detach;
+    Alcotest.test_case "cache: warm = cold on all engines" `Quick
+      test_cache_warm_identical_all_engines;
+    Alcotest.test_case "cache: key discriminates" `Quick
+      test_cache_key_discriminates;
+    Alcotest.test_case "cache: disk round-trip" `Quick
+      test_cache_disk_roundtrip;
+    Alcotest.test_case "replicate: campaign system rejected" `Quick
+      test_replicate_returns_campaign_rejected;
+    Alcotest.test_case "replicate: live session rejected" `Quick
+      test_replicate_live_session_rejected;
+  ]

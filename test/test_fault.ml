@@ -28,27 +28,20 @@ let hcor_design () =
 (* The SEU harness run with no injection must be bit-identical to the
    plain engine run: the campaign machinery itself must not perturb
    the simulation. *)
-let check_control engine plain =
+let check_control engine =
   let cycles = 48 in
-  let golden = plain (dect_design ()) ~cycles in
+  let golden = Flow.simulate ~engine (dect_design ()) ~cycles in
   let control = Ocapi_fault.control_run ~engine (dect_design ()) ~cycles in
   match Flow.first_history_mismatch golden control with
   | None -> ()
   | Some (probe, cycle, detail) ->
-    Alcotest.failf "%s control diverged at probe %s%s: %s"
-      (Ocapi_fault.engine_label engine)
-      probe
+    Alcotest.failf "%s control diverged at probe %s%s: %s" engine probe
       (match cycle with Some c -> Printf.sprintf " cycle %d" c | None -> "")
       detail
 
-let test_control_interp () =
-  check_control Ocapi_fault.Interp (fun sys -> Flow.simulate sys)
-
-let test_control_compiled () =
-  check_control Ocapi_fault.Compiled (fun sys -> Flow.simulate_compiled sys)
-
-let test_control_rtl () =
-  check_control Ocapi_fault.Rtl_sim (fun sys -> Flow.simulate_rtl sys)
+let test_control_interp () = check_control "interp"
+let test_control_compiled () = check_control "compiled"
+let test_control_rtl () = check_control "rtl"
 
 (* --- stuck-at on a hand-computed netlist ----------------------------------- *)
 
@@ -155,7 +148,7 @@ let test_oscillation_diagnosed () =
 
 let test_seu_deterministic () =
   let run () =
-    Ocapi_fault.seu_campaign ~engine:Ocapi_fault.Compiled ~runs:120 ~seed:7
+    Ocapi_fault.seu_campaign ~engine:"compiled" ~runs:120 ~seed:7
       (dect_design ()) ~cycles:32
   in
   let r1 = run () and r2 = run () in
@@ -178,9 +171,9 @@ let test_seu_targets_engine_independent () =
       (fun run -> (run.Ocapi_fault.run_label, run.Ocapi_fault.run_cycle))
       r.Ocapi_fault.seu_records
   in
-  let li = labels Ocapi_fault.Interp in
-  let lc = labels Ocapi_fault.Compiled in
-  let lr = labels Ocapi_fault.Rtl_sim in
+  let li = labels "interp" in
+  let lc = labels "compiled" in
+  let lr = labels "rtl" in
   Alcotest.(check bool) "interp = compiled targets" true (li = lc);
   Alcotest.(check bool) "compiled = rtl targets" true (lc = lr)
 

@@ -233,6 +233,32 @@ let test_trace_json () =
   Alcotest.(check int) "cleared" 0 (Ocapi_obs.event_count ());
   Ocapi_obs.reset ()
 
+(* 1-in-N span sampling: per name, the first span is kept, the next
+   N-1 are dropped (and counted), independently of other names. *)
+let test_span_sampling () =
+  Ocapi_obs.reset ();
+  Ocapi_obs.enable ();
+  Ocapi_obs.set_span_sampling 4;
+  Alcotest.(check int) "factor readable" 4 (Ocapi_obs.span_sampling_factor ());
+  for _ = 1 to 10 do
+    Ocapi_obs.with_span "sampled.a" (fun () -> ())
+  done;
+  Ocapi_obs.with_span "sampled.b" (fun () -> ());
+  (* a: spans 1, 5 and 9 kept; b: its own counter, first span kept *)
+  Alcotest.(check int) "kept 1-in-4 per name" 4 (Ocapi_obs.event_count ());
+  Alcotest.(check int) "dropped spans counted" 7
+    (Ocapi_obs.sampled_out_spans ());
+  Ocapi_obs.clear_trace ();
+  (* clear_trace restarts the per-name counters *)
+  Ocapi_obs.with_span "sampled.a" (fun () -> ());
+  Alcotest.(check int) "counters restart after clear" 1
+    (Ocapi_obs.event_count ());
+  (match Ocapi_obs.set_span_sampling 0 with
+  | () -> Alcotest.fail "factor 0 accepted"
+  | exception Invalid_argument _ -> ());
+  Ocapi_obs.set_span_sampling 1;
+  Ocapi_obs.reset ()
+
 let test_disabled_spans_are_free () =
   Ocapi_obs.reset ();
   let t0 = Ocapi_obs.span_begin () in
@@ -340,6 +366,7 @@ let suite =
     Alcotest.test_case "counter and gauge semantics" `Quick test_counters;
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
     Alcotest.test_case "trace JSON well-formed" `Quick test_trace_json;
+    Alcotest.test_case "span sampling 1-in-N" `Quick test_span_sampling;
     Alcotest.test_case "disabled path records nothing" `Quick
       test_disabled_spans_are_free;
     Alcotest.test_case "instrumented run equals plain run" `Quick

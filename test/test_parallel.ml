@@ -96,17 +96,12 @@ let check_seu_parallel engine sys_of =
     (fun domains ->
       let par = run domains in
       Alcotest.(check bool)
-        (Printf.sprintf "%s report at %d domains = serial"
-           (Ocapi_fault.engine_label engine)
-           domains)
+        (Printf.sprintf "%s report at %d domains = serial" engine domains)
         true (par = serial))
     [ 2; 4 ]
 
-let test_seu_parallel_compiled () =
-  check_seu_parallel Ocapi_fault.Compiled dect_design
-
-let test_seu_parallel_interp () =
-  check_seu_parallel Ocapi_fault.Interp hcor_design
+let test_seu_parallel_compiled () = check_seu_parallel "compiled" dect_design
+let test_seu_parallel_interp () = check_seu_parallel "interp" hcor_design
 
 let test_seu_parallel_needs_replicate () =
   match
@@ -138,8 +133,8 @@ let test_parallel_telemetry_counters () =
     Ocapi_obs.reset ();
     Ocapi_obs.enable ();
     ignore
-      (Ocapi_fault.seu_campaign ~engine:Ocapi_fault.Compiled ~runs:30 ~seed:3
-         ~domains ~replicate:dect_design (dect_design ()) ~cycles:16);
+      (Ocapi_fault.seu_campaign ~engine:"compiled" ~runs:30 ~seed:3 ~domains
+         ~replicate:dect_design (dect_design ()) ~cycles:16);
     let snap =
       List.filter_map
         (fun (name, v) ->
