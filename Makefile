@@ -1,14 +1,20 @@
-.PHONY: all build doc test bench bench-json bench-par cache-stats fault profile clean
+.PHONY: all build doc test bench bench-json bench-par bench-batch bench-smoke \
+	cache-stats fault batch profile ci-determinism ci-local clean
 
 all: build doc
 
 build:
 	dune build
 
-# API documentation: odoc over every public .mli.  When the odoc binary
-# is not installed, `dune build @doc` is an empty alias and succeeds
-# silently — the odoc comments still serve as in-source reference.
+# API documentation: odoc over every public .mli.  Without the odoc
+# binary `dune build @doc` is an empty alias that succeeds silently —
+# which would let CI report green docs it never built — so the target
+# fails loudly when odoc is absent.
 doc:
+	@command -v odoc >/dev/null 2>&1 || { \
+	  echo "error: odoc is not installed (opam install odoc);" \
+	       "refusing to pretend the docs built" >&2; \
+	  exit 1; }
 	dune build @doc
 
 test:
@@ -36,6 +42,17 @@ cache-stats:
 bench-par: build
 	dune exec bench/main.exe -- par
 
+# Batch service throughput: a mixed duplicated manifest through the job
+# queue on 2 worker domains; writes ./BENCH_batch.json (jobs/sec, queue
+# wait p50/p95, dedup hit rate).
+bench-batch: build
+	dune exec bench/main.exe -- batch
+
+# The CI smoke stage: every BENCH_*.json writer at a size that finishes
+# in seconds (BENCH_table1 / fault / batch / cache).
+bench-smoke: build
+	dune exec bench/main.exe -- smoke
+
 # Fault campaigns: a small deterministic DECT SEU campaign (seeded, so
 # repeated runs print the same classification table) plus the bench
 # target that writes ./BENCH_fault.json (coverage %, runs/sec).
@@ -44,10 +61,25 @@ fault: build
 	dune exec bin/ocapi_cli.exe -- fault --design dect --campaign seu --runs 200 --seed 1
 	dune exec bench/main.exe -- fault
 
+# Batch mode demo: the example manifest through the job queue on two
+# domains, artifacts under _generated/batch/.
+batch: build
+	dune exec bin/ocapi_cli.exe -- batch --manifest examples/jobs.jsonl --domains 2
+
 # Telemetry demo: metrics report + Chrome trace for the DECT compiled
 # simulator (open the .trace.json in https://ui.perfetto.dev).
 profile: build
 	dune exec bin/ocapi_cli.exe -- profile --design dect --engine compiled
+
+# The CI determinism gate: serial vs --domains 2 campaign reports and
+# batch artifact trees must be bit-identical.
+ci-determinism: build
+	scripts/determinism_gate.sh
+
+# The whole CI pipeline, run locally (build, docs when odoc exists,
+# tests, determinism gate, bench smoke) — an `act`-equivalent dry run.
+ci-local:
+	scripts/ci_local.sh
 
 clean:
 	dune clean

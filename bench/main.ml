@@ -4,6 +4,7 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- t1      -- one target
      targets: t1 t1-json c3 c4 c5 c6 f5 figs fault par micro cache cache-stats
+              batch smoke
 
    T1  Table 1 (source lines / cycles-per-second / process size for
        HCOR and DECT under four simulation engines); also written
@@ -22,7 +23,12 @@
    micro  Bechamel micro-benchmarks of the engines' single cycles
    cache  Flow.Cache cold-vs-warm runs per registry engine, with a
        bit-identity check; written machine-readably to BENCH_cache.json
-   cache-stats  print the hit/miss counters recorded in BENCH_cache.json *)
+   cache-stats  print the hit/miss counters recorded in BENCH_cache.json
+   batch  Ocapi_batch job-queue throughput, queue-latency percentiles and
+       dedup hit rate over a mixed duplicated manifest; written
+       machine-readably to BENCH_batch.json (`make bench-batch`)
+   smoke  the CI smoke stage: every BENCH_*.json writer at a size that
+       finishes in seconds (`make bench-smoke`) *)
 
 let hcor_design () =
   let bits = Dect_stimuli.burst ~seed:1 () in
@@ -485,11 +491,13 @@ let micro () =
 
 (* ---- fault: fault-campaign coverage and throughput ----------------------- *)
 
-let fault_bench () =
+(* [sa_faults]/[seu_runs] scale the campaigns: the default is the full
+   benchmark, the CI smoke stage passes small values (see [smoke]). *)
+let fault_bench ?(sa_faults = 200) ?(seu_runs = 1000) () =
   print_endline "== fault: stuck-at coverage and SEU campaign throughput ==";
   let t0 = Unix.gettimeofday () in
   let sa =
-    Ocapi_fault.stuck_at_system ~max_faults:200 ~seed:1 (hcor_design ())
+    Ocapi_fault.stuck_at_system ~max_faults:sa_faults ~seed:1 (hcor_design ())
       ~cycles:24
   in
   let sa_seconds = Unix.gettimeofday () -. t0 in
@@ -503,7 +511,7 @@ let fault_bench () =
     sa_rate;
   let t1 = Unix.gettimeofday () in
   let seu =
-    Ocapi_fault.seu_campaign ~engine:"compiled" ~runs:1000 ~seed:1
+    Ocapi_fault.seu_campaign ~engine:"compiled" ~runs:seu_runs ~seed:1
       (dect_design ()) ~cycles:64
   in
   let seu_seconds = Unix.gettimeofday () -. t1 in
@@ -680,6 +688,161 @@ let cache_bench () =
   Flow.Cache.clear ();
   print_newline ()
 
+(* ---- batch: job-queue throughput, queue latency and dedup ------------------ *)
+
+(* A mixed campaign manifest with systematic duplicates: every job is
+   submitted twice, so half the submissions should coalesce.  [seeds]
+   scales the SEU sweep; the smoke stage shrinks everything. *)
+let batch_requests ~seeds ~seu_runs =
+  let open Ocapi_batch in
+  let base =
+    List.concat
+      [
+        List.concat_map
+          (fun seed ->
+            [
+              {
+                rq_job =
+                  Seu
+                    {
+                      seu_design = "hcor";
+                      seu_engine = "compiled";
+                      seu_runs;
+                      seu_cycles = 32;
+                      seu_seed = seed;
+                    };
+                rq_priority = Normal;
+                rq_timeout = None;
+                rq_label = None;
+              };
+            ])
+          (List.init seeds (fun i -> i + 1));
+        List.map
+          (fun engine ->
+            {
+              rq_job =
+                Simulate
+                  {
+                    sim_design = "hcor";
+                    sim_engine = engine;
+                    sim_cycles = 200;
+                    sim_seed = 1;
+                  };
+              rq_priority = High;
+              rq_timeout = None;
+              rq_label = None;
+            })
+          [ "interp"; "compiled"; "rtl" ];
+        [
+          {
+            rq_job =
+              Stuck_at
+                {
+                  sa_design = "hcor";
+                  sa_cycles = 24;
+                  sa_seed = 1;
+                  sa_max_faults = Some 60;
+                };
+            rq_priority = Low;
+            rq_timeout = None;
+            rq_label = None;
+          };
+          {
+            rq_job = Engine_sweep { sw_design = "hcor"; sw_cycles = 120 };
+            rq_priority = Normal;
+            rq_timeout = None;
+            rq_label = None;
+          };
+        ];
+      ]
+  in
+  base @ base
+
+let batch_bench ?(domains = 2) ?(seeds = 6) ?(seu_runs = 150) () =
+  Printf.printf
+    "== batch: job-queue throughput and dedup (%d worker domains) ==\n" domains;
+  Ocapi_batch.register_design ~name:"hcor" hcor_design;
+  Ocapi_batch.register_design
+    ~macro_of_kernel:Dect_transceiver.macro_of_kernel ~name:"dect" dect_design;
+  let requests = batch_requests ~seeds ~seu_runs in
+  let jobs = List.length requests in
+  let t0 = Unix.gettimeofday () in
+  let stats, telemetry =
+    Ocapi_obs.run_with_telemetry ~label:"batch" (fun () ->
+        let t =
+          Ocapi_batch.create ~domains ~artifact_dir:"_generated/batch-bench" ()
+        in
+        let handles = List.map (Ocapi_batch.submit_request t) requests in
+        List.iter
+          (fun h ->
+            match Ocapi_batch.await t h with
+            | Ocapi_batch.Completed _ -> ()
+            | Ocapi_batch.Failed d ->
+              Printf.printf "  FAILED %s: %s\n" (Ocapi_batch.label_of h)
+                (Ocapi_error.to_string d)
+            | Ocapi_batch.Cancelled ->
+              Printf.printf "  CANCELLED %s\n" (Ocapi_batch.label_of h))
+          handles;
+        Ocapi_batch.shutdown t;
+        Ocapi_batch.stats t)
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let throughput = float_of_int jobs /. seconds in
+  (* Queue-latency percentiles out of the merged worker telemetry. *)
+  let p50, p95 =
+    match List.assoc_opt "batch.queue.wait_us" telemetry.Ocapi_obs.rp_metrics with
+    | Some (Ocapi_obs.Histogram_v hs) ->
+      (Ocapi_obs.hist_quantile hs 0.5, Ocapi_obs.hist_quantile hs 0.95)
+    | _ -> (Float.nan, Float.nan)
+  in
+  Printf.printf
+    "%d jobs in %.2fs -> %.1f jobs/s; queue wait p50 %.0f us, p95 %.0f us\n"
+    jobs seconds throughput p50 p95;
+  Printf.printf
+    "dedup: %d submitted, %d executed, %d coalesced (%.0f%% hit rate), %d \
+     artifacts\n"
+    stats.Ocapi_batch.bs_submitted stats.Ocapi_batch.bs_executed
+    stats.Ocapi_batch.bs_deduped
+    (100.0 *. stats.Ocapi_batch.bs_dedup_hit_rate)
+    stats.Ocapi_batch.bs_artifacts_written;
+  let json =
+    Ocapi_obs.Json.(
+      Obj
+        [
+          ("jobs", Int jobs);
+          ("domains", Int domains);
+          ("seconds", Float seconds);
+          ("throughput_jobs_per_second", Float throughput);
+          ("queue_wait_p50_us", Float p50);
+          ("queue_wait_p95_us", Float p95);
+          ( "dedup",
+            Obj
+              [
+                ("submitted", Int stats.Ocapi_batch.bs_submitted);
+                ("executed", Int stats.Ocapi_batch.bs_executed);
+                ("deduped", Int stats.Ocapi_batch.bs_deduped);
+                ("hit_rate", Float stats.Ocapi_batch.bs_dedup_hit_rate);
+              ] );
+          ("completed", Int stats.Ocapi_batch.bs_completed);
+          ("failed", Int stats.Ocapi_batch.bs_failed);
+          ("artifacts_written", Int stats.Ocapi_batch.bs_artifacts_written);
+        ])
+  in
+  let oc = open_out "BENCH_batch.json" in
+  output_string oc (Ocapi_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_batch.json";
+  print_newline ()
+
+(* The CI smoke stage: every BENCH_*.json writer at a size that finishes
+   in seconds, so the pipeline uploads fresh artifacts on each run. *)
+let smoke () =
+  t1_json ();
+  fault_bench ~sa_faults:40 ~seu_runs:100 ();
+  batch_bench ~domains:2 ~seeds:2 ~seu_runs:40 ();
+  cache_bench ()
+
 (* Print the counters recorded in BENCH_cache.json (the `make cache-stats`
    entry point).  A naive scanner keeps this free of a JSON-parsing dep. *)
 let cache_stats () =
@@ -730,7 +893,7 @@ let () =
     | _ ->
       [
         "t1"; "c3"; "c4"; "c5"; "c6"; "f5"; "figs"; "fault"; "par"; "micro";
-        "cache";
+        "cache"; "batch";
       ]
   in
   List.iter
@@ -749,5 +912,7 @@ let () =
       | "micro" -> micro ()
       | "cache" -> cache_bench ()
       | "cache-stats" -> cache_stats ()
+      | "batch" -> batch_bench ()
+      | "smoke" -> smoke ()
       | other -> Printf.printf "unknown bench target %s\n" other)
     targets

@@ -1,12 +1,14 @@
 (* The command-line front end of the environment.
 
      ocapi check <design>
-     ocapi simulate <design> [--cycles N] [--engine E]
+     ocapi simulate <design> [--cycles N] [--engine E] [--json]
      ocapi synth <design> [--no-share]
      ocapi emit <design> [--dir D] [--cycles N]
      ocapi profile --design <design> --engine <E> [--cycles N] [--dir D]
+     ocapi fault --design <design> [--campaign seu|stuck-at] [--domains N]
+     ocapi batch --manifest jobs.jsonl [--domains N] [--artifacts DIR]
 
-   Designs: hcor | dect | cable (the reference designs of lib/designs). *)
+   Designs: hcor | dect (the reference designs of lib/designs). *)
 
 open Cmdliner
 
@@ -87,6 +89,9 @@ let cache_arg =
           "Enable the keyed result cache with its on-disk store under \
            _generated/cache/ (warm reruns skip re-simulation).")
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Print the result as JSON.")
+
 (* Run [f] plainly, or under a fresh telemetry scope with the report
    printed afterwards. *)
 let maybe_telemetry flag ~label f =
@@ -103,18 +108,26 @@ let unknown_engine other =
   1
 
 let simulate_cmd =
-  let run name cycles engine telemetry cache =
+  let run name cycles engine telemetry cache json =
     with_design name (fun d ->
         if cache then Flow.Cache.enable ~dir:"_generated/cache" ();
-        let show histories =
-          List.iter
-            (fun (p, hist) ->
-              Printf.printf "%-14s %d tokens" p (List.length hist);
-              (match List.rev hist with
-              | (c, v) :: _ -> Printf.printf "; last @%d = %s" c (Fixed.to_string v)
-              | [] -> ());
-              print_newline ())
-            histories
+        (* [--json] prints the same canonical rendering the batch
+           service writes as its simulate artifacts — byte-identical,
+           which is what the determinism gate diffs. *)
+        let show ~engine histories =
+          if json then
+            print_endline
+              (Ocapi_obs.Json.to_string
+                 (Flow.simulate_result_json ~engine ~cycles histories))
+          else
+            List.iter
+              (fun (p, hist) ->
+                Printf.printf "%-14s %d tokens" p (List.length hist);
+                (match List.rev hist with
+                | (c, v) :: _ -> Printf.printf "; last @%d = %s" c (Fixed.to_string v)
+                | [] -> ());
+                print_newline ())
+              histories
         in
         let code =
           match engine with
@@ -133,12 +146,12 @@ let simulate_cmd =
             | None -> unknown_engine other
             | Some e ->
               let engine = Ocapi_engine.name_of e in
-              show
+              show ~engine
                 (maybe_telemetry telemetry ~label:("simulate." ^ engine)
                    (fun () -> Flow.simulate ~engine d.d_sys ~cycles));
               0)
         in
-        if cache then begin
+        if cache && not json then begin
           let s = Flow.Cache.stats () in
           Printf.printf
             "cache: %d hits (%d from disk), %d misses, %d entries\n"
@@ -151,7 +164,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Simulate a design on one of the engines.")
     Term.(
       const run $ design_arg $ cycles_arg 200 $ engine_arg $ telemetry_arg
-      $ cache_arg)
+      $ cache_arg $ json_arg)
 
 (* synth *)
 let no_share_arg =
@@ -324,9 +337,6 @@ let fault_engine_arg =
   let doc = "SEU engine: interp, compiled or rtl." in
   Arg.(value & opt string "compiled" & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
 
-let json_arg =
-  Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.")
-
 let domains_arg =
   let doc =
     "Worker domains for the campaign (1 = serial).  The report is \
@@ -398,6 +408,135 @@ let fault_cmd =
       const run $ fault_design_arg $ campaign_arg $ cycles_arg 64 $ runs_arg
       $ seed_arg $ max_faults_arg $ fault_engine_arg $ domains_arg $ json_arg)
 
+(* batch *)
+
+(* The reference designs, registered once into the batch registry so
+   manifest jobs can name them.  The builders re-run [build_design]:
+   deterministic, so every execution (and its dedup fingerprint)
+   hashes alike. *)
+let register_batch_designs () =
+  List.iter
+    (fun name ->
+      match build_design name with
+      | Ok d ->
+        Ocapi_batch.register_design ~macro_of_kernel:d.d_macro ~name
+          (fun () ->
+            match build_design name with
+            | Ok d -> d.d_sys
+            | Error e -> failwith e)
+      | Error _ -> ())
+    [ "hcor"; "dect" ]
+
+let manifest_arg =
+  let doc = "JSONL job manifest: one job object per line (see ocapi batch --help)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "manifest"; "m" ] ~docv:"FILE" ~doc)
+
+let artifacts_arg =
+  let doc = "Directory for the per-job JSON artifacts (written asynchronously)." in
+  Arg.(
+    value
+    & opt string "_generated/batch"
+    & info [ "artifacts" ] ~docv:"DIR" ~doc)
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "quiet"; "q" ] ~doc:"Suppress the streaming per-job event lines.")
+
+let batch_cmd =
+  let run manifest domains artifacts cache telemetry quiet =
+    register_batch_designs ();
+    if cache then Flow.Cache.enable ~dir:"_generated/cache" ();
+    match Ocapi_batch.read_manifest manifest with
+    | Error e ->
+      Printf.eprintf "manifest %s: %s\n" manifest e;
+      1
+    | Ok [] ->
+      Printf.eprintf "manifest %s: no jobs\n" manifest;
+      1
+    | Ok requests ->
+      let print_mutex = Mutex.create () in
+      let say fmt =
+        Printf.ksprintf
+          (fun line ->
+            Mutex.protect print_mutex (fun () ->
+                print_string line;
+                print_newline ();
+                flush stdout))
+          fmt
+      in
+      (* Events stream from worker domains as the queue drains. *)
+      let on_event =
+        if quiet then None
+        else
+          Some
+            (function
+            | Ocapi_batch.Ev_submitted { ev_label; ev_dedup } ->
+              say "[queued ] %s%s" ev_label (if ev_dedup then " (dedup)" else "")
+            | Ocapi_batch.Ev_started { ev_label } -> say "[running] %s" ev_label
+            | Ocapi_batch.Ev_finished { ev_label; ev_outcome } ->
+              say "[%s] %s"
+                (match ev_outcome with
+                | Ocapi_batch.Completed _ -> "done   "
+                | Ocapi_batch.Failed _ -> "failed "
+                | Ocapi_batch.Cancelled -> "cancel ")
+                ev_label)
+      in
+      let go () =
+        let t = Ocapi_batch.create ~domains ~artifact_dir:artifacts ?on_event () in
+        let handles = List.map (Ocapi_batch.submit_request t) requests in
+        let failures = ref 0 in
+        List.iter
+          (fun h ->
+            match Ocapi_batch.await t h with
+            | Ocapi_batch.Completed { oc_seconds; oc_queue_seconds; oc_dedup; _ }
+              ->
+              say "%-9s %s  %.2fs (queued %.2fs)%s%s" "completed"
+                (Ocapi_batch.label_of h) oc_seconds oc_queue_seconds
+                (if oc_dedup then "  dedup: true" else "")
+                (match Ocapi_batch.artifact_path t h with
+                | Some p -> "  -> " ^ p
+                | None -> "")
+            | Ocapi_batch.Failed d ->
+              incr failures;
+              say "%-9s %s  %s" "failed" (Ocapi_batch.label_of h)
+                (Ocapi_error.to_string d)
+            | Ocapi_batch.Cancelled ->
+              say "%-9s %s" "cancelled" (Ocapi_batch.label_of h))
+          handles;
+        Ocapi_batch.shutdown t;
+        let s = Ocapi_batch.stats t in
+        say
+          "batch: %d submitted, %d executed, %d deduped (%.0f%% hit rate), %d \
+           completed, %d failed, %d cancelled, %d artifacts"
+          s.Ocapi_batch.bs_submitted s.Ocapi_batch.bs_executed
+          s.Ocapi_batch.bs_deduped
+          (100.0 *. s.Ocapi_batch.bs_dedup_hit_rate)
+          s.Ocapi_batch.bs_completed s.Ocapi_batch.bs_failed
+          s.Ocapi_batch.bs_cancelled s.Ocapi_batch.bs_artifacts_written;
+        if !failures = 0 then 0 else 1
+      in
+      if telemetry then begin
+        let code, report = Ocapi_obs.run_with_telemetry ~label:"batch" go in
+        Format.printf "%a@." Ocapi_obs.pp_report report;
+        code
+      end
+      else go ()
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a JSONL manifest of simulate / SEU / stuck-at / engine-sweep \
+          jobs on a bounded worker pool, deduplicating identical jobs and \
+          writing per-job JSON artifacts asynchronously.  Artifacts are \
+          bit-identical for any --domains value.")
+    Term.(
+      const run $ manifest_arg $ domains_arg $ artifacts_arg $ cache_arg
+      $ telemetry_arg $ quiet_arg)
+
 let () =
   let info =
     Cmd.info "ocapi" ~version:Ocapi.version
@@ -407,4 +546,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; simulate_cmd; synth_cmd; emit_cmd; profile_cmd;
-            fault_cmd ]))
+            fault_cmd; batch_cmd ]))

@@ -1,0 +1,831 @@
+(* The batch campaign service: a priority job queue over a persistent
+   [Ocapi_parallel.Service] domain pool, with job dedup through
+   [Flow.Cache] digests and an async artifact writer thread.
+
+   Concurrency map:
+   - one service mutex guards the queues, the in-flight and completed
+     tables, handle/exec state and the counters; [bt_work] wakes
+     workers, [bt_done] wakes awaiters;
+   - worker domains run [pull] and the job bodies; jobs touch only the
+     system built for their own execution, so no design state crosses
+     domains;
+   - the writer is a systhread of the creating domain with its own
+     mutex/condition; workers hand it (path, bytes) pairs and never
+     block on the disk;
+   - event callbacks fire outside every lock. *)
+
+(* --- design registry ------------------------------------------------------ *)
+
+type design_spec = {
+  ds_build : unit -> Cycle_system.t;
+  ds_macro : Dataflow.Kernel.t -> Synthesize.macro_spec option;
+}
+
+let designs : (string, design_spec) Hashtbl.t = Hashtbl.create 8
+let designs_mutex = Mutex.create ()
+
+let register_design ?(macro_of_kernel = fun _ -> None) ~name build =
+  Mutex.protect designs_mutex (fun () ->
+      Hashtbl.replace designs name { ds_build = build; ds_macro = macro_of_kernel })
+
+let registered_designs () =
+  Mutex.protect designs_mutex (fun () ->
+      List.sort String.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) designs []))
+
+let find_design name =
+  match Mutex.protect designs_mutex (fun () -> Hashtbl.find_opt designs name) with
+  | Some d -> d
+  | None ->
+    Ocapi_error.fail Ocapi_error.Unsupported ~engine:"batch"
+      "unknown design %S (registered: %s)" name
+      (match registered_designs () with
+      | [] -> "none"
+      | ds -> String.concat ", " ds)
+
+(* --- jobs ----------------------------------------------------------------- *)
+
+type priority = High | Normal | Low
+
+type job =
+  | Simulate of {
+      sim_design : string;
+      sim_engine : string;
+      sim_cycles : int;
+      sim_seed : int;
+    }
+  | Seu of {
+      seu_design : string;
+      seu_engine : string;
+      seu_runs : int;
+      seu_cycles : int;
+      seu_seed : int;
+    }
+  | Stuck_at of {
+      sa_design : string;
+      sa_cycles : int;
+      sa_seed : int;
+      sa_max_faults : int option;
+    }
+  | Engine_sweep of { sw_design : string; sw_cycles : int }
+  | Custom of {
+      cu_tag : string;
+      cu_body : progress:(unit -> unit) -> Ocapi_obs.Json.t;
+    }
+
+type outcome =
+  | Completed of {
+      oc_json : Ocapi_obs.Json.t;
+      oc_seconds : float;
+      oc_queue_seconds : float;
+      oc_dedup : bool;
+    }
+  | Failed of Ocapi_error.t
+  | Cancelled
+
+type status = Queued | Running | Done of outcome
+
+type event =
+  | Ev_submitted of { ev_label : string; ev_dedup : bool }
+  | Ev_started of { ev_label : string }
+  | Ev_finished of { ev_label : string; ev_outcome : outcome }
+
+(* --- the async artifact writer -------------------------------------------- *)
+
+(* A plain systhread: workers enqueue (path, bytes) and move on; the
+   writer owns all file I/O.  Files land atomically (temp + rename) so
+   a concurrent reader — the CI determinism gate diffing artifact
+   trees — never sees a half-written report.  [wr_busy] covers the
+   window between pop and rename, so [flush] really means "on disk". *)
+type writer = {
+  wr_mutex : Mutex.t;
+  wr_cond : Condition.t;
+  wr_queue : (string * string) Queue.t;
+  mutable wr_busy : bool;
+  mutable wr_stop : bool;
+  mutable wr_written : int;
+  mutable wr_thread : Thread.t option;
+}
+
+let writer_loop w () =
+  let rec loop () =
+    Mutex.lock w.wr_mutex;
+    while Queue.is_empty w.wr_queue && not w.wr_stop do
+      Condition.wait w.wr_cond w.wr_mutex
+    done;
+    if Queue.is_empty w.wr_queue then Mutex.unlock w.wr_mutex
+    else begin
+      let path, data = Queue.pop w.wr_queue in
+      w.wr_busy <- true;
+      Mutex.unlock w.wr_mutex;
+      (try
+         let tmp = path ^ ".tmp" in
+         let oc = open_out_bin tmp in
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () -> output_string oc data);
+         Sys.rename tmp path
+       with Sys_error _ -> ());
+      Mutex.lock w.wr_mutex;
+      w.wr_busy <- false;
+      w.wr_written <- w.wr_written + 1;
+      Condition.broadcast w.wr_cond;
+      Mutex.unlock w.wr_mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let writer_start () =
+  let w =
+    {
+      wr_mutex = Mutex.create ();
+      wr_cond = Condition.create ();
+      wr_queue = Queue.create ();
+      wr_busy = false;
+      wr_stop = false;
+      wr_written = 0;
+      wr_thread = None;
+    }
+  in
+  w.wr_thread <- Some (Thread.create (writer_loop w) ());
+  w
+
+let writer_push w path data =
+  Mutex.protect w.wr_mutex (fun () ->
+      Queue.push (path, data) w.wr_queue;
+      Condition.broadcast w.wr_cond)
+
+let writer_flush w =
+  Mutex.protect w.wr_mutex (fun () ->
+      while not (Queue.is_empty w.wr_queue) || w.wr_busy do
+        Condition.wait w.wr_cond w.wr_mutex
+      done)
+
+let writer_stop w =
+  Mutex.protect w.wr_mutex (fun () ->
+      w.wr_stop <- true;
+      Condition.broadcast w.wr_cond);
+  match w.wr_thread with
+  | Some th ->
+    Thread.join th;
+    w.wr_thread <- None
+  | None -> ()
+
+(* --- service state -------------------------------------------------------- *)
+
+type exec = {
+  ex_key : string;
+  ex_label : string;
+  ex_run : progress:(unit -> unit) -> Ocapi_obs.Json.t;
+  ex_priority : priority;
+  ex_submitted : float;
+  ex_artifact : string option;
+  mutable ex_status : status;
+  mutable ex_handles : handle list;
+  mutable ex_queue_seconds : float;
+}
+
+and handle = {
+  h_label : string;
+  h_dedup : bool;
+  h_deadline : float option;
+  mutable h_cancelled : bool;
+  h_kind : h_kind;
+}
+
+and h_kind = Attached of exec | Snapshot of outcome
+
+type stats = {
+  bs_submitted : int;
+  bs_deduped : int;
+  bs_executed : int;
+  bs_completed : int;
+  bs_failed : int;
+  bs_timed_out : int;
+  bs_cancelled : int;
+  bs_artifacts_written : int;
+  bs_dedup_hit_rate : float;
+}
+
+type t = {
+  bt_mutex : Mutex.t;
+  bt_work : Condition.t;
+  bt_done : Condition.t;
+  bt_queues : exec Queue.t array;  (* indexed High = 0, Normal = 1, Low = 2 *)
+  bt_inflight : (string, exec) Hashtbl.t;
+  bt_completed : (string, outcome) Hashtbl.t;
+  bt_artifact_dir : string option;
+  bt_writer : writer option;
+  bt_on_event : (event -> unit) option;
+  mutable bt_pool : Ocapi_parallel.Service.t option;
+  mutable bt_shutdown : bool;
+  mutable bt_submitted : int;
+  mutable bt_deduped : int;
+  mutable bt_executed : int;
+  mutable bt_completed_n : int;
+  mutable bt_failed : int;
+  mutable bt_timed_out : int;
+  mutable bt_cancelled : int;
+}
+
+let queue_index = function High -> 0 | Normal -> 1 | Low -> 2
+let locked t f = Mutex.protect t.bt_mutex f
+
+let fire t events =
+  match t.bt_on_event with
+  | None -> ()
+  | Some f -> List.iter f (List.rev events)
+
+let queued_depth t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.bt_queues
+
+let live_interest exec =
+  List.exists (fun h -> not h.h_cancelled) exec.ex_handles
+
+(* The execution's effective deadline: the tightest among its live
+   handles (a deduplicated submission may well be the impatient one). *)
+let tightest_deadline exec =
+  List.fold_left
+    (fun acc h ->
+      if h.h_cancelled then acc
+      else
+        match acc, h.h_deadline with
+        | None, d | d, None -> d
+        | Some a, Some b -> Some (Float.min a b))
+    None exec.ex_handles
+
+(* Resolve an execution.  Runs with the service lock held; returns the
+   finish event for the caller to fire outside the lock.  Only
+   [Completed] outcomes enter the completed (dedup) table and the
+   artifact queue — failed, timed-out and cancelled jobs stay
+   resubmittable. *)
+let finish_exec t exec outcome =
+  exec.ex_status <- Done outcome;
+  Hashtbl.remove t.bt_inflight exec.ex_key;
+  (match outcome with
+  | Completed c ->
+    t.bt_completed_n <- t.bt_completed_n + 1;
+    Hashtbl.replace t.bt_completed exec.ex_key (Completed { c with oc_dedup = true; oc_queue_seconds = 0.0 });
+    if Ocapi_obs.enabled () then Ocapi_obs.count "batch.job.completed";
+    (match t.bt_writer, exec.ex_artifact with
+    | Some w, Some path ->
+      writer_push w path (Ocapi_obs.Json.to_string c.oc_json ^ "\n")
+    | _ -> ())
+  | Failed d ->
+    t.bt_failed <- t.bt_failed + 1;
+    if d.Ocapi_error.e_code = Ocapi_error.Timeout then begin
+      t.bt_timed_out <- t.bt_timed_out + 1;
+      if Ocapi_obs.enabled () then Ocapi_obs.count "batch.job.timeout"
+    end;
+    if Ocapi_obs.enabled () then Ocapi_obs.count "batch.job.failed"
+  | Cancelled ->
+    t.bt_cancelled <- t.bt_cancelled + 1;
+    if Ocapi_obs.enabled () then Ocapi_obs.count "batch.job.cancelled");
+  Condition.broadcast t.bt_done;
+  Ev_finished { ev_label = exec.ex_label; ev_outcome = outcome }
+
+let timeout_error label =
+  Ocapi_error.make Ocapi_error.Timeout ~engine:"batch"
+    (Printf.sprintf "job %s exceeded its wall-clock deadline" label)
+
+(* --- worker side ---------------------------------------------------------- *)
+
+(* The cooperative stop hook, threaded into the engine stepping loops
+   as their [?progress] callback.  A raised [Ocapi_error] abandons the
+   job between cycles/runs; the worker classifies it below. *)
+let progress_check t exec () =
+  let verdict =
+    locked t (fun () ->
+        if not (live_interest exec) then `Cancelled
+        else
+          match tightest_deadline exec with
+          | Some d when Unix.gettimeofday () > d -> `Timeout
+          | _ -> `Go)
+  in
+  match verdict with
+  | `Go -> ()
+  | `Timeout -> raise (Ocapi_error.Error (timeout_error exec.ex_label))
+  | `Cancelled ->
+    Ocapi_error.fail Ocapi_error.Cancelled ~engine:"batch"
+      "job %s cancelled while running" exec.ex_label
+
+let run_exec t exec =
+  fire t [ Ev_started { ev_label = exec.ex_label } ];
+  let started = Unix.gettimeofday () in
+  let result =
+    match exec.ex_run ~progress:(progress_check t exec) with
+    | json ->
+      Completed
+        {
+          oc_json = json;
+          oc_seconds = Unix.gettimeofday () -. started;
+          oc_queue_seconds = exec.ex_queue_seconds;
+          oc_dedup = false;
+        }
+    | exception Ocapi_error.Error d
+      when d.Ocapi_error.e_code = Ocapi_error.Cancelled ->
+      Cancelled
+    | exception Ocapi_error.Error d -> Failed d
+    | exception e -> (
+      match Flow.classify_exn ~engine:"batch" e with
+      | Some d -> Failed d
+      | None ->
+        Failed
+          (Ocapi_error.make Ocapi_error.Internal ~engine:"batch"
+             ~severity:Ocapi_error.Error
+             (Printf.sprintf "job %s raised: %s" exec.ex_label
+                (Printexc.to_string e))))
+  in
+  let ev = locked t (fun () -> finish_exec t exec result) in
+  fire t [ ev ]
+
+(* Pop the next runnable execution in priority order, resolving dead
+   ones (cancelled or expired while queued) inline.  Lock held. *)
+let rec dequeue_ready t events =
+  let rec pop i =
+    if i >= Array.length t.bt_queues then None
+    else if Queue.is_empty t.bt_queues.(i) then pop (i + 1)
+    else Some (Queue.pop t.bt_queues.(i))
+  in
+  match pop 0 with
+  | None -> None
+  | Some exec ->
+    if not (live_interest exec) then begin
+      events := finish_exec t exec Cancelled :: !events;
+      dequeue_ready t events
+    end
+    else begin
+      let now = Unix.gettimeofday () in
+      match tightest_deadline exec with
+      | Some d when now > d ->
+        events :=
+          finish_exec t exec (Failed (timeout_error exec.ex_label)) :: !events;
+        dequeue_ready t events
+      | _ ->
+        exec.ex_status <- Running;
+        exec.ex_queue_seconds <- now -. exec.ex_submitted;
+        t.bt_executed <- t.bt_executed + 1;
+        if Ocapi_obs.enabled () then begin
+          Ocapi_obs.set_gauge "batch.queue.depth" (float_of_int (queued_depth t));
+          Ocapi_obs.observe "batch.queue.wait_us"
+            (exec.ex_queue_seconds *. 1e6)
+        end;
+        Some exec
+    end
+
+let pull t () =
+  let events = ref [] in
+  let next =
+    locked t (fun () ->
+        let rec wait () =
+          match dequeue_ready t events with
+          | Some exec -> Some exec
+          | None ->
+            if t.bt_shutdown && queued_depth t = 0 then None
+            else begin
+              Condition.wait t.bt_work t.bt_mutex;
+              wait ()
+            end
+        in
+        wait ())
+  in
+  fire t !events;
+  Option.map (fun exec () -> run_exec t exec) next
+
+(* --- lifecycle ------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(domains = 1) ?artifact_dir ?on_event () =
+  if domains < 1 then invalid_arg "Ocapi_batch.create: domains < 1";
+  Option.iter mkdir_p artifact_dir;
+  let t =
+    {
+      bt_mutex = Mutex.create ();
+      bt_work = Condition.create ();
+      bt_done = Condition.create ();
+      bt_queues = Array.init 3 (fun _ -> Queue.create ());
+      bt_inflight = Hashtbl.create 32;
+      bt_completed = Hashtbl.create 32;
+      bt_artifact_dir = artifact_dir;
+      bt_writer = Option.map (fun _ -> writer_start ()) artifact_dir;
+      bt_on_event = on_event;
+      bt_pool = None;
+      bt_shutdown = false;
+      bt_submitted = 0;
+      bt_deduped = 0;
+      bt_executed = 0;
+      bt_completed_n = 0;
+      bt_failed = 0;
+      bt_timed_out = 0;
+      bt_cancelled = 0;
+    }
+  in
+  t.bt_pool <- Some (Ocapi_parallel.Service.start ~domains ~pull:(pull t) ());
+  t
+
+let flush t = Option.iter writer_flush t.bt_writer
+
+let shutdown t =
+  locked t (fun () ->
+      t.bt_shutdown <- true;
+      Condition.broadcast t.bt_work);
+  (match t.bt_pool with
+  | Some pool -> Ocapi_parallel.Service.join pool
+  | None -> ());
+  Option.iter writer_stop t.bt_writer
+
+(* --- job preparation ------------------------------------------------------ *)
+
+let require_pos what n =
+  if n <= 0 then
+    invalid_arg (Printf.sprintf "Ocapi_batch.submit: %s must be > 0" what)
+
+(* A prepared job: its dedup key (a [Flow.Cache.key_of] fingerprint
+   with the job kind and parameters folded into the engine component),
+   a display label, an artifact slug, and the closure a worker runs.
+   The design is built here, in the submitting domain, and owned by
+   the execution from then on. *)
+let prepare ~label job =
+  let slugify s =
+    String.map (fun c -> if c = ':' || c = '/' || c = ' ' then '-' else c) s
+  in
+  let key, default_label, run =
+    match job with
+    | Simulate { sim_design; sim_engine; sim_cycles; sim_seed } ->
+      require_pos "cycles" sim_cycles;
+      let d = find_design sim_design in
+      let engine = Ocapi_engine.name_of (Ocapi_engine.get sim_engine) in
+      let sys = d.ds_build () in
+      ( Flow.Cache.key_of
+          ~engine:("batch-sim+" ^ engine)
+          ~seed:sim_seed sys ~cycles:sim_cycles,
+        Printf.sprintf "simulate:%s:%s:c%d" sim_design engine sim_cycles,
+        fun ~progress ->
+          Flow.simulate ~engine ~seed:sim_seed
+            ~progress:(fun _ -> progress ())
+            sys ~cycles:sim_cycles
+          |> Flow.simulate_result_json ~engine ~cycles:sim_cycles )
+    | Seu { seu_design; seu_engine; seu_runs; seu_cycles; seu_seed } ->
+      require_pos "cycles" seu_cycles;
+      require_pos "runs" seu_runs;
+      let d = find_design seu_design in
+      let engine = Ocapi_engine.name_of (Ocapi_engine.get seu_engine) in
+      let sys = d.ds_build () in
+      ( Flow.Cache.key_of
+          ~engine:
+            (Printf.sprintf "batch-seu+%s+runs%d" engine seu_runs)
+          ~seed:seu_seed sys ~cycles:seu_cycles,
+        Printf.sprintf "seu:%s:%s:r%d" seu_design engine seu_runs,
+        fun ~progress ->
+          Ocapi_fault.seu_campaign ~engine ~runs:seu_runs ~seed:seu_seed
+            ~progress:(fun _ -> progress ())
+            sys ~cycles:seu_cycles
+          |> Ocapi_fault.seu_report_json )
+    | Stuck_at { sa_design; sa_cycles; sa_seed; sa_max_faults } ->
+      require_pos "cycles" sa_cycles;
+      let d = find_design sa_design in
+      let sys = d.ds_build () in
+      ( Flow.Cache.key_of
+          ~engine:
+            (Printf.sprintf "batch-sa+mf%s"
+               (match sa_max_faults with
+               | Some n -> string_of_int n
+               | None -> "-"))
+          ~seed:sa_seed sys ~cycles:sa_cycles,
+        Printf.sprintf "stuck-at:%s:c%d" sa_design sa_cycles,
+        fun ~progress ->
+          Ocapi_fault.stuck_at_system ?max_faults:sa_max_faults ~seed:sa_seed
+            ~macro_of_kernel:d.ds_macro
+            ~progress:(fun _ -> progress ())
+            sys ~cycles:sa_cycles
+          |> Ocapi_fault.stuck_report_json )
+    | Engine_sweep { sw_design; sw_cycles } ->
+      require_pos "cycles" sw_cycles;
+      let d = find_design sw_design in
+      let sys = d.ds_build () in
+      ( Flow.Cache.key_of
+          ~engine:
+            ("batch-sweep+" ^ String.concat "," (Ocapi_engine.names ()))
+          ~seed:0 sys ~cycles:sw_cycles,
+        Printf.sprintf "engine-sweep:%s:c%d" sw_design sw_cycles,
+        fun ~progress ->
+          Flow.engine_disagreements ~progress:(fun _ -> progress ()) sys
+            ~cycles:sw_cycles
+          |> Flow.mismatches_json ~cycles:sw_cycles )
+    | Custom { cu_tag; cu_body } ->
+      ("batch-custom|" ^ cu_tag, "custom:" ^ cu_tag, cu_body)
+  in
+  let label = match label with Some l -> l | None -> default_label in
+  ( key,
+    label,
+    Printf.sprintf "%s-%s.json" (slugify label)
+      (String.sub (Digest.to_hex (Digest.string key)) 0 8),
+    run )
+
+(* --- submission ----------------------------------------------------------- *)
+
+let submit ?(priority = Normal) ?timeout ?label t job =
+  (match timeout with
+  | Some s when s <= 0.0 ->
+    invalid_arg "Ocapi_batch.submit: timeout must be > 0"
+  | _ -> ());
+  (* Build and fingerprint outside the lock: design construction is
+     pure of service state, and a slow build must not stall workers. *)
+  let key, label, artifact_file, run = prepare ~label job in
+  let now = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> now +. s) timeout in
+  let handle, event =
+    locked t (fun () ->
+        if t.bt_shutdown then
+          invalid_arg "Ocapi_batch.submit: the service is shut down";
+        t.bt_submitted <- t.bt_submitted + 1;
+        if Ocapi_obs.enabled () then Ocapi_obs.count "batch.job.submitted";
+        match Hashtbl.find_opt t.bt_completed key with
+        | Some outcome ->
+          t.bt_deduped <- t.bt_deduped + 1;
+          if Ocapi_obs.enabled () then Ocapi_obs.count "batch.job.dedup";
+          ( {
+              h_label = label;
+              h_dedup = true;
+              h_deadline = deadline;
+              h_cancelled = false;
+              h_kind = Snapshot outcome;
+            },
+            Ev_submitted { ev_label = label; ev_dedup = true } )
+        | None -> (
+          match Hashtbl.find_opt t.bt_inflight key with
+          | Some exec ->
+            t.bt_deduped <- t.bt_deduped + 1;
+            if Ocapi_obs.enabled () then Ocapi_obs.count "batch.job.dedup";
+            let h =
+              {
+                h_label = label;
+                h_dedup = true;
+                h_deadline = deadline;
+                h_cancelled = false;
+                h_kind = Attached exec;
+              }
+            in
+            exec.ex_handles <- h :: exec.ex_handles;
+            (h, Ev_submitted { ev_label = label; ev_dedup = true })
+          | None ->
+            let exec =
+              {
+                ex_key = key;
+                ex_label = label;
+                ex_run = run;
+                ex_priority = priority;
+                ex_submitted = now;
+                ex_artifact =
+                  Option.map
+                    (fun dir -> Filename.concat dir artifact_file)
+                    t.bt_artifact_dir;
+                ex_status = Queued;
+                ex_handles = [];
+                ex_queue_seconds = 0.0;
+              }
+            in
+            let h =
+              {
+                h_label = label;
+                h_dedup = false;
+                h_deadline = deadline;
+                h_cancelled = false;
+                h_kind = Attached exec;
+              }
+            in
+            exec.ex_handles <- [ h ];
+            Hashtbl.replace t.bt_inflight key exec;
+            Queue.push exec t.bt_queues.(queue_index priority);
+            if Ocapi_obs.enabled () then
+              Ocapi_obs.set_gauge "batch.queue.depth"
+                (float_of_int (queued_depth t));
+            Condition.signal t.bt_work;
+            (h, Ev_submitted { ev_label = label; ev_dedup = false })))
+  in
+  fire t [ event ];
+  handle
+
+(* --- handle queries ------------------------------------------------------- *)
+
+let label_of h = h.h_label
+
+(* The outcome as seen through one handle: a cancelled handle resolves
+   [Cancelled] even when the shared execution went on for others, and
+   a deduplicated handle sees the [oc_dedup] flag set. *)
+let handle_view h outcome =
+  if h.h_cancelled then Cancelled
+  else
+    match outcome with
+    | Completed c when h.h_dedup && not c.oc_dedup ->
+      Completed { c with oc_dedup = true }
+    | o -> o
+
+let status t h =
+  locked t (fun () ->
+      match h.h_kind with
+      | Snapshot o -> Done (handle_view h o)
+      | Attached exec -> (
+        if h.h_cancelled then
+          match exec.ex_status with
+          | Done _ | Queued -> Done Cancelled
+          | Running -> Running  (* still winding down for other handles *)
+        else
+          match exec.ex_status with
+          | Done o -> Done (handle_view h o)
+          | (Queued | Running) as s -> s))
+
+let await t h =
+  locked t (fun () ->
+      match h.h_kind with
+      | Snapshot o -> handle_view h o
+      | Attached exec ->
+        if h.h_cancelled then Cancelled
+        else begin
+          while
+            (match exec.ex_status with Done _ -> false | _ -> true)
+            && not h.h_cancelled
+          do
+            Condition.wait t.bt_done t.bt_mutex
+          done;
+          if h.h_cancelled then Cancelled
+          else
+            match exec.ex_status with
+            | Done o -> handle_view h o
+            | Queued | Running -> assert false
+        end)
+
+let cancel t h =
+  let cancelled =
+    locked t (fun () ->
+        if h.h_cancelled then false
+        else
+          match h.h_kind with
+          | Snapshot _ -> false
+          | Attached exec -> (
+            match exec.ex_status with
+            | Done _ -> false
+            | Queued | Running ->
+              h.h_cancelled <- true;
+              (* A queued execution nobody wants any more resolves
+                 right here; a running one is stopped by its next
+                 [progress] check.  Dead queue entries are skipped
+                 lazily at dequeue. *)
+              Condition.broadcast t.bt_done;
+              true))
+  in
+  if cancelled then
+    if Ocapi_obs.enabled () then Ocapi_obs.count "batch.handle.cancelled";
+  cancelled
+
+let artifact_path t h =
+  locked t (fun () ->
+      match h.h_kind with
+      | Snapshot _ -> None
+      | Attached exec -> exec.ex_artifact)
+
+let stats t =
+  locked t (fun () ->
+      {
+        bs_submitted = t.bt_submitted;
+        bs_deduped = t.bt_deduped;
+        bs_executed = t.bt_executed;
+        bs_completed = t.bt_completed_n;
+        bs_failed = t.bt_failed;
+        bs_timed_out = t.bt_timed_out;
+        bs_cancelled = t.bt_cancelled;
+        bs_artifacts_written =
+          (match t.bt_writer with Some w -> w.wr_written | None -> 0);
+        bs_dedup_hit_rate =
+          (if t.bt_submitted = 0 then 0.0
+           else float_of_int t.bt_deduped /. float_of_int t.bt_submitted);
+      })
+
+(* --- manifests ------------------------------------------------------------ *)
+
+type request = {
+  rq_job : job;
+  rq_priority : priority;
+  rq_timeout : float option;
+  rq_label : string option;
+}
+
+let request_of_json json =
+  let open Ocapi_obs.Json in
+  let str field =
+    match member field json with
+    | Some (String s) -> Ok (Some s)
+    | Some _ -> Error (Printf.sprintf "field %S must be a string" field)
+    | None -> Ok None
+  in
+  let int_field field =
+    match member field json with
+    | Some (Int n) -> Ok (Some n)
+    | Some _ -> Error (Printf.sprintf "field %S must be an integer" field)
+    | None -> Ok None
+  in
+  let num_field field =
+    match member field json with
+    | Some (Int n) -> Ok (Some (float_of_int n))
+    | Some (Float f) -> Ok (Some f)
+    | Some _ -> Error (Printf.sprintf "field %S must be a number" field)
+    | None -> Ok None
+  in
+  let ( let* ) = Result.bind in
+  let require field = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing required field %S" field)
+  in
+  let* kind = str "kind" in
+  let* kind = require "kind" kind in
+  let* design = str "design" in
+  let* design = require "design" design in
+  let* engine = str "engine" in
+  let* cycles = int_field "cycles" in
+  let* runs = int_field "runs" in
+  let* seed = int_field "seed" in
+  let* max_faults = int_field "max_faults" in
+  let* timeout = num_field "timeout" in
+  let* label = str "label" in
+  let* priority_s = str "priority" in
+  let* priority =
+    match priority_s with
+    | None | Some "normal" -> Ok Normal
+    | Some "high" -> Ok High
+    | Some "low" -> Ok Low
+    | Some other -> Error (Printf.sprintf "unknown priority %S" other)
+  in
+  let seed = Option.value seed ~default:1 in
+  let* job =
+    match kind with
+    | "simulate" ->
+      Ok
+        (Simulate
+           {
+             sim_design = design;
+             sim_engine = Option.value engine ~default:"interp";
+             sim_cycles = Option.value cycles ~default:200;
+             sim_seed = seed;
+           })
+    | "seu" ->
+      Ok
+        (Seu
+           {
+             seu_design = design;
+             seu_engine = Option.value engine ~default:"compiled";
+             seu_runs = Option.value runs ~default:1000;
+             seu_cycles = Option.value cycles ~default:64;
+             seu_seed = seed;
+           })
+    | "stuck-at" | "stuck_at" ->
+      Ok
+        (Stuck_at
+           {
+             sa_design = design;
+             sa_cycles = Option.value cycles ~default:64;
+             sa_seed = seed;
+             sa_max_faults = max_faults;
+           })
+    | "engine-sweep" | "sweep" ->
+      Ok
+        (Engine_sweep
+           { sw_design = design; sw_cycles = Option.value cycles ~default:200 })
+    | other -> Error (Printf.sprintf "unknown job kind %S" other)
+  in
+  Ok { rq_job = job; rq_priority = priority; rq_timeout = timeout; rq_label = label }
+
+let request_of_line line =
+  match Ocapi_obs.Json.of_string line with
+  | Error e -> Error (Printf.sprintf "invalid JSON: %s" e)
+  | Ok json -> request_of_json json
+
+let read_manifest path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go lineno acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | line ->
+            let trimmed = String.trim line in
+            if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc
+            else (
+              match request_of_line trimmed with
+              | Ok r -> go (lineno + 1) (r :: acc)
+              | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+        in
+        go 1 [])
+
+let submit_request t r =
+  submit ~priority:r.rq_priority ?timeout:r.rq_timeout ?label:r.rq_label t
+    r.rq_job

@@ -79,6 +79,7 @@ module Cache = struct
     entries : int;
     disk_hits : int;
     disk_writes : int;
+    disk_evictions : int;
   }
 
   let lock = Mutex.create ()
@@ -87,10 +88,18 @@ module Cache = struct
 
   (* None = disabled; Some dir = enabled, with an optional disk store. *)
   let state : string option option ref = ref None
+
+  (* Disk-store byte cap; [None] = unbounded (the historical default). *)
+  let disk_cap : int option ref = ref None
   let hits = ref 0
   let misses = ref 0
   let disk_hits = ref 0
   let disk_writes = ref 0
+  let disk_evictions = ref 0
+
+  (* Auxiliary [Store]s register a reset hook here so [clear] empties
+     them along with the history table.  Guarded by [lock]. *)
+  let clear_hooks : (unit -> unit) list ref = ref []
 
   let locked f =
     Mutex.lock lock;
@@ -103,13 +112,23 @@ module Cache = struct
       try Sys.mkdir dir 0o755 with Sys_error _ -> ()
     end
 
-  let enable ?dir () =
+  let enable ?dir ?max_disk_bytes () =
+    (match max_disk_bytes with
+    | Some b when b < 0 ->
+      invalid_arg "Flow.Cache.enable: max_disk_bytes < 0"
+    | _ -> ());
     (match dir with Some d -> mkdir_p d | None -> ());
-    locked (fun () -> state := Some dir)
+    locked (fun () ->
+        state := Some dir;
+        disk_cap := max_disk_bytes)
 
   let disable () = locked (fun () -> state := None)
   let enabled () = !state <> None
-  let clear () = locked (fun () -> Hashtbl.reset table)
+
+  let clear () =
+    locked (fun () ->
+        Hashtbl.reset table;
+        List.iter (fun f -> f ()) !clear_hooks)
 
   let stats () =
     locked (fun () ->
@@ -119,6 +138,7 @@ module Cache = struct
           entries = Hashtbl.length table;
           disk_hits = !disk_hits;
           disk_writes = !disk_writes;
+          disk_evictions = !disk_evictions;
         })
 
   let reset_stats () =
@@ -126,9 +146,10 @@ module Cache = struct
         hits := 0;
         misses := 0;
         disk_hits := 0;
-        disk_writes := 0)
+        disk_writes := 0;
+        disk_evictions := 0)
 
-  let key ~engine ~seed sys ~cycles =
+  let key_of ~engine ~seed sys ~cycles =
     let digest = Cycle_system.digest sys in
     let stim_buf = Buffer.create 256 in
     List.iter
@@ -149,50 +170,99 @@ module Cache = struct
     String.concat "|"
       [ digest; stim_fp; engine; string_of_int seed; string_of_int cycles ]
 
-  let disk_path dir k =
-    Filename.concat dir ("v1-" ^ Digest.to_hex (Digest.string k) ^ ".cache")
+  let disk_path ~namespace dir k =
+    Filename.concat dir
+      ("v1-" ^ namespace ^ "-" ^ Digest.to_hex (Digest.string k) ^ ".cache")
+
+  (* LRU-by-mtime size bound on the disk store: after every write, if
+     the [.cache] files of [dir] exceed the byte cap, the least
+     recently used (oldest mtime — reads touch the file) are deleted
+     until the store fits.  Runs with [lock] held. *)
+  let sweep_disk dir cap =
+    match
+      Array.to_list (Sys.readdir dir)
+      |> List.filter (fun f -> Filename.check_suffix f ".cache")
+      |> List.filter_map (fun f ->
+             let path = Filename.concat dir f in
+             try
+               let st = Unix.stat path in
+               Some (path, st.Unix.st_mtime, st.Unix.st_size)
+             with Unix.Unix_error _ | Sys_error _ -> None)
+    with
+    | entries ->
+      let total =
+        List.fold_left (fun acc (_, _, size) -> acc + size) 0 entries
+      in
+      if total > cap then begin
+        let oldest_first =
+          List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) entries
+        in
+        let excess = ref (total - cap) in
+        List.iter
+          (fun (path, _, size) ->
+            if !excess > 0 then begin
+              (try
+                 Sys.remove path;
+                 excess := !excess - size;
+                 incr disk_evictions;
+                 Ocapi_obs.count "flow.cache.disk_eviction"
+               with Sys_error _ -> ())
+            end)
+          oldest_first
+      end
+    | exception Sys_error _ -> ()
 
   (* Disk entries carry their full key so an MD5 filename collision
-     degrades to a miss, never a wrong result. *)
-  let disk_read dir k =
-    let path = disk_path dir k in
+     degrades to a miss, never a wrong result.  A hit touches the file
+     so the LRU sweep sees it as recently used. *)
+  let disk_read ~namespace (type v) dir k : v option =
+    let path = disk_path ~namespace dir k in
     if not (Sys.file_exists path) then None
     else
       try
         let ic = open_in_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            let stored_key, histories =
-              (Marshal.from_channel ic
-                : string * (string * (int * Fixed.t) list) list)
-            in
-            if stored_key = k then Some histories else None)
+        let result =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let stored_key, value =
+                (Marshal.from_channel ic : string * v)
+              in
+              if stored_key = k then Some value else None)
+        in
+        if result <> None then
+          (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+        result
       with _ -> None
 
-  let disk_write dir k v =
+  let disk_write ~namespace dir k v =
     try
-      let oc = open_out_bin (disk_path dir k) in
+      let oc = open_out_bin (disk_path ~namespace dir k) in
       Fun.protect
         ~finally:(fun () -> close_out_noerr oc)
         (fun () -> Marshal.to_channel oc (k, v) []);
+      (match !disk_cap with Some cap -> sweep_disk dir cap | None -> ());
       true
     with Sys_error _ -> false
 
-  let lookup k =
+  (* The shared lookup/store shape of the history table and every
+     auxiliary [Store]: memory first, then the namespaced disk entry,
+     counting into the shared hit/miss statistics.  Runs under
+     [lock]. *)
+  let find_in ~namespace tbl k =
     locked (fun () ->
         match !state with
         | None -> None
         | Some dir -> (
-          match Hashtbl.find_opt table k with
+          match Hashtbl.find_opt tbl k with
           | Some v ->
             incr hits;
             Ocapi_obs.count "flow.cache.hit";
             Some v
           | None -> (
-            match Option.bind dir (fun d -> disk_read d k) with
+            match Option.bind dir (fun d -> disk_read ~namespace d k) with
             | Some v ->
-              Hashtbl.replace table k v;
+              Hashtbl.replace tbl k v;
               incr hits;
               incr disk_hits;
               Ocapi_obs.count "flow.cache.hit";
@@ -202,15 +272,106 @@ module Cache = struct
               Ocapi_obs.count "flow.cache.miss";
               None)))
 
-  let store k v =
+  (* Like [find_in] but free of statistics: the re-check inside
+     [coalesced] must not inflate the miss counters. *)
+  let probe_in ~namespace tbl k =
+    locked (fun () ->
+        match !state with
+        | None -> None
+        | Some dir -> (
+          match Hashtbl.find_opt tbl k with
+          | Some v -> Some v
+          | None -> Option.bind dir (fun d -> disk_read ~namespace d k)))
+
+  let store_in ~namespace tbl k v =
     locked (fun () ->
         match !state with
         | None -> ()
         | Some dir ->
-          Hashtbl.replace table k v;
+          Hashtbl.replace tbl k v;
           Option.iter
-            (fun d -> if disk_write d k v then incr disk_writes)
+            (fun d -> if disk_write ~namespace d k v then incr disk_writes)
             dir)
+
+  let find_histories k = find_in ~namespace:"hist" table k
+  let store_histories k v = store_in ~namespace:"hist" table k v
+
+  (* --- in-flight coalescing.  The first caller of a key computes
+     while identical concurrent callers block on [inflight_cond]; when
+     the computation lands in the cache the waiters are served from it.
+     This is the hook the batch service's duplicate-job coalescing and
+     the parallel sweeps lean on: N identical requests cost one
+     execution. *)
+  let inflight : (string, unit) Hashtbl.t = Hashtbl.create 8
+  let inflight_cond = Condition.create ()
+
+  let coalesced ~key:k ~lookup ~probe ~compute ~store =
+    (* true -> we own the computation; false -> another domain finished
+       it while we waited, re-try the lookup. *)
+    let claim () =
+      locked (fun () ->
+          if Hashtbl.mem inflight k then begin
+            while Hashtbl.mem inflight k do
+              Condition.wait inflight_cond lock
+            done;
+            false
+          end
+          else begin
+            Hashtbl.add inflight k ();
+            true
+          end)
+    in
+    let release () =
+      locked (fun () ->
+          Hashtbl.remove inflight k;
+          Condition.broadcast inflight_cond)
+    in
+    let rec go () =
+      match lookup k with
+      | Some v -> v
+      | None ->
+        if claim () then
+          Fun.protect ~finally:release (fun () ->
+              (* A winner may have stored between our miss and our
+                 claim; a stat-free probe avoids recomputing. *)
+              match probe k with
+              | Some v -> v
+              | None ->
+                let v = compute () in
+                store k v;
+                v)
+        else go ()
+    in
+    go ()
+
+  let coalesced_histories ~key ~compute =
+    coalesced ~key ~lookup:find_histories
+      ~probe:(probe_in ~namespace:"hist" table)
+      ~compute ~store:store_histories
+
+  (* A typed auxiliary store sharing the cache's lifecycle (enable /
+     disable / clear / stats) and disk directory.  One application per
+     value type; [namespace] keys the disk entries, so it must be
+     unique per type or disk reads would unmarshal at the wrong type. *)
+  module Store (V : sig
+    type t
+
+    val namespace : string
+  end) =
+  struct
+    let tbl : (string, V.t) Hashtbl.t = Hashtbl.create 16
+
+    let () =
+      locked (fun () ->
+          clear_hooks := (fun () -> Hashtbl.reset tbl) :: !clear_hooks)
+
+    let find k = find_in ~namespace:V.namespace tbl k
+    let add k v = store_in ~namespace:V.namespace tbl k v
+
+    let coalesced ~key ~compute =
+      coalesced ~key ~lookup:find ~probe:(probe_in ~namespace:V.namespace tbl)
+        ~compute ~store:add
+  end
 end
 
 (* One cache key per distinct behaviour: scheduling discipline and the
@@ -222,29 +383,25 @@ let engine_key name ~two_phase ~max_deltas =
   ^ match max_deltas with Some n -> "+md" ^ string_of_int n | None -> ""
 
 let simulate ?telemetry ?(two_phase = false) ?(engine = "interp") ?max_deltas
-    ?(seed = 0) sys ~cycles =
+    ?(seed = 0) ?progress sys ~cycles =
   let (module E : Ocapi_engine.ENGINE) = Ocapi_engine.get engine in
   scoped ?telemetry ~label:("simulate." ^ E.name) (fun () ->
-      let k =
-        if Cache.enabled () then
-          Some (Cache.key ~engine:(engine_key E.name ~two_phase ~max_deltas)
-                  ~seed sys ~cycles)
-        else None
-      in
-      match Option.bind k Cache.lookup with
-      | Some histories -> histories
-      | None ->
+      let compute () =
         let options =
           { Ocapi_engine.opt_two_phase = two_phase;
             opt_max_deltas = max_deltas }
         in
         let ses = E.make ~options sys in
-        let histories =
-          Fun.protect ~finally:ses.Ocapi_engine.ses_close (fun () ->
-              Ocapi_engine.run ses ~cycles)
+        Fun.protect ~finally:ses.Ocapi_engine.ses_close (fun () ->
+            Ocapi_engine.run ?progress ses ~cycles)
+      in
+      if not (Cache.enabled ()) then compute ()
+      else
+        let key =
+          Cache.key_of ~engine:(engine_key E.name ~two_phase ~max_deltas)
+            ~seed sys ~cycles
         in
-        Option.iter (fun k -> Cache.store k histories) k;
-        histories)
+        Cache.coalesced_histories ~key ~compute)
 
 let simulate_compiled ?telemetry sys ~cycles =
   simulate ?telemetry ~engine:"compiled" sys ~cycles
@@ -328,7 +485,7 @@ let check_replica ~context ~campaign ~seen replica =
           worker"
          (String.concat ", " attached))
 
-let engine_disagreements ?(domains = 1) ?replicate sys ~cycles =
+let engine_disagreements ?(domains = 1) ?replicate ?progress sys ~cycles =
   (* One task per registered engine; each worker domain owns an
      isolated copy of the system, so the runs can proceed concurrently.
      Results are keyed by engine index — the sweep is deterministic for
@@ -355,7 +512,8 @@ let engine_disagreements ?(domains = 1) ?replicate sys ~cycles =
   let histories =
     Ocapi_parallel.map_tasks ~domains:(min domains n) ~chunk:1 ~make_state
       ~tasks:n
-      ~f:(fun s i -> simulate ~engine:(Ocapi_engine.name_of engines.(i)) s ~cycles)
+      ~f:(fun s i ->
+        simulate ~engine:(Ocapi_engine.name_of engines.(i)) ?progress s ~cycles)
       ()
   in
   let baseline_display = Ocapi_engine.display_of engines.(0) in
@@ -382,6 +540,52 @@ let pp_mismatch ppf m =
     | Some c -> Printf.sprintf ", cycle %d" c
     | None -> "")
     m.mm_detail
+
+(* Canonical machine-readable rendering of a simulation result.  The
+   CLI's [simulate --json] and the batch service's simulate artifacts
+   both print exactly this (plus a trailing newline), which is what
+   makes "batch output bit-identical to one-shot CLI output" a
+   byte-level comparison. *)
+let simulate_result_json ~engine ~cycles histories =
+  let open Ocapi_obs.Json in
+  Obj
+    [
+      ("kind", String "simulate");
+      ("engine", String engine);
+      ("cycles", Int cycles);
+      ( "probes",
+        Obj
+          (List.map
+             (fun (probe, hist) ->
+               ( probe,
+                 List
+                   (List.map
+                      (fun (c, v) ->
+                        List [ Int c; String (Fixed.to_string v) ])
+                      hist) ))
+             histories) );
+    ]
+
+let mismatch_json m =
+  let open Ocapi_obs.Json in
+  Obj
+    [
+      ("pair", String m.mm_pair);
+      ("probe", String m.mm_probe);
+      ("cycle", match m.mm_cycle with Some c -> Int c | None -> Null);
+      ("detail", String m.mm_detail);
+    ]
+
+let mismatches_json ~cycles ms =
+  let open Ocapi_obs.Json in
+  Obj
+    [
+      ("kind", String "engine-sweep");
+      ("cycles", Int cycles);
+      ("engines", List (List.map (fun n -> String n) (Ocapi_engine.names ())));
+      ("agree", Bool (ms = []));
+      ("mismatches", List (List.map mismatch_json ms));
+    ]
 
 let engines_agree ?domains ?replicate sys ~cycles =
   List.map

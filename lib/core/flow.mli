@@ -49,7 +49,14 @@ val check_clean : check_report -> bool
     (plain simulation is deterministic).
 
     When the {!Cache} is enabled, the run is served from it on a key
-    hit — bit-identical to a cold run — and stored into it otherwise.
+    hit — bit-identical to a cold run — and stored into it otherwise;
+    identical runs in flight on other domains are coalesced to one
+    execution (see {!Cache.coalesced}).
+
+    [progress] is called with the cycle index before every simulated
+    cycle; it may raise to abandon the run cooperatively (the batch
+    service's timeout/cancellation hook).  It is not called on a cache
+    hit — there is nothing to abandon.
 
     @raise Ocapi_error.Error with code [Unsupported] on an unknown
     engine name. *)
@@ -59,9 +66,20 @@ val simulate :
   ?engine:string ->
   ?max_deltas:int ->
   ?seed:int ->
+  ?progress:(int -> unit) ->
   Cycle_system.t ->
   cycles:int ->
   (string * (int * Fixed.t) list) list
+
+(** [simulate_result_json ~engine ~cycles histories] is the canonical
+    machine-readable rendering of a {!simulate} result: probe name to
+    [[cycle, value]] token lists.  [ocapi simulate --json] and the
+    batch service's simulate artifacts print exactly this. *)
+val simulate_result_json :
+  engine:string ->
+  cycles:int ->
+  (string * (int * Fixed.t) list) list ->
+  Ocapi_obs.Json.t
 
 (** Same as [simulate ~engine:"compiled"].
     @deprecated use {!simulate} with [~engine:"compiled"]. *)
@@ -94,7 +112,14 @@ val simulate_rtl :
     degrades to a miss, never a wrong result.  Delete the directory for
     clean benchmark numbers.  Hits and misses count into the
     [flow.cache.hit] / [flow.cache.miss] telemetry counters when
-    telemetry is enabled. *)
+    telemetry is enabled.
+
+    The cache is also the {b coalescing and dedup substrate} of the
+    batch service: {!Cache.key_of} is the digest-based fingerprint
+    batch jobs dedup through, {!Cache.coalesced} merges identical
+    in-flight computations across domains, and {!Cache.Store} lets
+    other layers (the SEU campaign report cache of [Ocapi_fault])
+    memoize their own result types under the same lifecycle. *)
 module Cache : sig
   type stats = {
     hits : int;  (** lookups served (memory or disk) *)
@@ -102,20 +127,76 @@ module Cache : sig
     entries : int;  (** in-memory entries right now *)
     disk_hits : int;  (** subset of [hits] read from disk *)
     disk_writes : int;
+    disk_evictions : int;  (** files deleted by the LRU size sweep *)
   }
 
-  (** [enable ?dir ()] turns the cache on; [dir] adds the on-disk
-      store (created if missing). *)
-  val enable : ?dir:string -> unit -> unit
+  (** [enable ?dir ?max_disk_bytes ()] turns the cache on; [dir] adds
+      the on-disk store (created if missing).  [max_disk_bytes] bounds
+      the disk store: after every write, if the [.cache] files of
+      [dir] exceed the cap, the least-recently-used entries (oldest
+      mtime; disk hits touch their file) are deleted until it fits.
+      Omitted = unbounded, the historical behaviour.
+      @raise Invalid_argument on a negative cap. *)
+  val enable : ?dir:string -> ?max_disk_bytes:int -> unit -> unit
 
   val disable : unit -> unit
   val enabled : unit -> bool
 
-  (** Drop the in-memory entries (the disk store, if any, persists). *)
+  (** Drop the in-memory entries of the history table and of every
+      auxiliary {!Store} (the disk store, if any, persists). *)
   val clear : unit -> unit
 
   val stats : unit -> stats
   val reset_stats : unit -> unit
+
+  (** [key_of ~engine ~seed sys ~cycles] is the cache key of a run:
+      structural digest, stimulus fingerprint over [cycles], the
+      engine/options string, seed and cycle count.  Exposed so other
+      layers key their own memoization and dedup on the same identity —
+      the batch service fingerprints whole jobs with it by folding the
+      job parameters into [engine]. *)
+  val key_of :
+    engine:string -> seed:int -> Cycle_system.t -> cycles:int -> string
+
+  val find_histories : string -> (string * (int * Fixed.t) list) list option
+  val store_histories : string -> (string * (int * Fixed.t) list) list -> unit
+
+  (** [coalesced ~key ~lookup ~probe ~compute ~store] returns the
+      cached value of [key], or computes it exactly once across all
+      concurrent callers: the first caller runs [compute] while
+      identical callers block, then are served from the cache.
+      [probe] must be a statistics-free [lookup] (the internal
+      re-check).  With the cache disabled every lookup misses and each
+      caller computes in turn — correct, just uncoalesced across
+      time. *)
+  val coalesced :
+    key:string ->
+    lookup:(string -> 'a option) ->
+    probe:(string -> 'a option) ->
+    compute:(unit -> 'a) ->
+    store:(string -> 'a -> unit) ->
+    'a
+
+  (** {!coalesced} specialized to the history table. *)
+  val coalesced_histories :
+    key:string ->
+    compute:(unit -> (string * (int * Fixed.t) list) list) ->
+    (string * (int * Fixed.t) list) list
+
+  (** A typed auxiliary store sharing the cache's lifecycle
+      (enable/disable/clear/stats) and disk directory.  Apply once per
+      value type with a unique [namespace] — disk entries are keyed by
+      it, and a namespace shared between two types would unmarshal at
+      the wrong type.  Values must be marshallable (no closures). *)
+  module Store (V : sig
+    type t
+
+    val namespace : string
+  end) : sig
+    val find : string -> V.t option
+    val add : string -> V.t -> unit
+    val coalesced : key:string -> compute:(unit -> V.t) -> V.t
+  end
 end
 
 (** {1 Engine cross-checks} *)
@@ -163,6 +244,10 @@ val check_replica :
     built by [replicate] (engines cache compiled state inside the
     system).  The sweep result is identical for any [domains].
 
+    [progress] is forwarded to each engine's {!simulate} (so it is
+    called per simulated cycle, on the worker domain running that
+    engine); it may raise to abandon the sweep cooperatively.
+
     @raise Invalid_argument if [domains > 1] without [replicate].
     @raise Ocapi_error.Error with code [Shared_state] if [replicate]
     hands a worker a shared or session-owned system
@@ -170,11 +255,22 @@ val check_replica :
 val engine_disagreements :
   ?domains:int ->
   ?replicate:(unit -> Cycle_system.t) ->
+  ?progress:(int -> unit) ->
   Cycle_system.t ->
   cycles:int ->
   mismatch list
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
+
+(** [mismatch_json m] — one {!mismatch} as JSON. *)
+val mismatch_json : mismatch -> Ocapi_obs.Json.t
+
+(** [mismatches_json ~cycles ms] is the canonical machine-readable
+    rendering of an {!engine_disagreements} sweep: the engine roster,
+    an [agree] verdict, and the mismatch list.  The CLI's
+    engine-sweep [--json] output and the batch service's engine-sweep
+    artifacts print exactly this. *)
+val mismatches_json : cycles:int -> mismatch list -> Ocapi_obs.Json.t
 
 (** [engines_agree sys ~cycles] — {!engine_disagreements} rendered as
     one diagnostic line per disagreeing pair, naming the first

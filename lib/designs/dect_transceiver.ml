@@ -272,14 +272,17 @@ let macro_of_kernel = Ram_cell.macro_of_kernel
    register value, as a 1-bit signal. *)
 let bit_of e i = Signal.resize bit (Signal.shift_right e i)
 
-(* Atomic: each [create] call builds a fully isolated transceiver (its
-   RAM cells get instance-unique names), so factories may be invoked to
-   replicate the design for per-domain campaign workers. *)
-let instance_counter = Atomic.make 0
-
+(* Each [create] call builds a fully isolated transceiver: every RAM
+   cell allocates a fresh backing store captured by its own closures
+   (see [Ram_cell.kernel]), so factories may be invoked to replicate
+   the design for per-domain campaign workers.  Component names are
+   deliberately build-independent — no instance counters — so every
+   build of the transceiver shares one canonical [Cycle_system.digest]
+   (result-cache keys, batch dedup fingerprints).  The by-name
+   [Ram_cell] registry consequently maps each RAM name to its most
+   recent instance, which is all its peek/clear conveniences promise. *)
 let create ?(hold = fun _ -> false) ?(ctl = fun _ -> 0) ~stimulus () =
-  let inst = Atomic.fetch_and_add instance_counter 1 + 1 in
-  let ram_name base = Printf.sprintf "%s_%d" base inst in
+  let ram_name base = base in
   let clk = Clock.default in
   let sys = Cycle_system.create "dect" in
   (* -- VLIW controller and program counter controller (figs 2 and 5) --

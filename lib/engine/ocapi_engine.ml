@@ -288,10 +288,11 @@ let () =
 
 (* --- uniform execution ----------------------------------------------------- *)
 
-let run ?inject ses ~cycles =
+let run ?inject ?progress ses ~cycles =
   ses.ses_reset ();
   (try
      for c = 0 to cycles - 1 do
+       (match progress with Some f -> f c | None -> ());
        (match inject with
        | Some (at, poke) when at = c -> poke ()
        | _ -> ());

@@ -132,11 +132,21 @@ val names : unit -> string list
 
 (** {1 Uniform execution} *)
 
-(** [run ?inject ses ~cycles] is the one stepping discipline shared by
-    plain simulation, campaign controls and faulty runs: reset, step
-    [cycles] times — calling [inject]'s thunk just before the step of
-    its cycle — read histories, reset again so the session (and any
-    aliased system state) is left pristine.  On an engine exception the
-    session is reset before the exception propagates, keeping the
-    session reusable for the next run (the campaign discipline). *)
-val run : ?inject:int * (unit -> unit) -> session -> cycles:int -> histories
+(** [run ?inject ?progress ses ~cycles] is the one stepping discipline
+    shared by plain simulation, campaign controls and faulty runs:
+    reset, step [cycles] times — calling [inject]'s thunk just before
+    the step of its cycle — read histories, reset again so the session
+    (and any aliased system state) is left pristine.  On an engine
+    exception the session is reset before the exception propagates,
+    keeping the session reusable for the next run (the campaign
+    discipline).
+
+    [progress] is called with the cycle index before every step; it may
+    raise (e.g. an [Ocapi_error] with code [Timeout]) to abandon the
+    run cooperatively — the deadline hook of batch jobs. *)
+val run :
+  ?inject:int * (unit -> unit) ->
+  ?progress:(int -> unit) ->
+  session ->
+  cycles:int ->
+  histories

@@ -7,6 +7,8 @@ type code =
   | Overflow
   | Invalid_state
   | Watchdog
+  | Timeout
+  | Cancelled
   | Unsupported
   | Shared_state
   | Internal
@@ -47,6 +49,8 @@ let code_label = function
   | Overflow -> "overflow"
   | Invalid_state -> "invalid-state"
   | Watchdog -> "watchdog"
+  | Timeout -> "timeout"
+  | Cancelled -> "cancelled"
   | Unsupported -> "unsupported"
   | Shared_state -> "shared-state"
   | Internal -> "internal"

@@ -27,6 +27,10 @@ type code =
   | Overflow  (** fixed-point overflow (resize/create) *)
   | Invalid_state  (** FSM driven into an unencoded state *)
   | Watchdog  (** a configured cycle/settle budget was exceeded *)
+  | Timeout
+      (** a request exceeded its wall-clock deadline (batch jobs with
+          a [~timeout]; the computation was abandoned cooperatively) *)
+  | Cancelled  (** a queued or running request was cancelled *)
   | Unsupported  (** construct outside an engine's subset *)
   | Shared_state
       (** a design object still owned by a live engine session (or by

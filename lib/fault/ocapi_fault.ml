@@ -41,8 +41,8 @@ let sample_list rng k l =
     Array.to_list (Array.sub arr 0 k)
   end
 
-let stuck_at_netlist ?max_faults ?(seed = 1) ?settle_budget ?(domains = 1) nl
-    ~vectors =
+let stuck_at_netlist ?max_faults ?(seed = 1) ?settle_budget ?(domains = 1)
+    ?progress nl ~vectors =
   let out_names = List.map fst (Netlist.outputs_list nl) in
   let n_cycles = Array.length vectors in
   let replay_cycle sim c =
@@ -116,7 +116,9 @@ let stuck_at_netlist ?max_faults ?(seed = 1) ?settle_budget ?(domains = 1) nl
         if k = 0 && domains <= 1 then sim0
         else Netlist.Sim.create ?settle_budget nl)
       ~tasks:(Array.length faults)
-      ~f:(fun sim i -> simulate_one sim faults.(i))
+      ~f:(fun sim i ->
+        (match progress with Some f -> f i | None -> ());
+        simulate_one sim faults.(i))
       ()
   in
   let records =
@@ -148,7 +150,7 @@ let stuck_at_netlist ?max_faults ?(seed = 1) ?settle_budget ?(domains = 1) nl
   }
 
 let stuck_at_system ?max_faults ?seed ?settle_budget ?options ?macro_of_kernel
-    ?domains sys ~cycles =
+    ?domains ?progress sys ~cycles =
   (* Record the system's own stimuli, as the test-bench generator does. *)
   Cycle_system.reset sys;
   Cycle_system.run sys cycles;
@@ -160,7 +162,8 @@ let stuck_at_system ?max_faults ?seed ?settle_budget ?options ?macro_of_kernel
     (fun (c, name, v) ->
       if c < cycles then vectors.(c) <- (name, Fixed.mantissa v) :: vectors.(c))
     input_hist;
-  stuck_at_netlist ?max_faults ?seed ?settle_budget ?domains nl ~vectors
+  stuck_at_netlist ?max_faults ?seed ?settle_budget ?domains ?progress nl
+    ~vectors
 
 (* --- SEU campaigns -------------------------------------------------------- *)
 
@@ -299,8 +302,35 @@ let seu_targets sys =
   in
   Array.of_list (reg_targets @ state_targets)
 
+(* SEU reports are memoized through the shared [Flow.Cache] lifecycle:
+   an enabled cache serves a repeated campaign (same design digest,
+   stimuli, engine, run count, seed, cycle count) from memory or disk,
+   and identical campaigns in flight on other domains coalesce to one
+   execution.  The whole report is a function of the cache key — the
+   schedule is drawn from [seed] alone and parallel runs are
+   bit-identical to serial ones — so [domains] stays out of the key. *)
+module Seu_store = Flow.Cache.Store (struct
+  type t = seu_report
+
+  let namespace = "seu"
+end)
+
+let seu_key ~engine ~runs ~max_deltas ~seed sys ~cycles =
+  Flow.Cache.key_of
+    ~engine:
+      (String.concat "+"
+         [
+           "seu";
+           engine;
+           "runs" ^ string_of_int runs;
+           (match max_deltas with
+           | Some n -> "md" ^ string_of_int n
+           | None -> "md-");
+         ])
+    ~seed sys ~cycles
+
 let seu_campaign ?(engine = "compiled") ?(runs = 1000) ?(seed = 1) ?max_deltas
-    ?(domains = 1) ?replicate sys ~cycles =
+    ?(domains = 1) ?replicate ?progress sys ~cycles =
   if cycles <= 0 then invalid_arg "Ocapi_fault.seu_campaign: cycles must be > 0";
   (* Resolve the engine up front so an unknown name fails before any
      simulation; the report records the canonical registry name even
@@ -309,6 +339,7 @@ let seu_campaign ?(engine = "compiled") ?(runs = 1000) ?(seed = 1) ?max_deltas
   let targets = seu_targets sys in
   if Array.length targets = 0 then
     invalid_arg "Ocapi_fault.seu_campaign: design has no architectural state";
+  let campaign () =
   (* The full injection schedule is drawn up front, consuming the seeded
      stream in exactly the order the historic serial loop did (target,
      then cycle, per run).  Runs thereby become index-keyed independent
@@ -324,6 +355,7 @@ let seu_campaign ?(engine = "compiled") ?(runs = 1000) ?(seed = 1) ?max_deltas
     schedule.(i) <- (ti, at)
   done;
   let simulate_one (ses, golden) i =
+    (match progress with Some f -> f i | None -> ());
     let ti, at = schedule.(i) in
     let target, _ = targets.(ti) in
     let outcome =
@@ -411,6 +443,12 @@ let seu_campaign ?(engine = "compiled") ?(runs = 1000) ?(seed = 1) ?max_deltas
       n_of (fun r -> match r.run_outcome with Detected _ -> true | _ -> false);
     seu_records = records;
   }
+  in
+  if not (Flow.Cache.enabled ()) then campaign ()
+  else
+    Seu_store.coalesced
+      ~key:(seu_key ~engine ~runs ~max_deltas ~seed sys ~cycles)
+      ~compute:campaign
 
 (* --- reports --------------------------------------------------------------- *)
 

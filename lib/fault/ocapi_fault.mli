@@ -63,12 +63,18 @@ type stuck_report = {
     watchdog).  [domains] (default [1] = the serial path) simulates the
     fault list on an {!Ocapi_parallel} pool, one gate-level simulator
     per worker over the shared read-only netlist; the report is
-    bit-identical to the serial run for any [domains]. *)
+    bit-identical to the serial run for any [domains].
+
+    [progress] is called with the fault index before each fault is
+    simulated (on the worker domain running it); it may raise — e.g. an
+    [Ocapi_error] with code [Timeout] — to abandon the campaign
+    cooperatively, the deadline/cancellation hook of batch jobs. *)
 val stuck_at_netlist :
   ?max_faults:int ->
   ?seed:int ->
   ?settle_budget:int ->
   ?domains:int ->
+  ?progress:(int -> unit) ->
   Netlist.t ->
   vectors:(string * int64) list array ->
   stuck_report
@@ -76,7 +82,7 @@ val stuck_at_netlist :
 (** [stuck_at_system sys ~cycles] records [cycles] of the system's own
     stimuli (as the test-bench generator does), synthesizes the system
     to gates, and runs {!stuck_at_netlist} with the recorded vectors.
-    [domains] is forwarded to {!stuck_at_netlist}. *)
+    [domains] and [progress] are forwarded to {!stuck_at_netlist}. *)
 val stuck_at_system :
   ?max_faults:int ->
   ?seed:int ->
@@ -84,6 +90,7 @@ val stuck_at_system :
   ?options:Synthesize.options ->
   ?macro_of_kernel:(Dataflow.Kernel.t -> Synthesize.macro_spec option) ->
   ?domains:int ->
+  ?progress:(int -> unit) ->
   Cycle_system.t ->
   cycles:int ->
   stuck_report
@@ -161,6 +168,20 @@ type seu_report = {
     engine name, and with code [Shared_state] if [replicate] hands a
     worker the campaign system itself, the same system twice, or a
     system with live engine sessions ({!Flow.check_replica}).
+    [progress] is called with the run index before each run (on the
+    worker domain simulating it); it may raise — e.g. an [Ocapi_error]
+    with code [Timeout] — to abandon the campaign cooperatively, the
+    deadline/cancellation hook of batch jobs.
+
+    When the {!Flow.Cache} is enabled, the whole report is memoized
+    under a key derived with {!Flow.Cache.key_of} from the design
+    digest, stimuli, engine, [runs], [max_deltas], [seed] and [cycles]:
+    a repeated campaign is served from memory or disk bit-identically,
+    identical campaigns in flight on other domains coalesce to one
+    execution, and [progress] is not called on a hit.  [domains] is
+    not part of the key — parallel and serial campaigns produce the
+    same report.
+
     @raise Invalid_argument if [domains > 1] without [replicate], or if
     [replicate] builds a system whose fault-target universe differs
     from [sys]'s. *)
@@ -171,6 +192,7 @@ val seu_campaign :
   ?max_deltas:int ->
   ?domains:int ->
   ?replicate:(unit -> Cycle_system.t) ->
+  ?progress:(int -> unit) ->
   Cycle_system.t ->
   cycles:int ->
   seu_report

@@ -67,6 +67,190 @@ module Json = struct
     let buf = Buffer.create 256 in
     to_buffer buf j;
     Buffer.contents buf
+
+  (* A recursive-descent parser for the same subset the serializer
+     emits (strict JSON; no comments, no trailing commas).  The batch
+     job-manifest reader and the tests use it; keeping it here spares
+     the repo an external JSON dependency. *)
+  exception Parse of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let error msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> error (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let m = String.length word in
+      if !pos + m <= n && String.sub s !pos m = word then begin
+        pos := !pos + m;
+        value
+      end
+      else error (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then error "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+          if !pos >= n then error "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' -> Buffer.add_char buf '"'; loop ()
+          | '\\' -> Buffer.add_char buf '\\'; loop ()
+          | '/' -> Buffer.add_char buf '/'; loop ()
+          | 'n' -> Buffer.add_char buf '\n'; loop ()
+          | 't' -> Buffer.add_char buf '\t'; loop ()
+          | 'r' -> Buffer.add_char buf '\r'; loop ()
+          | 'b' -> Buffer.add_char buf '\b'; loop ()
+          | 'f' -> Buffer.add_char buf '\012'; loop ()
+          | 'u' ->
+            if !pos + 4 > n then error "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> error "invalid \\u escape"
+            in
+            (* Escaped control characters round-trip; other code points
+               are emitted as UTF-8. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+            end;
+            loop ()
+          | _ -> error "invalid escape")
+        | c -> Buffer.add_char buf c; loop ()
+      in
+      loop ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_int = ref true in
+      let rec loop () =
+        match peek () with
+        | Some ('0' .. '9' | '-' | '+') ->
+          advance ();
+          loop ()
+        | Some ('.' | 'e' | 'E') ->
+          is_int := false;
+          advance ();
+          loop ()
+        | _ -> ()
+      in
+      loop ();
+      let text = String.sub s start (!pos - start) in
+      if !is_int then
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> error "invalid number")
+      else
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> error "invalid number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> error "unexpected end of input"
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              List (List.rev (v :: acc))
+            | _ -> error "expected ',' or ']'"
+          in
+          items []
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields (kv :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev (kv :: acc))
+            | _ -> error "expected ',' or '}'"
+          in
+          fields []
+        end
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> error (Printf.sprintf "unexpected %C" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then error "trailing characters";
+      v
+    with
+    | v -> Ok v
+    | exception Parse msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
 end
 
 (* --- master switch ------------------------------------------------------- *)
@@ -194,6 +378,32 @@ type value =
   | Counter_v of int
   | Gauge_v of float
   | Histogram_v of hist_snapshot
+
+(* Quantile estimate from the bucketed counts: find the bucket holding
+   the q-th observation and interpolate linearly inside it, clamping to
+   the recorded min/max so small samples never report a bucket edge far
+   from any real observation. *)
+let hist_quantile hs q =
+  if hs.hs_count = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int hs.hs_count in
+    let rec find lower cum = function
+      | [] -> hs.hs_max
+      | (bound, n) :: rest ->
+        let cum' = cum +. float_of_int n in
+        if n > 0 && cum' >= target then
+          if Float.is_finite bound then begin
+            let inside = (target -. cum) /. float_of_int n in
+            let lo = Float.max lower hs.hs_min in
+            let hi = Float.min bound hs.hs_max in
+            Float.max lo (Float.min hi (lo +. ((hi -. lo) *. inside)))
+          end
+          else hs.hs_max
+        else find (if Float.is_finite bound then bound else lower) cum' rest
+    in
+    find hs.hs_min 0.0 hs.hs_buckets
+  end
 
 let snapshot () =
   Hashtbl.fold

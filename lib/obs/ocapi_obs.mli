@@ -32,6 +32,18 @@ module Json : sig
 
   val to_buffer : Buffer.t -> t -> unit
   val to_string : t -> string
+
+  (** [of_string s] parses strict JSON (the subset {!to_string} emits:
+      no comments, no trailing commas; numbers without [.], [e] or [E]
+      that fit an OCaml [int] parse as [Int], everything else as
+      [Float]).  Returns [Error msg] with the failing offset on
+      malformed input.  This is the parser behind the batch job
+      manifests. *)
+  val of_string : string -> (t, string) result
+
+  (** [member key j] is field [key] of object [j] ([None] when absent
+      or [j] is not an object). *)
+  val member : string -> t -> t option
 end
 
 (** {1 Master switch} *)
@@ -86,6 +98,13 @@ type value =
   | Counter_v of int
   | Gauge_v of float
   | Histogram_v of hist_snapshot
+
+(** [hist_quantile hs q] estimates the [q]-quantile ([0.0 .. 1.0]) of a
+    histogram snapshot: the observation is located in its bucket by
+    cumulative count and interpolated linearly inside it, clamped to
+    the recorded [hs_min]/[hs_max].  [nan] on an empty histogram.  The
+    batch bench derives its queue-latency p50/p95 from this. *)
+val hist_quantile : hist_snapshot -> float -> float
 
 (** All registered metrics, sorted by name. *)
 val snapshot : unit -> (string * value) list

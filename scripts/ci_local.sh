@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The CI pipeline, run locally — mirrors .github/workflows/ci.yml stage
+# for stage, so a green run here is the dry-run equivalent of the
+# hosted workflow (no act required).  The docs stage is skipped with a
+# notice when odoc is absent, exactly the dependency the workflow
+# installs via opam.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage() {
+  echo
+  echo "=== $1 ==="
+}
+
+stage "build (dune build @all)"
+dune build @all
+
+stage "docs (make doc)"
+if command -v odoc >/dev/null 2>&1; then
+  make doc
+else
+  echo "skip: odoc not installed here; CI installs it (opam install odoc)"
+fi
+
+stage "tests (dune runtest)"
+dune runtest
+
+stage "determinism gate (serial vs --domains 2)"
+scripts/determinism_gate.sh
+
+stage "bench smoke (BENCH_*.json)"
+dune exec bench/main.exe -- smoke
+ls -l BENCH_*.json
+
+echo
+echo "ci-local: all stages passed"

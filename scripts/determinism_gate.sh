@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# CI determinism gate: campaign reports and batch artifact trees must
+# be bit-identical between a serial run and a --domains 2 run.  This
+# guards the core claim of the parallel runner and the batch service —
+# extra worker domains change wall time, never results.
+#
+# Usage: scripts/determinism_gate.sh   (after `dune build`)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OCAPI=${OCAPI:-_build/default/bin/ocapi_cli.exe}
+if [ ! -x "$OCAPI" ]; then
+  echo "error: $OCAPI not built (run: dune build)" >&2
+  exit 1
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+fail=0
+
+check_cmp() { # label serial_file parallel_file
+  if cmp -s "$2" "$3"; then
+    echo "ok   $1"
+  else
+    echo "FAIL $1: serial and --domains 2 outputs differ" >&2
+    fail=1
+  fi
+}
+
+# 1. SEU campaign report: 300 seeded register bit-flip runs on the DECT
+#    transceiver, classified masked / SDC / detected.
+"$OCAPI" fault --design dect --campaign seu --runs 300 --seed 1 \
+  --json >"$work/seu-1.json"
+"$OCAPI" fault --design dect --campaign seu --runs 300 --seed 1 \
+  --domains 2 --json >"$work/seu-2.json"
+check_cmp "seu report (dect, 300 runs)" "$work/seu-1.json" "$work/seu-2.json"
+
+# 2. Stuck-at campaign report: a seeded 80-fault sample of the DECT
+#    gate-level netlist.
+"$OCAPI" fault --design dect --campaign stuck-at --cycles 24 \
+  --max-faults 80 --seed 1 --json >"$work/sa-1.json"
+"$OCAPI" fault --design dect --campaign stuck-at --cycles 24 \
+  --max-faults 80 --seed 1 --domains 2 --json >"$work/sa-2.json"
+check_cmp "stuck-at report (dect, 80 faults)" "$work/sa-1.json" "$work/sa-2.json"
+
+# 3. Batch artifact tree: the example manifest (simulate + seu +
+#    stuck-at + engine-sweep, with a duplicate) through the job queue.
+#    Artifact bytes and filenames must match file-for-file.
+"$OCAPI" batch --manifest examples/jobs.jsonl \
+  --artifacts "$work/art-1" --quiet >/dev/null
+"$OCAPI" batch --manifest examples/jobs.jsonl --domains 2 \
+  --artifacts "$work/art-2" --quiet >/dev/null
+if diff -r "$work/art-1" "$work/art-2" >/dev/null; then
+  echo "ok   batch artifacts ($(ls "$work/art-1" | wc -l) files)"
+else
+  echo "FAIL batch artifacts: serial and --domains 2 trees differ" >&2
+  diff -r "$work/art-1" "$work/art-2" | head -10 >&2 || true
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "determinism gate: PASS"
+else
+  echo "determinism gate: FAIL" >&2
+fi
+exit "$fail"

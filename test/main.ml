@@ -24,4 +24,5 @@ let () =
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
       ("parallel", Test_parallel.suite);
+      ("batch", Test_batch.suite);
     ]

@@ -1,0 +1,295 @@
+(* Tests for the batch campaign service: priority classes with FIFO
+   order inside each, cooperative timeout and cancellation as
+   structured outcomes, dedup coalescing of identical submissions, and
+   the async artifact writer (flushed on shutdown, bit-identical to the
+   direct library call). *)
+
+let dect_design () =
+  let d =
+    Dect_transceiver.create
+      ~stimulus:(fun c ->
+        Some
+          (Fixed.of_float ~overflow:Fixed.Saturate Dect_transceiver.sample_format
+             (sin (float_of_int c *. 0.37) /. 2.2)))
+      ()
+  in
+  d.Dect_transceiver.system
+
+let hcor_design () =
+  let bits = Dect_stimuli.burst ~seed:1 () in
+  let tx = Dect_stimuli.transmit bits in
+  let rx = Dect_stimuli.channel ~snr_db:25.0 ~seed:1 tx in
+  let samples =
+    Dect_stimuli.quantize Hcor.sample_format (Array.map (fun x -> x /. 2.0) rx)
+  in
+  (Hcor.create ~stimulus:(Hcor.sample_stimulus samples) ()).Hcor.system
+
+let ensure_designs =
+  lazy
+    (Ocapi_batch.register_design ~name:"tb-hcor" hcor_design;
+     Ocapi_batch.register_design
+       ~macro_of_kernel:Dect_transceiver.macro_of_kernel ~name:"tb-dect"
+       dect_design)
+
+(* Custom-job tags are dedup keys; keep them unique across tests. *)
+let tag_counter = ref 0
+
+let fresh_tag base =
+  incr tag_counter;
+  Printf.sprintf "tb-%s-%d" base !tag_counter
+
+(* A Custom job that holds its worker until [release] — with it a
+   1-domain service becomes a deterministic scheduling fixture: jobs
+   submitted while the blocker runs queue up and drain in scheduling
+   order. *)
+let make_blocker () =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let started = ref false in
+  let released = ref false in
+  let job =
+    Ocapi_batch.Custom
+      {
+        cu_tag = fresh_tag "blocker";
+        cu_body =
+          (fun ~progress:_ ->
+            Mutex.protect m (fun () ->
+                started := true;
+                Condition.broadcast c;
+                while not !released do
+                  Condition.wait c m
+                done);
+            Ocapi_obs.Json.Null);
+      }
+  in
+  let wait_started () =
+    Mutex.protect m (fun () ->
+        while not !started do
+          Condition.wait c m
+        done)
+  in
+  let release () =
+    Mutex.protect m (fun () ->
+        released := true;
+        Condition.broadcast c)
+  in
+  (job, wait_started, release)
+
+let test_priority_fifo () =
+  let t = Ocapi_batch.create ~domains:1 () in
+  let blocker, wait_started, release = make_blocker () in
+  let hb = Ocapi_batch.submit t blocker in
+  wait_started ();
+  let order_m = Mutex.create () in
+  let order = ref [] in
+  let mk tag =
+    Ocapi_batch.Custom
+      {
+        cu_tag = fresh_tag tag;
+        cu_body =
+          (fun ~progress:_ ->
+            Mutex.protect order_m (fun () -> order := tag :: !order);
+            Ocapi_obs.Json.Null);
+      }
+  in
+  let submit p tag = Ocapi_batch.submit ~priority:p t (mk tag) in
+  (* Interleave the classes on submission (sequenced lets — a list
+     literal would evaluate right to left); the drain order must be
+     class-major, submission-minor. *)
+  let h1 = submit Ocapi_batch.Low "l1" in
+  let h2 = submit Ocapi_batch.Normal "n1" in
+  let h3 = submit Ocapi_batch.High "h1" in
+  let h4 = submit Ocapi_batch.Low "l2" in
+  let h5 = submit Ocapi_batch.Normal "n2" in
+  let h6 = submit Ocapi_batch.High "h2" in
+  let hs = [ h1; h2; h3; h4; h5; h6 ] in
+  release ();
+  List.iter (fun h -> ignore (Ocapi_batch.await t h)) hs;
+  ignore (Ocapi_batch.await t hb);
+  Ocapi_batch.shutdown t;
+  Alcotest.(check (list string))
+    "high first, FIFO within each class"
+    [ "h1"; "h2"; "n1"; "n2"; "l1"; "l2" ]
+    (List.rev !order)
+
+let test_timeout_is_structured () =
+  let t = Ocapi_batch.create ~domains:1 () in
+  (* A job that never finishes on its own: only the cooperative
+     deadline in [progress] can stop it. *)
+  let h =
+    Ocapi_batch.submit ~timeout:0.2 t
+      (Ocapi_batch.Custom
+         {
+           cu_tag = fresh_tag "spin";
+           cu_body =
+             (fun ~progress ->
+               while true do
+                 progress ()
+               done;
+               Ocapi_obs.Json.Null);
+         })
+  in
+  let t0 = Unix.gettimeofday () in
+  (match Ocapi_batch.await t h with
+  | Ocapi_batch.Failed e ->
+    Alcotest.(check bool)
+      "error code is Timeout" true
+      (e.Ocapi_error.e_code = Ocapi_error.Timeout)
+  | Ocapi_batch.Completed _ -> Alcotest.fail "spin job completed"
+  | Ocapi_batch.Cancelled -> Alcotest.fail "spin job cancelled");
+  Alcotest.(check bool)
+    "await returned promptly, not a hang" true
+    (Unix.gettimeofday () -. t0 < 10.0);
+  Ocapi_batch.shutdown t;
+  let s = Ocapi_batch.stats t in
+  Alcotest.(check int) "timeout counted" 1 s.Ocapi_batch.bs_timed_out;
+  Alcotest.(check int) "counted as failed" 1 s.Ocapi_batch.bs_failed
+
+let test_cancel_queued_job () =
+  let t = Ocapi_batch.create ~domains:1 () in
+  let blocker, wait_started, release = make_blocker () in
+  let hb = Ocapi_batch.submit t blocker in
+  wait_started ();
+  let ran = ref false in
+  let h =
+    Ocapi_batch.submit t
+      (Ocapi_batch.Custom
+         {
+           cu_tag = fresh_tag "victim";
+           cu_body =
+             (fun ~progress:_ ->
+               ran := true;
+               Ocapi_obs.Json.Null);
+         })
+  in
+  Alcotest.(check bool) "cancel accepted" true (Ocapi_batch.cancel t h);
+  Alcotest.(check bool) "second cancel refused" false (Ocapi_batch.cancel t h);
+  release ();
+  (match Ocapi_batch.await t h with
+  | Ocapi_batch.Cancelled -> ()
+  | Ocapi_batch.Completed _ | Ocapi_batch.Failed _ ->
+    Alcotest.fail "expected Cancelled");
+  ignore (Ocapi_batch.await t hb);
+  Ocapi_batch.shutdown t;
+  Alcotest.(check bool) "cancelled body never ran" false !ran;
+  let s = Ocapi_batch.stats t in
+  Alcotest.(check int) "cancellation counted" 1 s.Ocapi_batch.bs_cancelled
+
+let test_coalesce_duplicates () =
+  Lazy.force ensure_designs;
+  let t = Ocapi_batch.create ~domains:1 () in
+  let blocker, wait_started, release = make_blocker () in
+  let hb = Ocapi_batch.submit t blocker in
+  wait_started ();
+  let job =
+    Ocapi_batch.Seu
+      {
+        seu_design = "tb-dect";
+        seu_engine = "compiled";
+        seu_runs = 25;
+        seu_cycles = 24;
+        seu_seed = 3;
+      }
+  in
+  (* Both submitted while the worker is held: the second must attach to
+     the first's queued execution, not enqueue again. *)
+  let h1 = Ocapi_batch.submit t job in
+  let h2 = Ocapi_batch.submit t job in
+  release ();
+  let o1 = Ocapi_batch.await t h1 in
+  let o2 = Ocapi_batch.await t h2 in
+  (* A third identical submission after completion is served from the
+     completed table without touching the queue. *)
+  let h3 = Ocapi_batch.submit t job in
+  let o3 = Ocapi_batch.await t h3 in
+  ignore (Ocapi_batch.await t hb);
+  Ocapi_batch.shutdown t;
+  (match (o1, o2, o3) with
+  | ( Ocapi_batch.Completed { oc_json = j1; oc_dedup = d1; _ },
+      Ocapi_batch.Completed { oc_json = j2; oc_dedup = d2; _ },
+      Ocapi_batch.Completed { oc_json = j3; oc_dedup = d3; _ } ) ->
+    Alcotest.(check bool) "first executed, not dedup" false d1;
+    Alcotest.(check bool) "in-flight duplicate flagged" true d2;
+    Alcotest.(check bool) "completed-table duplicate flagged" true d3;
+    let s = Ocapi_obs.Json.to_string in
+    Alcotest.(check string) "same report (in-flight)" (s j1) (s j2);
+    Alcotest.(check string) "same report (completed)" (s j1) (s j3)
+  | _ -> Alcotest.fail "expected three Completed outcomes");
+  let s = Ocapi_batch.stats t in
+  Alcotest.(check int) "4 submitted" 4 s.Ocapi_batch.bs_submitted;
+  Alcotest.(check int) "2 executed (blocker + one SEU)" 2
+    s.Ocapi_batch.bs_executed;
+  Alcotest.(check int) "2 deduped" 2 s.Ocapi_batch.bs_deduped
+
+let test_artifacts_flushed_on_shutdown () =
+  Lazy.force ensure_designs;
+  incr tag_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ocapi-batch-test-%d-%d" (Unix.getpid ()) !tag_counter)
+  in
+  let t = Ocapi_batch.create ~domains:2 ~artifact_dir:dir () in
+  let h =
+    Ocapi_batch.submit t
+      (Ocapi_batch.Simulate
+         {
+           sim_design = "tb-hcor";
+           sim_engine = "interp";
+           sim_cycles = 40;
+           sim_seed = 1;
+         })
+  in
+  (match Ocapi_batch.await t h with
+  | Ocapi_batch.Completed _ -> ()
+  | Ocapi_batch.Failed e -> Alcotest.fail (Ocapi_error.to_string e)
+  | Ocapi_batch.Cancelled -> Alcotest.fail "unexpected cancellation");
+  (* Shutdown must block until the async writer has the file on disk. *)
+  Ocapi_batch.shutdown t;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ()))
+    (fun () ->
+      let path =
+        match Ocapi_batch.artifact_path t h with
+        | Some p -> p
+        | None -> Alcotest.fail "no artifact path"
+      in
+      Alcotest.(check bool) "artifact on disk" true (Sys.file_exists path);
+      let ic = open_in_bin path in
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match Ocapi_obs.Json.of_string content with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("artifact is not valid JSON: " ^ e));
+      (* The artifact is the canonical report: byte-identical to calling
+         the library directly. *)
+      let expect =
+        Ocapi_obs.Json.to_string
+          (Flow.simulate_result_json ~engine:"interp" ~cycles:40
+             (Flow.simulate ~engine:"interp" ~seed:1 (hcor_design ())
+                ~cycles:40))
+        ^ "\n"
+      in
+      Alcotest.(check string) "artifact = direct library call" expect content;
+      let s = Ocapi_batch.stats t in
+      Alcotest.(check int) "one artifact recorded" 1
+        s.Ocapi_batch.bs_artifacts_written)
+
+let suite =
+  [
+    Alcotest.test_case "FIFO within priority classes" `Quick test_priority_fifo;
+    Alcotest.test_case "timeout is a structured failure" `Quick
+      test_timeout_is_structured;
+    Alcotest.test_case "queued job cancellation" `Quick test_cancel_queued_job;
+    Alcotest.test_case "duplicate submissions coalesce" `Quick
+      test_coalesce_duplicates;
+    Alcotest.test_case "artifacts flushed on shutdown" `Quick
+      test_artifacts_flushed_on_shutdown;
+  ]

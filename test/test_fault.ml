@@ -177,10 +177,44 @@ let test_seu_targets_engine_independent () =
   Alcotest.(check bool) "interp = compiled targets" true (li = lc);
   Alcotest.(check bool) "compiled = rtl targets" true (lc = lr)
 
+(* With the result cache enabled, a repeated SEU campaign is served as
+   a memoized report: bit-identical to the cold run, counted as a cache
+   hit, and the per-run progress hook never fires. *)
+let test_seu_report_cached () =
+  Flow.Cache.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Flow.Cache.disable ();
+      Flow.Cache.clear ();
+      Flow.Cache.reset_stats ())
+    (fun () ->
+      let run () =
+        let ticks = ref 0 in
+        let report =
+          Ocapi_fault.seu_campaign ~engine:"compiled" ~runs:30 ~seed:5
+            ~progress:(fun _ -> incr ticks)
+            (dect_design ()) ~cycles:24
+        in
+        (report, !ticks)
+      in
+      let cold, cold_ticks = run () in
+      let before = Flow.Cache.stats () in
+      let warm, warm_ticks = run () in
+      let after = Flow.Cache.stats () in
+      Alcotest.(check bool) "cold run actually ran" true (cold_ticks > 0);
+      Alcotest.(check int) "warm run served from cache, no progress" 0
+        warm_ticks;
+      Alcotest.(check int) "one more cache hit" (before.Flow.Cache.hits + 1)
+        after.Flow.Cache.hits;
+      let s r = Ocapi_obs.Json.to_string (Ocapi_fault.seu_report_json r) in
+      Alcotest.(check string) "warm report = cold report" (s cold) (s warm))
+
 let suite =
   [
     Alcotest.test_case "zero-fault control: interpreted" `Quick
       test_control_interp;
+    Alcotest.test_case "SEU report memoized via Flow.Cache" `Quick
+      test_seu_report_cached;
     Alcotest.test_case "zero-fault control: compiled" `Quick
       test_control_compiled;
     Alcotest.test_case "zero-fault control: rtl" `Quick test_control_rtl;

@@ -361,9 +361,88 @@ let test_run_with_telemetry_report () =
   Alcotest.(check bool) "report json well-formed" true (json_well_formed json);
   Ocapi_obs.reset ()
 
+(* The parser is the read half of the Json module: everything the
+   emitter writes must come back structurally identical, and junk must
+   be a structured [Error], never an exception. *)
+let test_json_of_string_roundtrip () =
+  let open Ocapi_obs.Json in
+  let v =
+    Obj
+      [
+        ("a", Int 1);
+        ("b", List [ Null; Bool true; Bool false; Float 1.5; Int (-3) ]);
+        ("s", String "quote \" slash \\ control \n\t end");
+        ("nested", Obj [ ("empty_list", List []); ("empty_obj", Obj []) ]);
+      ]
+  in
+  (match of_string (to_string v) with
+  | Ok v' -> Alcotest.(check string) "round trip" (to_string v) (to_string v')
+  | Error e -> Alcotest.fail ("emitter output rejected: " ^ e));
+  (match of_string "  { \"x\" : [ 1 , 2.25 ] }  " with
+  | Ok v' ->
+    Alcotest.(check string) "whitespace tolerated" {|{"x":[1,2.25]}|}
+      (to_string v')
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match of_string bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" bad)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let test_json_member () =
+  let open Ocapi_obs.Json in
+  let v = Obj [ ("a", Int 1); ("b", String "x") ] in
+  Alcotest.(check bool) "present" true (member "b" v = Some (String "x"));
+  Alcotest.(check bool) "absent" true (member "c" v = None);
+  Alcotest.(check bool) "non-object" true (member "a" (Int 3) = None)
+
+let test_hist_quantile () =
+  (* 100 observations spread uniformly over (0, 100]: the estimator
+     must land near the true quantiles and clamp to min/max. *)
+  Ocapi_obs.reset ();
+  Ocapi_obs.enable ();
+  for i = 1 to 100 do
+    Ocapi_obs.observe "tq.lat" (float_of_int i)
+  done;
+  let hs =
+    match List.assoc_opt "tq.lat" (Ocapi_obs.snapshot ()) with
+    | Some (Ocapi_obs.Histogram_v hs) -> hs
+    | _ -> Alcotest.fail "histogram not recorded"
+  in
+  Alcotest.(check int) "count" 100 hs.Ocapi_obs.hs_count;
+  let near what expect got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %.1f within 25%% of %.1f" what got expect)
+      true
+      (abs_float (got -. expect) <= 0.25 *. expect)
+  in
+  near "p50" 50.0 (Ocapi_obs.hist_quantile hs 0.5);
+  near "p95" 95.0 (Ocapi_obs.hist_quantile hs 0.95);
+  Alcotest.(check (float 1e-9)) "q=0 clamps to min" 1.0
+    (Ocapi_obs.hist_quantile hs 0.0);
+  Alcotest.(check (float 1e-9)) "q=1 clamps to max" 100.0
+    (Ocapi_obs.hist_quantile hs 1.0);
+  let empty =
+    {
+      Ocapi_obs.hs_count = 0;
+      hs_sum = 0.0;
+      hs_min = infinity;
+      hs_max = neg_infinity;
+      hs_buckets = [];
+    }
+  in
+  Alcotest.(check bool) "empty histogram is nan" true
+    (Float.is_nan (Ocapi_obs.hist_quantile empty 0.5));
+  Ocapi_obs.reset ()
+
 let suite =
   [
     Alcotest.test_case "counter and gauge semantics" `Quick test_counters;
+    Alcotest.test_case "Json.of_string round trip" `Quick
+      test_json_of_string_roundtrip;
+    Alcotest.test_case "Json.member lookup" `Quick test_json_member;
+    Alcotest.test_case "hist_quantile estimation" `Quick test_hist_quantile;
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
     Alcotest.test_case "trace JSON well-formed" `Quick test_trace_json;
     Alcotest.test_case "span sampling 1-in-N" `Quick test_span_sampling;
