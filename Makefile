@@ -1,5 +1,6 @@
 .PHONY: all build doc test bench bench-json bench-par bench-batch bench-smoke \
-	cache-stats fault batch profile ci-determinism ci-local clean
+	cache-stats fault batch profile report perf-gate ci-determinism \
+	ci-local clean
 
 all: build doc
 
@@ -71,8 +72,21 @@ batch: build
 profile: build
 	dune exec bin/ocapi_cli.exe -- profile --design dect --engine compiled
 
-# The CI determinism gate: serial vs --domains 2 campaign reports and
-# batch artifact trees must be bit-identical.
+# Performance report: trend table over every series in the perf ledger
+# (PERF_LEDGER.jsonl, appended to by each bench/smoke run) plus a
+# self-contained HTML page with sparkline history per series.
+report: build
+	dune exec bin/ocapi_cli.exe -- report --html PERF_REPORT.html
+
+# The CI perf gate: newest ledger entry per series vs its rolling
+# baseline; ordinary regressions warn, a >50% collapse fails.
+# scripts/perf_gate.sh --self-test checks the gate catches an injected
+# collapse.
+perf-gate: build
+	scripts/perf_gate.sh
+
+# The CI determinism gate: serial vs --domains 2 campaign reports,
+# batch artifact trees and canonical event logs must be bit-identical.
 ci-determinism: build
 	scripts/determinism_gate.sh
 

@@ -54,6 +54,23 @@ let gates ?macro_of_kernel sys =
   let _, rep = Synthesize.synthesize ?macro_of_kernel sys in
   rep.Synthesize.total.Netlist.gate_equivalents
 
+(* Every measured rate also lands one line in the perf ledger
+   (PERF_LEDGER.jsonl or $OCAPI_LEDGER) — the time series behind
+   `ocapi report` and the CI perf gate.  The workload size is folded
+   into the bench name so a smoke-sized run and a full run never share
+   a baseline. *)
+let ledger_entries = ref 0
+
+let ledger ?digest ?domains ~bench ~engine ~unit_ value =
+  Ocapi_obs.Ledger.append
+    (Ocapi_obs.Ledger.entry ?digest ?domains ~unit_ ~bench ~engine value);
+  incr ledger_entries
+
+let ledger_note () =
+  if !ledger_entries > 0 then
+    Printf.printf "ledger: appended %d entries to %s\n" !ledger_entries
+      (Ocapi_obs.Ledger.default_path ())
+
 (* ---- T1: Table 1 ---------------------------------------------------------- *)
 
 let table1_rows () =
@@ -66,7 +83,7 @@ let table1_rows () =
             engine ~cycles:(cycles_of engine))
         Metrics.all_engines
     in
-    (design, gate_count, ms)
+    (design, Cycle_system.digest sys, gate_count, ms)
   in
   let hcor = hcor_design () in
   let hcor_row =
@@ -102,7 +119,7 @@ let table1_json rows =
       ( "designs",
         List
           (List.map
-             (fun (design, gate_count, ms) ->
+             (fun (design, _digest, gate_count, ms) ->
                Obj
                  [
                    ("design", String design);
@@ -135,14 +152,24 @@ let write_table1_json rows =
   output_string oc (Ocapi_obs.Json.to_string (table1_json rows));
   output_char oc '\n';
   close_out oc;
-  print_endline "wrote BENCH_table1.json"
+  print_endline "wrote BENCH_table1.json";
+  List.iter
+    (fun (design, digest, _gate_count, ms) ->
+      List.iter
+        (fun m ->
+          ledger ~digest
+            ~bench:("t1:" ^ String.lowercase_ascii design)
+            ~engine:(Metrics.engine_label m.Metrics.m_engine)
+            ~unit_:"cycles/s" m.Metrics.m_cycles_per_second)
+        ms)
+    rows
 
 let t1 () =
   print_endline
     "== T1: Table 1 -- performances of interpreted and compiled approaches ==";
   let rows = table1_rows () in
   List.iter
-    (fun (design, gate_count, ms) ->
+    (fun (design, _digest, gate_count, ms) ->
       Format.printf "%a@."
         (fun ppf -> Metrics.pp_table ppf ~design ~gates:gate_count)
         ms;
@@ -495,10 +522,11 @@ let micro () =
    benchmark, the CI smoke stage passes small values (see [smoke]). *)
 let fault_bench ?(sa_faults = 200) ?(seu_runs = 1000) () =
   print_endline "== fault: stuck-at coverage and SEU campaign throughput ==";
+  let hcor = hcor_design () in
+  let dect = dect_design () in
   let t0 = Unix.gettimeofday () in
   let sa =
-    Ocapi_fault.stuck_at_system ~max_faults:sa_faults ~seed:1 (hcor_design ())
-      ~cycles:24
+    Ocapi_fault.stuck_at_system ~max_faults:sa_faults ~seed:1 hcor ~cycles:24
   in
   let sa_seconds = Unix.gettimeofday () -. t0 in
   let sa_rate = float_of_int sa.Ocapi_fault.st_simulated /. sa_seconds in
@@ -511,8 +539,8 @@ let fault_bench ?(sa_faults = 200) ?(seu_runs = 1000) () =
     sa_rate;
   let t1 = Unix.gettimeofday () in
   let seu =
-    Ocapi_fault.seu_campaign ~engine:"compiled" ~runs:seu_runs ~seed:1
-      (dect_design ()) ~cycles:64
+    Ocapi_fault.seu_campaign ~engine:"compiled" ~runs:seu_runs ~seed:1 dect
+      ~cycles:64
   in
   let seu_seconds = Unix.gettimeofday () -. t1 in
   let seu_rate = float_of_int seu.Ocapi_fault.seu_runs /. seu_seconds in
@@ -546,6 +574,14 @@ let fault_bench ?(sa_faults = 200) ?(seu_runs = 1000) () =
   output_char oc '\n';
   close_out oc;
   print_endline "wrote BENCH_fault.json";
+  ledger
+    ~digest:(Cycle_system.digest hcor)
+    ~bench:(Printf.sprintf "fault:stuck-at:hcor:f%d" sa_faults)
+    ~engine:"gates" ~unit_:"faults/s" sa_rate;
+  ledger
+    ~digest:(Cycle_system.digest dect)
+    ~bench:(Printf.sprintf "fault:seu:dect:r%d" seu_runs)
+    ~engine:"compiled" ~unit_:"runs/s" seu_rate;
   print_newline ()
 
 (* ---- par: parallel campaign scaling --------------------------------------- *)
@@ -610,6 +646,13 @@ let par () =
   output_char oc '\n';
   close_out oc;
   print_endline "wrote BENCH_parallel.json";
+  let dect_digest = Cycle_system.digest (dect_design ()) in
+  List.iter
+    (fun (domains, _seconds, rate, _identical) ->
+      ledger ~digest:dect_digest ~domains
+        ~bench:(Printf.sprintf "par:seu:dect:d%d" domains)
+        ~engine:"compiled" ~unit_:"runs/s" rate)
+    rows;
   print_newline ()
 
 (* ---- cache: keyed result cache, cold vs warm ------------------------------ *)
@@ -833,6 +876,9 @@ let batch_bench ?(domains = 2) ?(seeds = 6) ?(seu_runs = 150) () =
   output_char oc '\n';
   close_out oc;
   print_endline "wrote BENCH_batch.json";
+  ledger ~domains
+    ~bench:(Printf.sprintf "batch:mixed:j%d:d%d" jobs domains)
+    ~engine:"batch" ~unit_:"jobs/s" throughput;
   print_newline ()
 
 (* The CI smoke stage: every BENCH_*.json writer at a size that finishes
@@ -915,4 +961,5 @@ let () =
       | "batch" -> batch_bench ()
       | "smoke" -> smoke ()
       | other -> Printf.printf "unknown bench target %s\n" other)
-    targets
+    targets;
+  ledger_note ()

@@ -5,8 +5,11 @@
      ocapi synth <design> [--no-share]
      ocapi emit <design> [--dir D] [--cycles N]
      ocapi profile --design <design> --engine <E> [--cycles N] [--dir D]
+                   [--metrics-out FILE]
      ocapi fault --design <design> [--campaign seu|stuck-at] [--domains N]
      ocapi batch --manifest jobs.jsonl [--domains N] [--artifacts DIR]
+                 [--events-out FILE]
+     ocapi report [--ledger FILE] [--events FILE] [--html FILE] [--gate]
 
    Designs: hcor | dect (the reference designs of lib/designs). *)
 
@@ -244,8 +247,16 @@ let profile_engine_arg =
   let doc = "Engine to profile: interp, compiled, rtl, gates or synth." in
   Arg.(value & opt string "compiled" & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
 
+let metrics_out_arg =
+  let doc =
+    "Write the metrics report JSON to $(docv) instead of the default \
+     DIR/DESIGN_ENGINE_metrics.json."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
 let profile_cmd =
-  let run name engine cycles dir =
+  let run name engine cycles dir metrics_out =
     with_design name (fun d ->
         let workload =
           match engine with
@@ -281,8 +292,11 @@ let profile_cmd =
           in
           if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
           let metrics_path =
-            Filename.concat dir
-              (Printf.sprintf "%s_%s_metrics.json" name engine)
+            match metrics_out with
+            | Some path -> path
+            | None ->
+              Filename.concat dir
+                (Printf.sprintf "%s_%s_metrics.json" name engine)
           in
           let oc = open_out metrics_path in
           output_string oc
@@ -307,7 +321,7 @@ let profile_cmd =
           Chrome trace-event file.")
     Term.(
       const run $ profile_design_arg $ profile_engine_arg $ cycles_arg 200
-      $ dir_arg)
+      $ dir_arg $ metrics_out_arg)
 
 (* fault *)
 let fault_design_arg =
@@ -446,8 +460,16 @@ let quiet_arg =
     value & flag
     & info [ "quiet"; "q" ] ~doc:"Suppress the streaming per-job event lines.")
 
+let events_out_arg =
+  let doc =
+    "Write the structured event log (job and run lifecycle, one JSON object \
+     per line, correlation ids matching the trace spans) to $(docv).  The \
+     file is canonical: byte-identical for any --domains value."
+  in
+  Arg.(value & opt (some string) None & info [ "events-out" ] ~docv:"FILE" ~doc)
+
 let batch_cmd =
-  let run manifest domains artifacts cache telemetry quiet =
+  let run manifest domains artifacts cache telemetry quiet events_out =
     register_batch_designs ();
     if cache then Flow.Cache.enable ~dir:"_generated/cache" ();
     match Ocapi_batch.read_manifest manifest with
@@ -474,18 +496,24 @@ let batch_cmd =
         else
           Some
             (function
-            | Ocapi_batch.Ev_submitted { ev_label; ev_dedup } ->
-              say "[queued ] %s%s" ev_label (if ev_dedup then " (dedup)" else "")
-            | Ocapi_batch.Ev_started { ev_label } -> say "[running] %s" ev_label
-            | Ocapi_batch.Ev_finished { ev_label; ev_outcome } ->
-              say "[%s] %s"
+            | Ocapi_batch.Ev_submitted { ev_label; ev_corr; ev_dedup } ->
+              say "[queued ] %s %s%s" ev_corr ev_label
+                (if ev_dedup then " (dedup)" else "")
+            | Ocapi_batch.Ev_started { ev_label; ev_corr } ->
+              say "[running] %s %s" ev_corr ev_label
+            | Ocapi_batch.Ev_finished { ev_label; ev_corr; ev_outcome } ->
+              say "[%s] %s %s"
                 (match ev_outcome with
                 | Ocapi_batch.Completed _ -> "done   "
                 | Ocapi_batch.Failed _ -> "failed "
                 | Ocapi_batch.Cancelled -> "cancel ")
-                ev_label)
+                ev_corr ev_label)
       in
       let go () =
+        if events_out <> None then begin
+          Ocapi_obs.Events.clear ();
+          Ocapi_obs.Events.set_enabled true
+        end;
         let t = Ocapi_batch.create ~domains ~artifact_dir:artifacts ?on_event () in
         let handles = List.map (Ocapi_batch.submit_request t) requests in
         let failures = ref 0 in
@@ -517,6 +545,12 @@ let batch_cmd =
           (100.0 *. s.Ocapi_batch.bs_dedup_hit_rate)
           s.Ocapi_batch.bs_completed s.Ocapi_batch.bs_failed
           s.Ocapi_batch.bs_cancelled s.Ocapi_batch.bs_artifacts_written;
+        (match events_out with
+        | Some path ->
+          Ocapi_obs.Events.write ~canonical:true ~path ();
+          Ocapi_obs.Events.set_enabled false;
+          say "wrote %s" path
+        | None -> ());
         if !failures = 0 then 0 else 1
       in
       if telemetry then begin
@@ -535,7 +569,165 @@ let batch_cmd =
           bit-identical for any --domains value.")
     Term.(
       const run $ manifest_arg $ domains_arg $ artifacts_arg $ cache_arg
-      $ telemetry_arg $ quiet_arg)
+      $ telemetry_arg $ quiet_arg $ events_out_arg)
+
+(* report *)
+
+module L = Ocapi_obs.Ledger
+
+let report_cmd =
+  let ledger_arg =
+    let doc =
+      "Perf ledger JSONL to read (default: $(b,\\$OCAPI_LEDGER) or \
+       PERF_LEDGER.jsonl)."
+    in
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+  in
+  let events_arg =
+    let doc = "Structured event log JSONL to summarize alongside the ledger." in
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+  in
+  let html_arg =
+    let doc =
+      "Also write a self-contained static HTML trend page (inline CSS, no \
+       external assets) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Act as a regression gate: exit non-zero when the worst verdict \
+             reaches --fail-on.")
+  in
+  let fail_on_arg =
+    let doc =
+      "Verdict severity that fails the gate: $(b,collapsed) (throughput \
+       collapse beyond --hard-tolerance) or $(b,regressed) (any regression \
+       beyond --tolerance)."
+    in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("collapsed", `Collapsed); ("regressed", `Regressed) ])
+          `Collapsed
+      & info [ "fail-on" ] ~docv:"SEVERITY" ~doc)
+  in
+  let window_arg =
+    let doc = "Baseline window: median of up to N prior same-series entries." in
+    Arg.(value & opt int 5 & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let tolerance_arg =
+    let doc = "Relative drop below baseline counted as a regression." in
+    Arg.(value & opt float 0.2 & info [ "tolerance" ] ~docv:"FRAC" ~doc)
+  in
+  let hard_tolerance_arg =
+    let doc = "Relative drop below baseline counted as a collapse." in
+    Arg.(value & opt float 0.5 & info [ "hard-tolerance" ] ~docv:"FRAC" ~doc)
+  in
+  let run ledger events html json gate fail_on window tolerance hard_tolerance
+      =
+    let ledger =
+      match ledger with Some p -> p | None -> L.default_path ()
+    in
+    match L.load ~path:ledger () with
+    | Error e ->
+      Printf.eprintf "ledger %s: %s\n" ledger e;
+      2
+    | Ok entries -> (
+      let loaded_events =
+        match events with
+        | None -> Ok []
+        | Some path -> Ocapi_obs.Events.load path
+      in
+      match loaded_events with
+      | Error e ->
+        Printf.eprintf "events: %s\n" e;
+        2
+      | Ok evs ->
+        let vs =
+          L.verdicts ~window ~tolerance ~hard_tolerance entries
+        in
+        if json then
+          print_endline (Ocapi_obs.Json.to_string (L.verdicts_json vs))
+        else if entries = [] then
+          Printf.printf
+            "perf ledger %s: no entries yet (run `make bench-smoke` to \
+             record some)\n"
+            ledger
+        else begin
+          Printf.printf "perf ledger %s: %d entries, %d series\n" ledger
+            (List.length entries) (List.length vs);
+          Format.printf "%a@."
+            (fun ppf ->
+              L.pp_trends ~window ~tolerance ~hard_tolerance ppf)
+            entries;
+          if evs <> [] then begin
+            let counts = Hashtbl.create 8 in
+            List.iter
+              (fun j ->
+                match Ocapi_obs.Json.member "event" j with
+                | Some (Ocapi_obs.Json.String k) ->
+                  Hashtbl.replace counts k
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+                | _ -> ())
+              evs;
+            Printf.printf "event log: %d events (%s)\n" (List.length evs)
+              (String.concat ", "
+                 (Hashtbl.fold
+                    (fun k n acc -> Printf.sprintf "%s %d" k n :: acc)
+                    counts []
+                 |> List.sort String.compare))
+          end
+        end;
+        (match html with
+        | Some path ->
+          let page =
+            L.html_page ~events:evs ~window ~tolerance ~hard_tolerance entries
+          in
+          let oc = open_out_bin path in
+          output_string oc page;
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+        | None -> ());
+        if gate then begin
+          let worst = L.worst_status vs in
+          let failed =
+            match (worst, fail_on) with
+            | L.Collapsed, _ -> true
+            | L.Regressed, `Regressed -> true
+            | _ -> false
+          in
+          List.iter
+            (fun v ->
+              match v.L.v_status with
+              | L.Regressed | L.Collapsed ->
+                Printf.printf
+                  "perf gate: %s [%s] %s: %.4g %s vs baseline %.4g (%+.1f%%)\n"
+                  (L.status_label v.L.v_status)
+                  v.L.v_engine v.L.v_bench v.L.v_latest.L.en_value
+                  v.L.v_latest.L.en_unit v.L.v_baseline (v.L.v_delta *. 100.)
+              | _ -> ())
+            vs;
+          Printf.printf "perf gate: worst status = %s (failing on %s)\n"
+            (L.status_label worst)
+            (match fail_on with
+            | `Collapsed -> "collapsed"
+            | `Regressed -> "regressed");
+          if failed then 1 else 0
+        end
+        else 0)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render the perf ledger (and optionally an event log) as a terminal \
+          trend summary, a machine-readable verdict (--json), a regression \
+          gate (--gate), or a static HTML page (--html).")
+    Term.(
+      const run $ ledger_arg $ events_arg $ html_arg $ json_arg $ gate_arg
+      $ fail_on_arg $ window_arg $ tolerance_arg $ hard_tolerance_arg)
 
 let () =
   let info =
@@ -546,4 +738,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; simulate_cmd; synth_cmd; emit_cmd; profile_cmd;
-            fault_cmd; batch_cmd ]))
+            fault_cmd; batch_cmd; report_cmd ]))

@@ -86,9 +86,15 @@ type outcome =
 type status = Queued | Running | Done of outcome
 
 type event =
-  | Ev_submitted of { ev_label : string; ev_dedup : bool }
-  | Ev_started of { ev_label : string }
-  | Ev_finished of { ev_label : string; ev_outcome : outcome }
+  | Ev_submitted of { ev_label : string; ev_corr : string; ev_dedup : bool }
+  | Ev_started of { ev_label : string; ev_corr : string }
+  | Ev_finished of { ev_label : string; ev_corr : string; ev_outcome : outcome }
+
+(* The correlation id is a short digest of the dedup key: deterministic
+   for a given job (identical across serial and parallel runs, and
+   across processes), shared by every event of one execution, and passed
+   to [Flow.simulate ~corr] so the run's trace span carries it too. *)
+let corr_of_key key = String.sub (Digest.to_hex (Digest.string key)) 0 12
 
 (* --- the async artifact writer -------------------------------------------- *)
 
@@ -232,10 +238,38 @@ type t = {
 let queue_index = function High -> 0 | Normal -> 1 | Low -> 2
 let locked t f = Mutex.protect t.bt_mutex f
 
+(* Mirror a lifecycle event into the structured event log (a no-op
+   while [Ocapi_obs.Events] is disabled). *)
+let event_to_log ev =
+  let label l = ("label", Ocapi_obs.Json.String l) in
+  match ev with
+  | Ev_submitted { ev_label; ev_corr; ev_dedup } ->
+    Ocapi_obs.Events.emit ~corr:ev_corr ~fields:[ label ev_label ]
+      (if ev_dedup then "job_deduped" else "job_submitted")
+  | Ev_started { ev_label; ev_corr } ->
+    Ocapi_obs.Events.emit ~corr:ev_corr ~fields:[ label ev_label ]
+      "job_started"
+  | Ev_finished { ev_label; ev_corr; ev_outcome } ->
+    let kind, extra =
+      match ev_outcome with
+      | Completed _ -> ("job_completed", [])
+      | Failed d ->
+        ( "job_failed",
+          [
+            ( "code",
+              Ocapi_obs.Json.String (Ocapi_error.code_label d.Ocapi_error.e_code)
+            );
+          ] )
+      | Cancelled -> ("job_cancelled", [])
+    in
+    Ocapi_obs.Events.emit ~corr:ev_corr ~fields:(label ev_label :: extra) kind
+
 let fire t events =
+  let events = List.rev events in
+  if Ocapi_obs.Events.enabled () then List.iter event_to_log events;
   match t.bt_on_event with
   | None -> ()
-  | Some f -> List.iter f (List.rev events)
+  | Some f -> List.iter f events
 
 let queued_depth t =
   Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.bt_queues
@@ -283,7 +317,12 @@ let finish_exec t exec outcome =
     t.bt_cancelled <- t.bt_cancelled + 1;
     if Ocapi_obs.enabled () then Ocapi_obs.count "batch.job.cancelled");
   Condition.broadcast t.bt_done;
-  Ev_finished { ev_label = exec.ex_label; ev_outcome = outcome }
+  Ev_finished
+    {
+      ev_label = exec.ex_label;
+      ev_corr = corr_of_key exec.ex_key;
+      ev_outcome = outcome;
+    }
 
 let timeout_error label =
   Ocapi_error.make Ocapi_error.Timeout ~engine:"batch"
@@ -311,7 +350,8 @@ let progress_check t exec () =
       "job %s cancelled while running" exec.ex_label
 
 let run_exec t exec =
-  fire t [ Ev_started { ev_label = exec.ex_label } ];
+  fire t
+    [ Ev_started { ev_label = exec.ex_label; ev_corr = corr_of_key exec.ex_key } ];
   let started = Unix.gettimeofday () in
   let result =
     match exec.ex_run ~progress:(progress_check t exec) with
@@ -339,6 +379,17 @@ let run_exec t exec =
   in
   let ev = locked t (fun () -> finish_exec t exec result) in
   fire t [ ev ]
+
+(* Queue waits span microseconds (idle worker) to seconds (saturated
+   campaign); the default power-of-two telemetry buckets (1 .. 2^20)
+   lump everything above a millisecond into a handful of cells, which
+   wrecks the interpolated p50/p95.  A 1-2-5 decade ladder from 1 µs to
+   10^8 µs keeps the quantile estimate honest across the whole range. *)
+let queue_wait_buckets =
+  [|
+    1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 2e3; 5e3; 1e4; 2e4; 5e4;
+    1e5; 2e5; 5e5; 1e6; 2e6; 5e6; 1e7; 2e7; 5e7; 1e8;
+  |]
 
 (* Pop the next runnable execution in priority order, resolving dead
    ones (cancelled or expired while queued) inline.  Lock held. *)
@@ -368,7 +419,7 @@ let rec dequeue_ready t events =
         t.bt_executed <- t.bt_executed + 1;
         if Ocapi_obs.enabled () then begin
           Ocapi_obs.set_gauge "batch.queue.depth" (float_of_int (queued_depth t));
-          Ocapi_obs.observe "batch.queue.wait_us"
+          Ocapi_obs.observe ~buckets:queue_wait_buckets "batch.queue.wait_us"
             (exec.ex_queue_seconds *. 1e6)
         end;
         Some exec
@@ -463,12 +514,15 @@ let prepare ~label job =
       let d = find_design sim_design in
       let engine = Ocapi_engine.name_of (Ocapi_engine.get sim_engine) in
       let sys = d.ds_build () in
-      ( Flow.Cache.key_of
+      let key =
+        Flow.Cache.key_of
           ~engine:("batch-sim+" ^ engine)
-          ~seed:sim_seed sys ~cycles:sim_cycles,
+          ~seed:sim_seed sys ~cycles:sim_cycles
+      in
+      ( key,
         Printf.sprintf "simulate:%s:%s:c%d" sim_design engine sim_cycles,
         fun ~progress ->
-          Flow.simulate ~engine ~seed:sim_seed
+          Flow.simulate ~engine ~seed:sim_seed ~corr:(corr_of_key key)
             ~progress:(fun _ -> progress ())
             sys ~cycles:sim_cycles
           |> Flow.simulate_result_json ~engine ~cycles:sim_cycles )
@@ -558,7 +612,9 @@ let submit ?(priority = Normal) ?timeout ?label t job =
               h_cancelled = false;
               h_kind = Snapshot outcome;
             },
-            Ev_submitted { ev_label = label; ev_dedup = true } )
+            Ev_submitted
+              { ev_label = label; ev_corr = corr_of_key key; ev_dedup = true }
+          )
         | None -> (
           match Hashtbl.find_opt t.bt_inflight key with
           | Some exec ->
@@ -574,7 +630,10 @@ let submit ?(priority = Normal) ?timeout ?label t job =
               }
             in
             exec.ex_handles <- h :: exec.ex_handles;
-            (h, Ev_submitted { ev_label = label; ev_dedup = true })
+            ( h,
+              Ev_submitted
+                { ev_label = label; ev_corr = corr_of_key key; ev_dedup = true }
+            )
           | None ->
             let exec =
               {
@@ -608,7 +667,13 @@ let submit ?(priority = Normal) ?timeout ?label t job =
               Ocapi_obs.set_gauge "batch.queue.depth"
                 (float_of_int (queued_depth t));
             Condition.signal t.bt_work;
-            (h, Ev_submitted { ev_label = label; ev_dedup = false })))
+            ( h,
+              Ev_submitted
+                {
+                  ev_label = label;
+                  ev_corr = corr_of_key key;
+                  ev_dedup = false;
+                } )))
   in
   fire t [ event ];
   handle

@@ -108,10 +108,21 @@ type status = Queued | Running | Done of outcome
 type t
 type handle
 
+(** Lifecycle events.  [ev_corr] is the job's correlation id — a short
+    digest of its dedup key, so it is identical for deduplicated
+    submissions of the same work, stable across serial and parallel
+    runs, and matches the [corr] on the {!Ocapi_obs.Events} lines and
+    the [Flow.simulate] trace span of the execution. *)
 type event =
-  | Ev_submitted of { ev_label : string; ev_dedup : bool }
-  | Ev_started of { ev_label : string }
-  | Ev_finished of { ev_label : string; ev_outcome : outcome }
+  | Ev_submitted of { ev_label : string; ev_corr : string; ev_dedup : bool }
+  | Ev_started of { ev_label : string; ev_corr : string }
+  | Ev_finished of { ev_label : string; ev_corr : string; ev_outcome : outcome }
+
+(** Histogram buckets used for the [batch.queue.wait_us] metric: a
+    1-2-5 decade ladder from 1 µs to 10{^8} µs.  Exposed so callers
+    deriving quantiles (the batch bench) can reuse them instead of the
+    far coarser {!Ocapi_obs.observe} defaults. *)
+val queue_wait_buckets : float array
 
 (** [create ()] starts the worker pool (and, with [artifact_dir], the
     async writer thread; the directory is created if missing).

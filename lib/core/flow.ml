@@ -383,7 +383,7 @@ let engine_key name ~two_phase ~max_deltas =
   ^ match max_deltas with Some n -> "+md" ^ string_of_int n | None -> ""
 
 let simulate ?telemetry ?(two_phase = false) ?(engine = "interp") ?max_deltas
-    ?(seed = 0) ?progress sys ~cycles =
+    ?(seed = 0) ?progress ?corr sys ~cycles =
   let (module E : Ocapi_engine.ENGINE) = Ocapi_engine.get engine in
   scoped ?telemetry ~label:("simulate." ^ E.name) (fun () ->
       let compute () =
@@ -395,13 +395,32 @@ let simulate ?telemetry ?(two_phase = false) ?(engine = "interp") ?max_deltas
         Fun.protect ~finally:ses.Ocapi_engine.ses_close (fun () ->
             Ocapi_engine.run ?progress ses ~cycles)
       in
-      if not (Cache.enabled ()) then compute ()
-      else
-        let key =
-          Cache.key_of ~engine:(engine_key E.name ~two_phase ~max_deltas)
-            ~seed sys ~cycles
-        in
-        Cache.coalesced_histories ~key ~compute)
+      let run () =
+        if not (Cache.enabled ()) then compute ()
+        else
+          let key =
+            Cache.key_of ~engine:(engine_key E.name ~two_phase ~max_deltas)
+              ~seed sys ~cycles
+          in
+          Cache.coalesced_histories ~key ~compute
+      in
+      (* The correlation id lands both in the event log and in the span
+         args, so a Perfetto trace and the event log join per job. *)
+      let ev_fields =
+        [ ("engine", Ocapi_obs.Json.String E.name);
+          ("cycles", Ocapi_obs.Json.Int cycles) ]
+      in
+      let span_args =
+        match corr with
+        | None -> ev_fields
+        | Some c -> ("corr", Ocapi_obs.Json.String c) :: ev_fields
+      in
+      Ocapi_obs.Events.emit ?corr ~fields:ev_fields "run_started";
+      let result =
+        Ocapi_obs.with_span ~cat:"flow" ~args:span_args "flow.simulate" run
+      in
+      Ocapi_obs.Events.emit ?corr ~fields:ev_fields "run_finished";
+      result)
 
 let simulate_compiled ?telemetry sys ~cycles =
   simulate ?telemetry ~engine:"compiled" sys ~cycles

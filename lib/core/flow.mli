@@ -58,6 +58,12 @@ val check_clean : check_report -> bool
     service's timeout/cancellation hook).  It is not called on a cache
     hit — there is nothing to abandon.
 
+    [corr] is a correlation id: the run emits
+    [run_started]/[run_finished] into {!Ocapi_obs.Events} (no-ops while
+    the event log is disabled) and tags its trace span with the same
+    id, so a batch job's event-log lines and its Perfetto span join.
+    Without [corr] the events are still emitted, uncorrelated.
+
     @raise Ocapi_error.Error with code [Unsupported] on an unknown
     engine name. *)
 val simulate :
@@ -67,6 +73,7 @@ val simulate :
   ?max_deltas:int ->
   ?seed:int ->
   ?progress:(int -> unit) ->
+  ?corr:string ->
   Cycle_system.t ->
   cycles:int ->
   (string * (int * Fixed.t) list) list

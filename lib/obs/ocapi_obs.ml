@@ -34,10 +34,19 @@ module Json = struct
     | Int i -> Buffer.add_string buf (string_of_int i)
     | Float f ->
       if Float.is_finite f then
-        (* %.17g round-trips; trim the common integral case for humans. *)
         if Float.is_integer f && Float.abs f < 1e15 then
           Buffer.add_string buf (Printf.sprintf "%.1f" f)
-        else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+        else begin
+          (* Shortest representation that still round-trips: a value
+             parsed back and re-serialized must produce the same bytes
+             (the determinism gate compares ledger/event-log files). *)
+          let s15 = Printf.sprintf "%.15g" f in
+          if float_of_string s15 = f then Buffer.add_string buf s15
+          else
+            let s16 = Printf.sprintf "%.16g" f in
+            if float_of_string s16 = f then Buffer.add_string buf s16
+            else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+        end
       else Buffer.add_string buf "null"
     | String s ->
       Buffer.add_char buf '"';
@@ -73,6 +82,11 @@ module Json = struct
      job-manifest reader and the tests use it; keeping it here spares
      the repo an external JSON dependency. *)
   exception Parse of string
+
+  (* Containers may nest this deep before the parser gives up.  The cap
+     turns adversarially deep input ("[[[[…") into an [Error] instead of
+     a stack overflow that would take the whole process down. *)
+  let max_depth = 255
 
   let of_string s =
     let n = String.length s in
@@ -176,7 +190,8 @@ module Json = struct
         | Some f -> Float f
         | None -> error "invalid number"
     in
-    let rec parse_value () =
+    let rec parse_value depth =
+      if depth > max_depth then error "nesting too deep";
       skip_ws ();
       match peek () with
       | None -> error "unexpected end of input"
@@ -193,7 +208,7 @@ module Json = struct
         end
         else begin
           let rec items acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -214,16 +229,21 @@ module Json = struct
           Obj []
         end
         else begin
-          let field () =
+          let field acc =
             skip_ws ();
             let k = parse_string () in
+            (* Duplicate keys silently shadow under [member]'s assoc
+               lookup; reject them outright so a hand-edited manifest or
+               ledger line fails loudly instead of half-applying. *)
+            if List.mem_assoc k acc then
+              error (Printf.sprintf "duplicate key %S" k);
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             (k, v)
           in
           let rec fields acc =
-            let kv = field () in
+            let kv = field acc in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -240,7 +260,7 @@ module Json = struct
       | Some c -> error (Printf.sprintf "unexpected %C" c)
     in
     match
-      let v = parse_value () in
+      let v = parse_value 0 in
       skip_ws ();
       if !pos <> n then error "trailing characters";
       v
@@ -747,3 +767,618 @@ let pp_report ppf r =
     (fun (name, v) -> Format.fprintf ppf "  %-36s %a@," name pp_value v)
     r.rp_metrics;
   Format.fprintf ppf "@]"
+
+(* --- shared file helpers (events + ledger) -------------------------------- *)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic publication, same idiom as the batch artifact writer: write a
+   process-unique temp file next to the target and [Sys.rename] it into
+   place, so a concurrent reader sees either the old bytes or the new
+   bytes, never a torn file. *)
+let write_file_atomic ~path content =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (match output_string oc content with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
+
+(* --- structured event log -------------------------------------------------- *)
+
+module Events = struct
+  type event = {
+    e_seq : int;
+    e_ts : float;  (* unix seconds at emission *)
+    e_kind : string;
+    e_corr : string;
+    e_fields : (string * Json.t) list;
+  }
+
+  (* Events are per-job lifecycle markers, not per-cycle telemetry: a
+     campaign emits a handful per job, so one process-wide mutex-guarded
+     buffer is cheap and keeps a single total order across domains. *)
+  let on = Atomic.make false
+  let enabled () = Atomic.get on
+  let set_enabled b = Atomic.set on b
+  let lock = Mutex.create ()
+  let buffer = ref [] (* reversed *)
+  let next_seq = ref 0
+
+  let clear () =
+    Mutex.protect lock (fun () ->
+        buffer := [];
+        next_seq := 0)
+
+  let emit ?(corr = "") ?(fields = []) kind =
+    if Atomic.get on then
+      Mutex.protect lock (fun () ->
+          incr next_seq;
+          buffer :=
+            {
+              e_seq = !next_seq;
+              e_ts = Unix.gettimeofday ();
+              e_kind = kind;
+              e_corr = corr;
+              e_fields = fields;
+            }
+            :: !buffer)
+
+  let events () = Mutex.protect lock (fun () -> List.rev !buffer)
+
+  let base_fields e =
+    ("event", Json.String e.e_kind)
+    :: ((if e.e_corr = "" then [] else [ ("corr", Json.String e.e_corr) ])
+       @ e.e_fields)
+
+  let to_json ?(ts = true) e =
+    let fields = ("seq", Json.Int e.e_seq) :: base_fields e in
+    Json.Obj
+      (if ts then fields @ [ ("ts", Json.Float e.e_ts) ] else fields)
+
+  (* Lifecycle rank inside one correlation id: submission before start
+     before the run before completion, whatever wall-clock order the
+     worker domains produced. *)
+  let kind_rank = function
+    | "job_submitted" -> 0
+    | "job_deduped" -> 1
+    | "job_started" -> 2
+    | "run_started" -> 3
+    | "run_finished" -> 4
+    | "job_completed" | "job_failed" | "job_cancelled" -> 5
+    | _ -> 6
+
+  (* Canonical form: wall-clock stamps dropped, events sorted by
+     (corr, lifecycle rank, rendered fields), seq renumbered.  Two runs
+     of the same campaign — serial or parallel, whatever the domain
+     interleaving — canonicalize to byte-identical JSONL. *)
+  let canonicalize evs =
+    List.stable_sort
+      (fun a b ->
+        compare
+          (a.e_corr, kind_rank a.e_kind, Json.to_string (Json.Obj (base_fields a)))
+          (b.e_corr, kind_rank b.e_kind, Json.to_string (Json.Obj (base_fields b))))
+      evs
+    |> List.mapi (fun i e -> { e with e_seq = i + 1; e_ts = 0. })
+
+  let write ?(canonical = true) ~path () =
+    let evs = events () in
+    let evs = if canonical then canonicalize evs else evs in
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun e ->
+        Json.to_buffer buf (to_json ~ts:(not canonical) e);
+        Buffer.add_char buf '\n')
+      evs;
+    write_file_atomic ~path (Buffer.contents buf)
+
+  let load path =
+    if not (Sys.file_exists path) then Ok []
+    else begin
+      let lines = String.split_on_char '\n' (read_whole_file path) in
+      let rec go lineno acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+          let line = String.trim line in
+          if line = "" then go (lineno + 1) acc rest
+          else (
+            match Json.of_string line with
+            | Ok j -> go (lineno + 1) (j :: acc) rest
+            | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e))
+      in
+      go 1 [] lines
+    end
+end
+
+(* --- perf ledger ------------------------------------------------------------ *)
+
+module Ledger = struct
+  type entry = {
+    en_bench : string;
+    en_engine : string;
+    en_digest : string;
+    en_value : float;  (* a rate: bigger is better *)
+    en_unit : string;
+    en_commit : string;
+    en_host : string;
+    en_domains : int;
+    en_ts : float;
+  }
+
+  let default_path () =
+    match Sys.getenv_opt "OCAPI_LEDGER" with
+    | Some p when p <> "" -> p
+    | _ -> "PERF_LEDGER.jsonl"
+
+  (* The current commit id without shelling out to git: follow
+     [.git/HEAD] one level, falling back to [packed-refs] for repos
+     whose loose ref has been packed away.  "unknown" when not run from
+     a checkout (or with [OCAPI_COMMIT] unset in a bare environment). *)
+  let git_commit () =
+    match Sys.getenv_opt "OCAPI_COMMIT" with
+    | Some c when c <> "" -> c
+    | _ -> (
+      let first_line path =
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> String.trim (input_line ic))
+      in
+      let resolve_ref r =
+        let direct = Filename.concat ".git" r in
+        if Sys.file_exists direct then first_line direct
+        else begin
+          let text = read_whole_file ".git/packed-refs" in
+          let hit =
+            List.find_map
+              (fun line ->
+                match String.index_opt line ' ' with
+                | Some i when String.sub line (i + 1) (String.length line - i - 1) = r
+                  ->
+                  Some (String.sub line 0 i)
+                | _ -> None)
+              (String.split_on_char '\n' text)
+          in
+          match hit with Some sha -> sha | None -> "unknown"
+        end
+      in
+      try
+        let head = first_line ".git/HEAD" in
+        let id =
+          if String.length head > 5 && String.sub head 0 5 = "ref: " then
+            resolve_ref (String.sub head 5 (String.length head - 5))
+          else head
+        in
+        if String.length id > 12 then String.sub id 0 12 else id
+      with _ -> "unknown")
+
+  let entry ?(digest = "") ?(unit_ = "") ?domains ~bench ~engine value =
+    {
+      en_bench = bench;
+      en_engine = engine;
+      en_digest = digest;
+      en_value = value;
+      en_unit = unit_;
+      en_commit = git_commit ();
+      en_host = (try Unix.gethostname () with _ -> "unknown");
+      en_domains =
+        (match domains with
+        | Some d -> d
+        | None -> Domain.recommended_domain_count ());
+      en_ts = Unix.gettimeofday ();
+    }
+
+  let entry_json e =
+    Json.Obj
+      [
+        ("bench", Json.String e.en_bench);
+        ("engine", Json.String e.en_engine);
+        ("digest", Json.String e.en_digest);
+        ("value", Json.Float e.en_value);
+        ("unit", Json.String e.en_unit);
+        ("commit", Json.String e.en_commit);
+        ("host", Json.String e.en_host);
+        ("domains", Json.Int e.en_domains);
+        ("ts", Json.Float e.en_ts);
+      ]
+
+  let entry_of_json j =
+    let str k =
+      match Json.member k j with Some (Json.String s) -> Some s | _ -> None
+    in
+    let num k =
+      match Json.member k j with
+      | Some (Json.Float f) -> Some f
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    match (str "bench", str "engine", num "value") with
+    | Some bench, Some engine, Some value ->
+      Ok
+        {
+          en_bench = bench;
+          en_engine = engine;
+          en_digest = Option.value ~default:"" (str "digest");
+          en_value = value;
+          en_unit = Option.value ~default:"" (str "unit");
+          en_commit = Option.value ~default:"" (str "commit");
+          en_host = Option.value ~default:"" (str "host");
+          en_domains =
+            (match Json.member "domains" j with
+            | Some (Json.Int d) -> d
+            | _ -> 0);
+          en_ts = Option.value ~default:0. (num "ts");
+        }
+    | _ -> Error "ledger entry needs string bench/engine and numeric value"
+
+  (* Appends serialize on one mutex inside the process and publish via
+     tmp+rename, so concurrent domains can record results while a reader
+     (the report, the gate) never observes a torn line. *)
+  let lock = Mutex.create ()
+
+  let append ?path e =
+    let path = match path with Some p -> p | None -> default_path () in
+    Mutex.protect lock (fun () ->
+        let existing =
+          if Sys.file_exists path then read_whole_file path else ""
+        in
+        let line = Json.to_string (entry_json e) ^ "\n" in
+        write_file_atomic ~path (existing ^ line))
+
+  let load ?path () =
+    let path = match path with Some p -> p | None -> default_path () in
+    if not (Sys.file_exists path) then Ok []
+    else begin
+      let lines = String.split_on_char '\n' (read_whole_file path) in
+      let rec go lineno acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then go (lineno + 1) acc rest
+          else (
+            match Json.of_string line with
+            | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e)
+            | Ok j -> (
+              match entry_of_json j with
+              | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e)
+              | Ok entry -> go (lineno + 1) (entry :: acc) rest))
+      in
+      go 1 [] lines
+    end
+
+  let median = function
+    | [] -> Float.nan
+    | xs ->
+      let a = Array.of_list xs in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+  (* A series is one measured quantity over time.  The key is
+     (bench, engine, digest) — deliberately {e not} the hostname: CI
+     runners get a fresh hostname every run, and a baseline that never
+     matches is no baseline at all.  Cross-machine noise is what the
+     tolerance absorbs. *)
+  let series_of entries =
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun e ->
+        let k = (e.en_bench, e.en_engine, e.en_digest) in
+        match Hashtbl.find_opt tbl k with
+        | Some r -> r := e :: !r
+        | None ->
+          Hashtbl.add tbl k (ref [ e ]);
+          order := k :: !order)
+      entries;
+    List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+
+  type status = Fresh | Steady | Improved | Regressed | Collapsed
+
+  let status_label = function
+    | Fresh -> "fresh"
+    | Steady -> "steady"
+    | Improved -> "improved"
+    | Regressed -> "regressed"
+    | Collapsed -> "collapsed"
+
+  type verdict = {
+    v_bench : string;
+    v_engine : string;
+    v_digest : string;
+    v_latest : entry;
+    v_baseline : float;  (* nan when Fresh *)
+    v_window : int;  (* prior entries behind the baseline *)
+    v_delta : float;  (* (latest - baseline) / baseline; nan when Fresh *)
+    v_status : status;
+  }
+
+  let verdicts ?(window = 5) ?(tolerance = 0.2) ?(hard_tolerance = 0.5) entries
+      =
+    series_of entries
+    |> List.map (fun ((bench, engine, digest), history) ->
+           match List.rev history with
+           | [] -> assert false (* series_of never yields an empty series *)
+           | latest :: prior_rev ->
+             let prior = List.filteri (fun i _ -> i < window) prior_rev in
+             let n = List.length prior in
+             let baseline, delta, status =
+               if n = 0 then (Float.nan, Float.nan, Fresh)
+               else begin
+                 let base = median (List.map (fun e -> e.en_value) prior) in
+                 let delta = (latest.en_value -. base) /. base in
+                 let delta = if Float.is_finite delta then delta else 0. in
+                 let status =
+                   if delta <= -.hard_tolerance then Collapsed
+                   else if delta <= -.tolerance then Regressed
+                   else if delta >= tolerance then Improved
+                   else Steady
+                 in
+                 (base, delta, status)
+               end
+             in
+             {
+               v_bench = bench;
+               v_engine = engine;
+               v_digest = digest;
+               v_latest = latest;
+               v_baseline = baseline;
+               v_window = n;
+               v_delta = delta;
+               v_status = status;
+             })
+
+  let status_severity = function
+    | Collapsed -> 4
+    | Regressed -> 3
+    | Steady -> 2
+    | Improved -> 1
+    | Fresh -> 0
+
+  let worst_status vs =
+    List.fold_left
+      (fun acc v ->
+        if status_severity v.v_status > status_severity acc then v.v_status
+        else acc)
+      Fresh vs
+
+  let opt_float f = if Float.is_nan f then Json.Null else Json.Float f
+
+  let verdict_json v =
+    Json.Obj
+      [
+        ("bench", Json.String v.v_bench);
+        ("engine", Json.String v.v_engine);
+        ("digest", Json.String v.v_digest);
+        ("value", Json.Float v.v_latest.en_value);
+        ("unit", Json.String v.v_latest.en_unit);
+        ("baseline", opt_float v.v_baseline);
+        ("window", Json.Int v.v_window);
+        ("delta", opt_float v.v_delta);
+        ("status", Json.String (status_label v.v_status));
+      ]
+
+  let verdicts_json vs =
+    Json.Obj
+      [
+        ("worst", Json.String (status_label (worst_status vs)));
+        ("verdicts", Json.List (List.map verdict_json vs));
+      ]
+
+  (* --- rendering: sparklines, terminal trends, static HTML --- *)
+
+  let spark_blocks = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+  let sparkline ?(width = 16) values =
+    let n = List.length values in
+    let values =
+      if n <= width then values else List.filteri (fun i _ -> i >= n - width) values
+    in
+    match values with
+    | [] -> ""
+    | vs ->
+      let lo = List.fold_left Float.min infinity vs in
+      let hi = List.fold_left Float.max neg_infinity vs in
+      let span = hi -. lo in
+      String.concat ""
+        (List.map
+           (fun v ->
+             let idx =
+               if span <= 0. then 3
+               else int_of_float (Float.round ((v -. lo) /. span *. 7.))
+             in
+             spark_blocks.(max 0 (min 7 idx)))
+           vs)
+
+  let iso8601 ts =
+    if ts <= 0. then "-"
+    else begin
+      let tm = Unix.gmtime ts in
+      Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+        tm.Unix.tm_sec
+    end
+
+  let pp_trends ?(window = 5) ?(tolerance = 0.2) ?(hard_tolerance = 0.5) ppf
+      entries =
+    let series = series_of entries in
+    let vs = verdicts ~window ~tolerance ~hard_tolerance entries in
+    Format.fprintf ppf "@[<v>%-28s %-26s %4s %12s %12s %8s  %-16s %s@,"
+      "bench" "engine" "n" "latest" "baseline" "delta" "trend" "status";
+    List.iter2
+      (fun ((_, _, _), history) v ->
+        let values = List.map (fun e -> e.en_value) history in
+        let delta_s =
+          if Float.is_nan v.v_delta then "-"
+          else Printf.sprintf "%+.1f%%" (v.v_delta *. 100.)
+        in
+        let base_s =
+          if Float.is_nan v.v_baseline then "-"
+          else Printf.sprintf "%.4g" v.v_baseline
+        in
+        Format.fprintf ppf "%-28s %-26s %4d %12.4g %12s %8s  %-16s %s@,"
+          v.v_bench v.v_engine (List.length history) v.v_latest.en_value base_s
+          delta_s (sparkline values)
+          (status_label v.v_status))
+      series vs;
+    Format.fprintf ppf "@]"
+
+  let html_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | '"' -> Buffer.add_string buf "&quot;"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* One self-contained page: no scripts, no external assets, inline
+     CSS only — it must open from a CI artifact zip with file://. *)
+  let html_page ?(title = "ocapi perf report") ?(events = []) ?(window = 5)
+      ?(tolerance = 0.2) ?(hard_tolerance = 0.5) entries =
+    let b = Buffer.create 8192 in
+    let add = Buffer.add_string b in
+    let series = series_of entries in
+    let vs = verdicts ~window ~tolerance ~hard_tolerance entries in
+    add "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>";
+    add (html_escape title);
+    add "</title><style>\n";
+    add
+      "body{font-family:system-ui,sans-serif;margin:2em;color:#222}\n\
+       table{border-collapse:collapse;margin:1em 0}\n\
+       th,td{border:1px solid #ccc;padding:0.3em 0.7em;text-align:left;\
+       font-variant-numeric:tabular-nums}\n\
+       th{background:#f0f0f0}\n\
+       .spark{font-family:monospace;font-size:1.1em;color:#36c}\n\
+       .fresh{color:#888}.steady{color:#222}.improved{color:#071}\n\
+       .regressed{color:#b60;font-weight:bold}\n\
+       .collapsed{color:#c00;font-weight:bold}\n\
+       .meta{color:#666;font-size:0.9em}\n";
+    add "</style></head><body>\n<h1>";
+    add (html_escape title);
+    add "</h1>\n";
+    add
+      (Printf.sprintf "<p class=\"meta\">%d ledger entries, %d series</p>\n"
+         (List.length entries) (List.length series));
+    add
+      "<table>\n<tr><th>bench</th><th>engine</th><th>n</th><th>latest</th>\
+       <th>baseline</th><th>delta</th><th>trend</th><th>status</th></tr>\n";
+    List.iter2
+      (fun ((_, _, _), history) v ->
+        let values = List.map (fun e -> e.en_value) history in
+        add "<tr><td>";
+        add (html_escape v.v_bench);
+        add "</td><td>";
+        add (html_escape v.v_engine);
+        add
+          (Printf.sprintf "</td><td>%d</td><td>%.4g %s</td>"
+             (List.length history) v.v_latest.en_value
+             (html_escape v.v_latest.en_unit));
+        add
+          (if Float.is_nan v.v_baseline then "<td>-</td>"
+           else Printf.sprintf "<td>%.4g</td>" v.v_baseline);
+        add
+          (if Float.is_nan v.v_delta then "<td>-</td>"
+           else Printf.sprintf "<td>%+.1f%%</td>" (v.v_delta *. 100.));
+        add "<td class=\"spark\">";
+        add (sparkline ~width:24 values);
+        add "</td><td class=\"";
+        add (status_label v.v_status);
+        add "\">";
+        add (status_label v.v_status);
+        add "</td></tr>\n")
+      series vs;
+    add "</table>\n";
+    List.iter2
+      (fun ((_, _, digest), history) v ->
+        add "<h2>";
+        add (html_escape (v.v_bench ^ " / " ^ v.v_engine));
+        add "</h2>\n<p class=\"meta\">digest ";
+        add (html_escape (if digest = "" then "-" else digest));
+        add "</p>\n<table>\n<tr><th>when (UTC)</th><th>commit</th>\
+             <th>host</th><th>domains</th><th>value</th></tr>\n";
+        let rows =
+          let n = List.length history in
+          if n <= 10 then history
+          else List.filteri (fun i _ -> i >= n - 10) history
+        in
+        List.iter
+          (fun e ->
+            add
+              (Printf.sprintf
+                 "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td>\
+                  <td>%.6g %s</td></tr>\n"
+                 (html_escape (iso8601 e.en_ts))
+                 (html_escape e.en_commit) (html_escape e.en_host) e.en_domains
+                 e.en_value (html_escape e.en_unit)))
+          rows;
+        add "</table>\n")
+      series vs;
+    (match events with
+    | [] -> ()
+    | evs ->
+      add "<h2>Latest event log</h2>\n";
+      let kind_of j =
+        match Json.member "event" j with
+        | Some (Json.String k) -> k
+        | _ -> "?"
+      in
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun j ->
+          let k = kind_of j in
+          Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+        evs;
+      add "<p class=\"meta\">";
+      add
+        (html_escape
+           (String.concat ", "
+              (Hashtbl.fold (fun k n acc -> Printf.sprintf "%s: %d" k n :: acc) counts []
+              |> List.sort String.compare)));
+      add "</p>\n<table>\n<tr><th>seq</th><th>event</th><th>corr</th>\
+           <th>detail</th></tr>\n";
+      let shown =
+        let n = List.length evs in
+        if n <= 200 then evs else List.filteri (fun i _ -> i < 200) evs
+      in
+      List.iter
+        (fun j ->
+          let seq =
+            match Json.member "seq" j with Some (Json.Int s) -> s | _ -> 0
+          in
+          let corr =
+            match Json.member "corr" j with
+            | Some (Json.String c) -> c
+            | _ -> ""
+          in
+          let detail =
+            match j with
+            | Json.Obj fields ->
+              Json.to_string
+                (Json.Obj
+                   (List.filter
+                      (fun (k, _) ->
+                        k <> "seq" && k <> "event" && k <> "corr" && k <> "ts")
+                      fields))
+            | _ -> ""
+          in
+          add
+            (Printf.sprintf
+               "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td></tr>\n" seq
+               (html_escape (kind_of j)) (html_escape corr)
+               (html_escape detail)))
+        shown);
+    add "</body></html>\n";
+    Buffer.contents b
+end

@@ -37,8 +37,10 @@ module Json : sig
       no comments, no trailing commas; numbers without [.], [e] or [E]
       that fit an OCaml [int] parse as [Int], everything else as
       [Float]).  Returns [Error msg] with the failing offset on
-      malformed input.  This is the parser behind the batch job
-      manifests. *)
+      malformed input, on objects with duplicate keys, and on input
+      nested deeper than 255 containers (a stack-overflow guard).  This
+      is the parser behind the batch job manifests, the perf ledger and
+      the event log. *)
   val of_string : string -> (t, string) result
 
   (** [member key j] is field [key] of object [j] ([None] when absent
@@ -214,3 +216,182 @@ val run_with_telemetry : label:string -> (unit -> 'a) -> 'a * report
 
 val report_json : report -> Json.t
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Structured event log}
+
+    Job-lifecycle events ([job_submitted], [job_started],
+    [job_completed], [job_deduped], [job_failed], [job_cancelled], and
+    the engine-level [run_started]/[run_finished]) recorded into one
+    process-wide buffer, independent of the metric registry: a campaign
+    emits a handful of events per job, so a single mutex-guarded list
+    keeps a total order across domains without touching the lock-free
+    hot paths.
+
+    Every event may carry a {e correlation id} — [Ocapi_batch] derives
+    it from the job's dedup key and [Flow.simulate] tags its trace span
+    with the same id, so an event log and a Perfetto trace join per
+    job. *)
+module Events : sig
+  type event = {
+    e_seq : int;  (** emission order, 1-based *)
+    e_ts : float;  (** unix seconds at emission *)
+    e_kind : string;
+    e_corr : string;  (** correlation id; [""] when uncorrelated *)
+    e_fields : (string * Json.t) list;
+  }
+
+  (** The event log has its own switch (default off) so batch campaigns
+      can record lifecycle events without enabling full telemetry. *)
+  val enabled : unit -> bool
+
+  val set_enabled : bool -> unit
+
+  (** [emit ?corr ?fields kind] appends an event; a no-op while the log
+      is disabled. *)
+  val emit : ?corr:string -> ?fields:(string * Json.t) list -> string -> unit
+
+  (** Recorded events in emission order. *)
+  val events : unit -> event list
+
+  val clear : unit -> unit
+
+  (** Canonical form: wall-clock stamps dropped, events sorted by
+      (correlation id, lifecycle rank, rendered fields), [e_seq]
+      renumbered — byte-identical however the domain interleaving went.
+      The determinism gate compares canonical event logs of serial and
+      parallel runs. *)
+  val canonicalize : event list -> event list
+
+  (** [to_json ~ts e] renders one event ([ts:false] omits the
+      wall-clock field, as canonical output must). *)
+  val to_json : ?ts:bool -> event -> Json.t
+
+  (** [write ?canonical ~path ()] writes the buffered events as JSONL
+      via atomic tmp+rename.  [canonical] (default [true]) applies
+      {!canonicalize} first. *)
+  val write : ?canonical:bool -> path:string -> unit -> unit
+
+  (** Parse an event-log JSONL file back into JSON lines.  A missing
+      file is [Ok []]. *)
+  val load : string -> (Json.t list, string) result
+end
+
+(** {1 Perf ledger}
+
+    An append-only JSONL time series of benchmark results: every bench
+    run appends one line per measured rate, keyed by bench name, engine,
+    design digest, git commit, hostname, domain count and timestamp.
+    The regression gate ([scripts/perf_gate.sh] via [ocapi report
+    --gate]) compares each series' newest entry against the median of
+    its recent history. *)
+module Ledger : sig
+  type entry = {
+    en_bench : string;
+    en_engine : string;
+    en_digest : string;  (** [Cycle_system.digest]; [""] when n/a *)
+    en_value : float;  (** a rate — bigger is better *)
+    en_unit : string;  (** e.g. ["cycles/s"], ["runs/s"], ["jobs/s"] *)
+    en_commit : string;
+    en_host : string;
+    en_domains : int;
+    en_ts : float;  (** unix seconds *)
+  }
+
+  (** [$OCAPI_LEDGER] when set, else ["PERF_LEDGER.jsonl"]. *)
+  val default_path : unit -> string
+
+  (** [entry ~bench ~engine v] stamps a new entry with the current
+      commit (read from [.git/HEAD], no subprocess), hostname, domain
+      count ({!Domain.recommended_domain_count} unless [domains] is
+      given) and time. *)
+  val entry :
+    ?digest:string ->
+    ?unit_:string ->
+    ?domains:int ->
+    bench:string ->
+    engine:string ->
+    float ->
+    entry
+
+  val entry_json : entry -> Json.t
+  val entry_of_json : Json.t -> (entry, string) result
+
+  (** Append one line, atomically (tmp+rename, serialized on a mutex so
+      concurrent domains interleave whole lines, never bytes). *)
+  val append : ?path:string -> entry -> unit
+
+  (** All entries in file order (chronological).  A missing file is
+      [Ok []]; blank lines and [#] comments are skipped. *)
+  val load : ?path:string -> unit -> (entry list, string) result
+
+  val median : float list -> float
+
+  (** Entries grouped into series by (bench, engine, digest) — hostname
+      deliberately excluded so CI runners with per-run hostnames still
+      accumulate a baseline — in first-appearance order, each series in
+      file order. *)
+  val series_of : entry list -> ((string * string * string) * entry list) list
+
+  type status =
+    | Fresh  (** no prior same-series entries *)
+    | Steady
+    | Improved  (** latest at least [tolerance] above baseline *)
+    | Regressed  (** latest at least [tolerance] below baseline *)
+    | Collapsed  (** latest at least [hard_tolerance] below baseline *)
+
+  val status_label : status -> string
+
+  type verdict = {
+    v_bench : string;
+    v_engine : string;
+    v_digest : string;
+    v_latest : entry;
+    v_baseline : float;  (** median of recent history; [nan] when Fresh *)
+    v_window : int;  (** prior entries behind the baseline *)
+    v_delta : float;  (** (latest - baseline) / baseline; [nan] when Fresh *)
+    v_status : status;
+  }
+
+  (** One verdict per series: the newest entry against the median of up
+      to [window] (default 5) immediately preceding same-series entries.
+      [tolerance] (default 0.2) bounds [Steady]; [hard_tolerance]
+      (default 0.5) marks a throughput collapse. *)
+  val verdicts :
+    ?window:int ->
+    ?tolerance:float ->
+    ?hard_tolerance:float ->
+    entry list ->
+    verdict list
+
+  val worst_status : verdict list -> status
+  val verdict_json : verdict -> Json.t
+
+  (** [{"worst": ..., "verdicts": [...]}] — the machine-readable gate
+      output. *)
+  val verdicts_json : verdict list -> Json.t
+
+  (** Unicode block sparkline of the last [width] (default 16) values. *)
+  val sparkline : ?width:int -> float list -> string
+
+  (** Terminal trend table: one row per series with latest value,
+      baseline, delta and sparkline. *)
+  val pp_trends :
+    ?window:int ->
+    ?tolerance:float ->
+    ?hard_tolerance:float ->
+    Format.formatter ->
+    entry list ->
+    unit
+
+  (** A self-contained static HTML page (inline CSS, no scripts, no
+      external assets): per-series trend table with sparklines, recent
+      history, and an optional event-log section. *)
+  val html_page :
+    ?title:string ->
+    ?events:Json.t list ->
+    ?window:int ->
+    ?tolerance:float ->
+    ?hard_tolerance:float ->
+    entry list ->
+    string
+end

@@ -28,9 +28,15 @@ dune runtest
 stage "determinism gate (serial vs --domains 2)"
 scripts/determinism_gate.sh
 
-stage "bench smoke (BENCH_*.json)"
+stage "bench smoke (BENCH_*.json + perf ledger)"
 dune exec bench/main.exe -- smoke
 ls -l BENCH_*.json
+
+stage "perf gate self-test (injected collapse must be caught)"
+scripts/perf_gate.sh --self-test
+
+stage "perf gate (ledger vs rolling baseline)"
+scripts/perf_gate.sh
 
 echo
 echo "ci-local: all stages passed"

@@ -43,13 +43,19 @@ check_cmp "seu report (dect, 300 runs)" "$work/seu-1.json" "$work/seu-2.json"
   --max-faults 80 --seed 1 --domains 2 --json >"$work/sa-2.json"
 check_cmp "stuck-at report (dect, 80 faults)" "$work/sa-1.json" "$work/sa-2.json"
 
-# 3. Batch artifact tree: the example manifest (simulate + seu +
-#    stuck-at + engine-sweep, with a duplicate) through the job queue.
-#    Artifact bytes and filenames must match file-for-file.
+# 3. Batch artifact tree and canonical event log: the example manifest
+#    (simulate + seu + stuck-at + engine-sweep, with a duplicate)
+#    through the job queue.  Artifact bytes and filenames must match
+#    file-for-file, and the --events-out lifecycle log — canonicalized
+#    by correlation id, not arrival order — must be byte-identical.
 "$OCAPI" batch --manifest examples/jobs.jsonl \
-  --artifacts "$work/art-1" --quiet >/dev/null
+  --artifacts "$work/art-1" --events-out "$work/events-1.jsonl" \
+  --quiet >/dev/null
 "$OCAPI" batch --manifest examples/jobs.jsonl --domains 2 \
-  --artifacts "$work/art-2" --quiet >/dev/null
+  --artifacts "$work/art-2" --events-out "$work/events-2.jsonl" \
+  --quiet >/dev/null
+check_cmp "batch event log ($(wc -l <"$work/events-1.jsonl") events)" \
+  "$work/events-1.jsonl" "$work/events-2.jsonl"
 if diff -r "$work/art-1" "$work/art-2" >/dev/null; then
   echo "ok   batch artifacts ($(ls "$work/art-1" | wc -l) files)"
 else

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# CI perf gate: judge the newest perf-ledger entry of every benchmark
+# series against its rolling baseline (the median of the previous
+# WINDOW entries with the same bench/engine/design key), via
+# `ocapi report --gate`.
+#
+# Knobs (env):
+#   OCAPI           built CLI        (default _build/default/bin/ocapi_cli.exe)
+#   LEDGER          ledger file      (default PERF_LEDGER.jsonl / $OCAPI_LEDGER)
+#   WINDOW          baseline window  (default 5)
+#   TOLERANCE       fraction below baseline that counts as a regression
+#                   (default 0.2)
+#   HARD_TOLERANCE  fraction below baseline that counts as a collapse
+#                   (default 0.5)
+#   FAIL_ON         collapsed | regressed  (default collapsed: ordinary
+#                   regressions only warn — shared CI runners are noisy —
+#                   while a >50% collapse fails the job)
+#
+# A missing ledger passes with a notice: the first run of a fresh
+# checkout (or an expired CI cache) has no history to gate against.
+#
+# Usage:
+#   scripts/perf_gate.sh              (after `dune build` + `make bench-smoke`)
+#   scripts/perf_gate.sh --self-test  synthesize a healthy history plus an
+#                                     injected collapse and assert the gate
+#                                     rejects it
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OCAPI=${OCAPI:-_build/default/bin/ocapi_cli.exe}
+LEDGER=${LEDGER:-${OCAPI_LEDGER:-PERF_LEDGER.jsonl}}
+WINDOW=${WINDOW:-5}
+TOLERANCE=${TOLERANCE:-0.2}
+HARD_TOLERANCE=${HARD_TOLERANCE:-0.5}
+FAIL_ON=${FAIL_ON:-collapsed}
+
+if [ ! -x "$OCAPI" ]; then
+  echo "error: $OCAPI not built (run: dune build)" >&2
+  exit 2
+fi
+
+run_gate() { # ledger fail_on
+  "$OCAPI" report --ledger "$1" --gate --fail-on "$2" \
+    --window "$WINDOW" --tolerance "$TOLERANCE" \
+    --hard-tolerance "$HARD_TOLERANCE"
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+  work=$(mktemp -d)
+  trap 'rm -rf "$work"' EXIT
+  synth="$work/ledger.jsonl"
+  # A steady ~100 cycles/s history, then an injected 10x collapse.
+  for v in 100.0 101.0 99.0 100.5 10.0; do
+    printf '{"bench":"selftest:t1","engine":"compiled","digest":"d0","value":%s,"unit":"cycles/s","commit":"synthetic","host":"selftest","domains":1,"ts":0.0}\n' \
+      "$v"
+  done >"$synth"
+  if run_gate "$synth" collapsed; then
+    echo "perf gate self-test: FAIL (injected collapse not detected)" >&2
+    exit 1
+  fi
+  echo "perf gate self-test: PASS (injected collapse detected)"
+  exit 0
+fi
+
+if [ ! -f "$LEDGER" ]; then
+  echo "perf gate: no ledger at $LEDGER yet -- passing" \
+    "(history starts with the next \`make bench-smoke\`)"
+  exit 0
+fi
+
+run_gate "$LEDGER" "$FAIL_ON"

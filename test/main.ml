@@ -22,6 +22,7 @@ let () =
       ("opcomplete", Test_opcomplete.suite);
       ("flow", Test_flow.suite);
       ("obs", Test_obs.suite);
+      ("ledger", Test_ledger.suite);
       ("fault", Test_fault.suite);
       ("parallel", Test_parallel.suite);
       ("batch", Test_batch.suite);

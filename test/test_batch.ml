@@ -282,9 +282,57 @@ let test_artifacts_flushed_on_shutdown () =
       Alcotest.(check int) "one artifact recorded" 1
         s.Ocapi_batch.bs_artifacts_written)
 
+(* The structured event log: a dedup pair must produce one
+   job_submitted + one job_deduped sharing a correlation id, every
+   execution a job_started/job_completed with the same id, and a
+   Simulate execution the engine-level run_started/run_finished pair
+   tagged with it too. *)
+let test_event_log_lifecycle () =
+  Lazy.force ensure_designs;
+  Ocapi_obs.Events.clear ();
+  Ocapi_obs.Events.set_enabled true;
+  let t = Ocapi_batch.create ~domains:1 () in
+  let job =
+    Ocapi_batch.Simulate
+      { sim_design = "tb-hcor"; sim_engine = "interp"; sim_cycles = 16;
+        sim_seed = 42 }
+  in
+  let h1 = Ocapi_batch.submit ~label:"ev-sim" t job in
+  let h2 = Ocapi_batch.submit ~label:"ev-sim-dup" t job in
+  ignore (Ocapi_batch.await t h1);
+  ignore (Ocapi_batch.await t h2);
+  Ocapi_batch.shutdown t;
+  let events = Ocapi_obs.Events.events () in
+  Ocapi_obs.Events.set_enabled false;
+  Ocapi_obs.Events.clear ();
+  let kinds k =
+    List.filter (fun e -> e.Ocapi_obs.Events.e_kind = k) events
+  in
+  let corr_of k =
+    match kinds k with
+    | [ e ] -> e.Ocapi_obs.Events.e_corr
+    | l ->
+      Alcotest.fail (Printf.sprintf "%d %s events, expected 1" (List.length l) k)
+  in
+  let submitted = corr_of "job_submitted" in
+  Alcotest.(check bool) "corr is a 12-char digest prefix" true
+    (String.length submitted = 12);
+  Alcotest.(check string) "dedup shares the corr" submitted
+    (corr_of "job_deduped");
+  Alcotest.(check string) "started shares the corr" submitted
+    (corr_of "job_started");
+  Alcotest.(check string) "completed shares the corr" submitted
+    (corr_of "job_completed");
+  Alcotest.(check string) "engine run_started shares the corr" submitted
+    (corr_of "run_started");
+  Alcotest.(check string) "engine run_finished shares the corr" submitted
+    (corr_of "run_finished")
+
 let suite =
   [
     Alcotest.test_case "FIFO within priority classes" `Quick test_priority_fifo;
+    Alcotest.test_case "event log lifecycle and correlation" `Quick
+      test_event_log_lifecycle;
     Alcotest.test_case "timeout is a structured failure" `Quick
       test_timeout_is_structured;
     Alcotest.test_case "queued job cancellation" `Quick test_cancel_queued_job;

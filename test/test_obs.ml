@@ -390,6 +390,84 @@ let test_json_of_string_roundtrip () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
 
+(* Error paths the round-trip test can't reach: truncation at every
+   prefix, malformed escapes, duplicate object keys, and the
+   recursion-depth cap — each must be a structured [Error], never an
+   exception or a silent acceptance. *)
+let test_json_error_paths () =
+  let open Ocapi_obs.Json in
+  let expect_error what s =
+    match of_string s with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%s: accepted %S" what s)
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: error message non-empty" what)
+        true
+        (String.length e > 0)
+  in
+  (* The document opens with [{], so every strict prefix is
+     unterminated and must be rejected. *)
+  let doc = {|{"a":[1,true,"x\n"],"b":{"c":null}}|} in
+  for n = 1 to String.length doc - 1 do
+    expect_error "truncated" (String.sub doc 0 n)
+  done;
+  List.iter (expect_error "bad escape")
+    [ {|"\q"|}; {|"\u12"|}; {|"\u12zx"|}; {|"a\|} ];
+  expect_error "duplicate key" {|{"a":1,"a":2}|};
+  expect_error "nested duplicate key" {|{"x":{"k":1,"k":1}}|};
+  let deep n =
+    String.concat "" [ String.make n '['; "1"; String.make n ']' ]
+  in
+  (match of_string (deep 200) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("depth 200 wrongly rejected: " ^ e));
+  expect_error "nesting beyond the 255 cap" (deep 300)
+
+(* Floats must print in the shortest form that parses back to the same
+   bits — the ledger and event logs are diffed and deduplicated by
+   byte equality, so the rendering has to be canonical. *)
+let test_json_float_bytes () =
+  let open Ocapi_obs.Json in
+  List.iter
+    (fun f ->
+      let s = to_string (Float f) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s parses back exactly" s)
+        true
+        (float_of_string s = f))
+    [ 0.1; 1.0 /. 3.0; 1e22; 1.5; 1786228654.348076; Float.pi; -2.5e-8 ];
+  Alcotest.(check string) "0.1 stays short" "0.1" (to_string (Float 0.1));
+  Alcotest.(check string) "1.5 stays short" "1.5" (to_string (Float 1.5));
+  Alcotest.(check string) "pi needs 16 significant digits"
+    "3.141592653589793"
+    (to_string (Float Float.pi))
+
+(* hist_quantile over the batch service's purpose-built 1-2-5 decade
+   queue-wait buckets: the estimate must be monotone in q, including
+   observations below the first bound and beyond the last. *)
+let test_quantile_monotone_queue_buckets () =
+  Ocapi_obs.reset ();
+  Ocapi_obs.enable ();
+  List.iter
+    (fun v ->
+      Ocapi_obs.observe ~buckets:Ocapi_batch.queue_wait_buckets "tq.wait" v)
+    [ 0.5; 3.0; 7.0; 40.0; 150.0; 900.0; 4_000.0; 75_000.0; 2.0e6; 3.0e8 ];
+  let hs =
+    match List.assoc_opt "tq.wait" (Ocapi_obs.snapshot ()) with
+    | Some (Ocapi_obs.Histogram_v hs) -> hs
+    | _ -> Alcotest.fail "histogram not recorded"
+  in
+  let prev = ref neg_infinity in
+  for i = 0 to 100 do
+    let q = float_of_int i /. 100.0 in
+    let v = Ocapi_obs.hist_quantile hs q in
+    Alcotest.(check bool)
+      (Printf.sprintf "quantile monotone at q=%.2f (%g >= %g)" q v !prev)
+      true (v >= !prev);
+    prev := v
+  done;
+  Ocapi_obs.reset ()
+
 let test_json_member () =
   let open Ocapi_obs.Json in
   let v = Obj [ ("a", Int 1); ("b", String "x") ] in
@@ -441,6 +519,12 @@ let suite =
     Alcotest.test_case "counter and gauge semantics" `Quick test_counters;
     Alcotest.test_case "Json.of_string round trip" `Quick
       test_json_of_string_roundtrip;
+    Alcotest.test_case "Json.of_string error paths" `Quick
+      test_json_error_paths;
+    Alcotest.test_case "Json float rendering is canonical" `Quick
+      test_json_float_bytes;
+    Alcotest.test_case "quantiles monotone over queue buckets" `Quick
+      test_quantile_monotone_queue_buckets;
     Alcotest.test_case "Json.member lookup" `Quick test_json_member;
     Alcotest.test_case "hist_quantile estimation" `Quick test_hist_quantile;
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
