@@ -1,6 +1,6 @@
-.PHONY: all build doc test bench bench-json bench-par bench-batch bench-smoke \
-	cache-stats fault batch profile report perf-gate ci-determinism \
-	ci-local clean
+.PHONY: all build doc test bench bench-json bench-par bench-batch \
+	bench-service bench-smoke cache-stats fault batch serve profile report \
+	perf-gate ci-determinism ci-crash-recovery ci-local clean
 
 all: build doc
 
@@ -49,8 +49,15 @@ bench-par: build
 bench-batch: build
 	dune exec bench/main.exe -- batch
 
+# Resilient service benchmark: a clean campaign vs the same campaign
+# under seeded chaos (worker kills) plus a pure journal-replay restart;
+# writes ./BENCH_service.json (throughputs, retry counts, a
+# byte-identity convergence check).
+bench-service: build
+	dune exec bench/main.exe -- service
+
 # The CI smoke stage: every BENCH_*.json writer at a size that finishes
-# in seconds (BENCH_table1 / fault / batch / cache).
+# in seconds (BENCH_table1 / fault / batch / cache / service).
 bench-smoke: build
 	dune exec bench/main.exe -- smoke
 
@@ -66,6 +73,16 @@ fault: build
 # domains, artifacts under _generated/batch/.
 batch: build
 	dune exec bin/ocapi_cli.exe -- batch --manifest examples/jobs.jsonl --domains 2
+
+# Resilient service demo: the service manifest (including its poisoned
+# "chaos": "crash" line) through supervised worker processes with a
+# crash-recoverable journal under _generated/service/.  Rerunning after
+# a Ctrl-C or a kill resumes from the journal.  Exits 1: the poisoned
+# job ends as Failed/retries-exhausted by design.
+serve: build
+	dune exec bin/ocapi_cli.exe -- serve \
+	  --manifest examples/service_jobs.jsonl --workers 2 --retries 2 \
+	  --backoff-base 0.2 || true
 
 # Telemetry demo: metrics report + Chrome trace for the DECT compiled
 # simulator (open the .trace.json in https://ui.perfetto.dev).
@@ -89,6 +106,12 @@ perf-gate: build
 # batch artifact trees and canonical event logs must be bit-identical.
 ci-determinism: build
 	scripts/determinism_gate.sh
+
+# The CI crash-recovery gate: a seeded chaos campaign (worker kills, a
+# mid-campaign server SIGKILL, one poisoned job) must converge after
+# restart to an artifact tree byte-identical to an undisturbed run.
+ci-crash-recovery: build
+	scripts/crash_recovery_gate.sh
 
 # The whole CI pipeline, run locally (build, docs when odoc exists,
 # tests, determinism gate, bench smoke) — an `act`-equivalent dry run.

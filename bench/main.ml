@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- t1      -- one target
      targets: t1 t1-json c3 c4 c5 c6 f5 figs fault par micro cache cache-stats
-              batch smoke
+              batch service smoke
 
    T1  Table 1 (source lines / cycles-per-second / process size for
        HCOR and DECT under four simulation engines); also written
@@ -27,6 +27,10 @@
    batch  Ocapi_batch job-queue throughput, queue-latency percentiles and
        dedup hit rate over a mixed duplicated manifest; written
        machine-readably to BENCH_batch.json (`make bench-batch`)
+   service  Ocapi_service campaign throughput with and without seeded
+       chaos kills, journal-replay recovery cost, and a byte-identity
+       check of the chaos artifact tree against the clean one; written
+       machine-readably to BENCH_service.json (`make bench-service`)
    smoke  the CI smoke stage: every BENCH_*.json writer at a size that
        finishes in seconds (`make bench-smoke`) *)
 
@@ -881,12 +885,165 @@ let batch_bench ?(domains = 2) ?(seeds = 6) ?(seu_runs = 150) () =
     ~engine:"batch" ~unit_:"jobs/s" throughput;
   print_newline ()
 
+(* ---- service: the resilient campaign service ------------------------------ *)
+
+(* Throughput of the process-isolated campaign service, with and
+   without chaos injection, plus the cost of a journal replay.  The
+   server spawns `ocapi worker` subprocesses, so the CLI executable is
+   located relative to this bench binary inside _build; when it is not
+   there (bench built alone) the target degrades to a notice. *)
+let service_bench ?(jobs = 8) ?(workers = 2) ?(seu_runs = 60) () =
+  Printf.printf "== service: supervised worker processes (%d workers) ==\n"
+    workers;
+  let cli =
+    let dir = Filename.dirname Sys.executable_name in
+    Filename.concat (Filename.concat (Filename.dirname dir) "bin") "ocapi_cli.exe"
+  in
+  if not (Sys.file_exists cli) then
+    Printf.printf "service bench skipped: %s not built\n\n" cli
+  else begin
+    Ocapi_batch.register_design ~name:"hcor" hcor_design;
+    Ocapi_batch.register_design
+      ~macro_of_kernel:Dect_transceiver.macro_of_kernel ~name:"dect" dect_design;
+    let requests =
+      List.init jobs (fun i ->
+          let line =
+            if i mod 2 = 0 then
+              Printf.sprintf
+                "{\"kind\": \"simulate\", \"design\": \"hcor\", \"engine\": \
+                 \"compiled\", \"cycles\": 64, \"seed\": %d}"
+                (i + 1)
+            else
+              Printf.sprintf
+                "{\"kind\": \"seu\", \"design\": \"hcor\", \"engine\": \
+                 \"compiled\", \"runs\": %d, \"cycles\": 32, \"seed\": %d}"
+                seu_runs (i + 1)
+          in
+          match Ocapi_obs.Json.of_string line with
+          | Ok j -> j
+          | Error e -> failwith e)
+    in
+    let rm_rf dir =
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    in
+    let run ~tag ~chaos ~fresh =
+      let state = Filename.concat "_generated/service-bench" (tag ^ "-state") in
+      let artifacts =
+        Filename.concat "_generated/service-bench" (tag ^ "-artifacts")
+      in
+      if fresh then begin
+        rm_rf state;
+        rm_rf artifacts
+      end;
+      let cfg =
+        {
+          Ocapi_service.default_config with
+          cf_workers = workers;
+          cf_state_dir = state;
+          cf_artifact_dir = artifacts;
+          cf_worker_cmd = [ cli; "worker" ];
+          cf_retries = 4;
+          cf_backoff_base = 0.05;
+          cf_backoff_cap = 0.5;
+          cf_chaos = chaos;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let s = Ocapi_service.serve cfg ~requests in
+      (Unix.gettimeofday () -. t0, artifacts, s)
+    in
+    let clean_seconds, clean_artifacts, _ = run ~tag:"clean" ~chaos:None ~fresh:true in
+    let chaos_cfg =
+      Some
+        { Ocapi_service.ch_seed = 11; ch_kill_prob = 0.4; ch_kill_delay = 0.3 }
+    in
+    let chaos_seconds, chaos_artifacts, chaos =
+      run ~tag:"chaos" ~chaos:chaos_cfg ~fresh:true
+    in
+    (* A third pass over the chaos run's journal with the same manifest:
+       everything dedups, so this prices replay + admission alone — the
+       fixed cost a restarted server pays before resuming real work. *)
+    let recovery_seconds, _, recovery = run ~tag:"chaos" ~chaos:None ~fresh:false in
+    (* Chaos must not have cost determinism: both trees byte-identical. *)
+    let converged =
+      let names dir = List.sort compare (Array.to_list (Sys.readdir dir)) in
+      let read f =
+        let ic = open_in_bin f in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      names clean_artifacts = names chaos_artifacts
+      && List.for_all
+           (fun f ->
+             read (Filename.concat clean_artifacts f)
+             = read (Filename.concat chaos_artifacts f))
+           (names clean_artifacts)
+    in
+    let rate jobs seconds = float_of_int jobs /. seconds in
+    Printf.printf
+      "clean: %d jobs in %.2fs -> %.1f jobs/s\n\
+       chaos: %d jobs in %.2fs -> %.1f jobs/s (%d chaos kills, %d crashes, %d \
+       retries)\n\
+       recovery replay: %.3fs (%d deduped, 0 re-executed)\n\
+       converged: %b (chaos artifact tree byte-identical to clean)\n"
+      jobs clean_seconds (rate jobs clean_seconds) jobs chaos_seconds
+      (rate jobs chaos_seconds) chaos.Ocapi_service.sm_chaos_kills
+      chaos.Ocapi_service.sm_crashes chaos.Ocapi_service.sm_retries
+      recovery_seconds recovery.Ocapi_service.sm_deduped converged;
+    if not converged then
+      print_endline "service bench: WARNING -- chaos run diverged from clean run";
+    let json =
+      Ocapi_obs.Json.(
+        Obj
+          [
+            ("jobs", Int jobs);
+            ("workers", Int workers);
+            ("clean_seconds", Float clean_seconds);
+            ("clean_throughput_jobs_per_second", Float (rate jobs clean_seconds));
+            ("chaos_seconds", Float chaos_seconds);
+            ("chaos_throughput_jobs_per_second", Float (rate jobs chaos_seconds));
+            ( "chaos",
+              Obj
+                [
+                  ("kills", Int chaos.Ocapi_service.sm_chaos_kills);
+                  ("crashes", Int chaos.Ocapi_service.sm_crashes);
+                  ("retries", Int chaos.Ocapi_service.sm_retries);
+                  ("completed", Int chaos.Ocapi_service.sm_completed);
+                  ("poisoned", Int chaos.Ocapi_service.sm_poisoned);
+                ] );
+            ("recovery_replay_seconds", Float recovery_seconds);
+            ("recovery_deduped", Int recovery.Ocapi_service.sm_deduped);
+            ("converged", Bool converged);
+          ])
+    in
+    let oc = open_out "BENCH_service.json" in
+    output_string oc (Ocapi_obs.Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    print_endline "wrote BENCH_service.json";
+    ledger
+      ~bench:(Printf.sprintf "service:clean:j%d:w%d" jobs workers)
+      ~engine:"service" ~unit_:"jobs/s" (rate jobs clean_seconds);
+    ledger
+      ~bench:(Printf.sprintf "service:chaos:j%d:w%d" jobs workers)
+      ~engine:"service" ~unit_:"jobs/s" (rate jobs chaos_seconds);
+    ledger
+      ~bench:(Printf.sprintf "service:recovery-replay:j%d" jobs)
+      ~engine:"service" ~unit_:"jobs/s" (rate jobs recovery_seconds);
+    print_newline ()
+  end
+
 (* The CI smoke stage: every BENCH_*.json writer at a size that finishes
    in seconds, so the pipeline uploads fresh artifacts on each run. *)
 let smoke () =
   t1_json ();
   fault_bench ~sa_faults:40 ~seu_runs:100 ();
   batch_bench ~domains:2 ~seeds:2 ~seu_runs:40 ();
+  service_bench ~jobs:4 ~seu_runs:30 ();
   cache_bench ()
 
 (* Print the counters recorded in BENCH_cache.json (the `make cache-stats`
@@ -959,6 +1116,7 @@ let () =
       | "cache" -> cache_bench ()
       | "cache-stats" -> cache_stats ()
       | "batch" -> batch_bench ()
+      | "service" -> service_bench ()
       | "smoke" -> smoke ()
       | other -> Printf.printf "unknown bench target %s\n" other)
     targets;

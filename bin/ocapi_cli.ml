@@ -9,6 +9,9 @@
      ocapi fault --design <design> [--campaign seu|stuck-at] [--domains N]
      ocapi batch --manifest jobs.jsonl [--domains N] [--artifacts DIR]
                  [--events-out FILE]
+     ocapi serve --manifest jobs.jsonl [--workers N] [--state-dir D]
+                 [--retries N] [--chaos-prob P] [--die-after N]
+     ocapi worker --request JSON --artifact FILE   (spawned by serve)
      ocapi report [--ledger FILE] [--events FILE] [--html FILE] [--gate]
 
    Designs: hcor | dect (the reference designs of lib/designs). *)
@@ -516,6 +519,29 @@ let batch_cmd =
         end;
         let t = Ocapi_batch.create ~domains ~artifact_dir:artifacts ?on_event () in
         let handles = List.map (Ocapi_batch.submit_request t) requests in
+        (* A signal drains instead of killing: cancel what has not run,
+           let running jobs stop at their next progress check, and keep
+           the artifact writer alive until its queue is flushed — a
+           Ctrl-C must never leave a torn artifact tree. *)
+        let interrupted = Atomic.make false in
+        let on_signal _ = Atomic.set interrupted true in
+        let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+        let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+        let unresolved () =
+          List.exists
+            (fun h ->
+              match Ocapi_batch.status t h with
+              | Ocapi_batch.Done _ -> false
+              | Ocapi_batch.Queued | Ocapi_batch.Running -> true)
+            handles
+        in
+        while unresolved () && not (Atomic.get interrupted) do
+          Thread.delay 0.02
+        done;
+        if Atomic.get interrupted then begin
+          say "interrupted: cancelling queued jobs, draining artifact writer";
+          List.iter (fun h -> ignore (Ocapi_batch.cancel t h)) handles
+        end;
         let failures = ref 0 in
         List.iter
           (fun h ->
@@ -536,6 +562,8 @@ let batch_cmd =
               say "%-9s %s" "cancelled" (Ocapi_batch.label_of h))
           handles;
         Ocapi_batch.shutdown t;
+        Sys.set_signal Sys.sigint prev_int;
+        Sys.set_signal Sys.sigterm prev_term;
         let s = Ocapi_batch.stats t in
         say
           "batch: %d submitted, %d executed, %d deduped (%.0f%% hit rate), %d \
@@ -551,7 +579,7 @@ let batch_cmd =
           Ocapi_obs.Events.set_enabled false;
           say "wrote %s" path
         | None -> ());
-        if !failures = 0 then 0 else 1
+        if Atomic.get interrupted then 130 else if !failures = 0 then 0 else 1
       in
       if telemetry then begin
         let code, report = Ocapi_obs.run_with_telemetry ~label:"batch" go in
@@ -570,6 +598,248 @@ let batch_cmd =
     Term.(
       const run $ manifest_arg $ domains_arg $ artifacts_arg $ cache_arg
       $ telemetry_arg $ quiet_arg $ events_out_arg)
+
+(* serve / worker: the resilient campaign service.
+
+   `ocapi serve` supervises one worker *process* per job attempt (the
+   batch command's domains share one address space; a crashing engine
+   there takes the campaign down).  Every transition is journaled to
+   state-dir/journal.jsonl before it takes effect, so a killed server
+   restarted with the same command line resumes exactly where it died:
+   completed jobs dedup against the journal, in-flight jobs re-run,
+   and the artifact tree converges to the undisturbed run's bytes. *)
+
+let worker_cmd =
+  let request_arg =
+    let doc = "The job as a one-line JSON manifest object." in
+    Arg.(required & opt (some string) None & info [ "request" ] ~docv:"JSON" ~doc)
+  in
+  let artifact_arg =
+    let doc = "Path the canonical JSON artifact is atomically written to." in
+    Arg.(required & opt (some string) None & info [ "artifact" ] ~docv:"FILE" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Cooperative wall-clock budget (seconds) when the request carries none." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let heartbeat_arg =
+    let doc = "Heartbeat period (seconds) on stdout." in
+    Arg.(value & opt float 1.0 & info [ "heartbeat-every" ] ~docv:"SECONDS" ~doc)
+  in
+  let cache_dir_arg =
+    let doc = "Enable the disk-backed evaluation cache in $(docv)." in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run request artifact timeout heartbeat_every cache_dir =
+    register_batch_designs ();
+    match Ocapi_obs.Json.of_string request with
+    | Error e ->
+      (* Keep the stdout protocol even for a malformed invocation, so
+         the supervisor records a structured failure, not a crash. *)
+      print_string
+        ("fail "
+        ^ Ocapi_obs.Json.to_string
+            (Ocapi_obs.Json.Obj
+               [
+                 ("code", Ocapi_obs.Json.String "unsupported");
+                 ("message", Ocapi_obs.Json.String ("malformed --request: " ^ e));
+               ])
+        ^ "\n");
+      flush stdout;
+      Ocapi_service.exit_failed
+    | Ok request ->
+      Ocapi_service.worker_main ?timeout ~heartbeat_every ?cache_dir ~request
+        ~artifact ()
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run one batch job in this process for a supervising `ocapi serve` \
+          (heartbeats on stdout, artifact written atomically).  Not usually \
+          invoked by hand.")
+    Term.(
+      const run $ request_arg $ artifact_arg $ timeout_arg $ heartbeat_arg
+      $ cache_dir_arg)
+
+let serve_cmd =
+  let manifest_opt_arg =
+    let doc =
+      "JSONL job manifest.  Optional: without it the server only resumes \
+       journaled work, which is how a crashed campaign is finished."
+    in
+    Arg.(value & opt (some string) None & info [ "manifest"; "m" ] ~docv:"FILE" ~doc)
+  in
+  let workers_arg =
+    let doc = "Concurrent worker processes." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let state_dir_arg =
+    let doc = "State directory holding the crash-recovery journal." in
+    Arg.(
+      value
+      & opt string "_generated/service"
+      & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let service_artifacts_arg =
+    let doc = "Directory for the per-job JSON artifacts." in
+    Arg.(
+      value
+      & opt string "_generated/service/artifacts"
+      & info [ "artifacts" ] ~docv:"DIR" ~doc)
+  in
+  let retries_arg =
+    let doc = "Attempt budget per job before it is poisoned (retries-exhausted)." in
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_base_arg =
+    let doc = "Base retry backoff (seconds); doubles per attempt, with seeded jitter." in
+    Arg.(value & opt float 0.5 & info [ "backoff-base" ] ~docv:"SECONDS" ~doc)
+  in
+  let backoff_cap_arg =
+    let doc = "Upper bound on the retry backoff (seconds)." in
+    Arg.(value & opt float 30.0 & info [ "backoff-cap" ] ~docv:"SECONDS" ~doc)
+  in
+  let backoff_seed_arg =
+    let doc = "Seed of the deterministic backoff jitter." in
+    Arg.(value & opt int 1 & info [ "backoff-seed" ] ~docv:"SEED" ~doc)
+  in
+  let job_timeout_arg =
+    let doc = "Default per-job wall-clock budget (seconds) for requests carrying none." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let heartbeat_timeout_arg =
+    let doc = "Kill a worker silent for this long (seconds)." in
+    Arg.(value & opt float 30.0 & info [ "heartbeat-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_queue_arg =
+    let doc = "Pending-queue bound; submissions beyond it are rejected (overloaded)." in
+    Arg.(value & opt int 1024 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let chaos_prob_arg =
+    let doc =
+      "Chaos mode: probability that a first-attempt worker is SIGKILLed at a \
+       seeded random point.  0 disables chaos."
+    in
+    Arg.(value & opt float 0.0 & info [ "chaos-prob" ] ~docv:"P" ~doc)
+  in
+  let chaos_seed_arg =
+    let doc = "Seed of the chaos kill schedule." in
+    Arg.(value & opt int 7 & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+  in
+  let chaos_delay_arg =
+    let doc = "Chaos kills land uniformly within $(docv) seconds of launch." in
+    Arg.(value & opt float 0.5 & info [ "chaos-delay" ] ~docv:"SECONDS" ~doc)
+  in
+  let die_after_arg =
+    let doc =
+      "Crash-testing failpoint: SIGKILL the server itself after $(docv) \
+       completed jobs (the recovery gate restarts it)."
+    in
+    Arg.(value & opt (some int) None & info [ "die-after" ] ~docv:"N" ~doc)
+  in
+  let run manifest workers state_dir artifacts retries backoff_base backoff_cap
+      backoff_seed job_timeout heartbeat_timeout max_queue cache chaos_prob
+      chaos_seed chaos_delay die_after quiet events_out json =
+    register_batch_designs ();
+    let requests =
+      match manifest with
+      | None -> Ok []
+      | Some path -> Ocapi_service.read_manifest path
+    in
+    match requests with
+    | Error e ->
+      Printf.eprintf "manifest: %s\n" e;
+      1
+    | Ok requests ->
+      if events_out <> None then begin
+        Ocapi_obs.Events.clear ();
+        Ocapi_obs.Events.set_enabled true
+      end;
+      let cfg =
+        {
+          Ocapi_service.default_config with
+          cf_workers = workers;
+          cf_state_dir = state_dir;
+          cf_artifact_dir = artifacts;
+          cf_worker_cmd = [ Sys.executable_name; "worker" ];
+          cf_retries = retries;
+          cf_backoff_base = backoff_base;
+          cf_backoff_cap = backoff_cap;
+          cf_backoff_seed = backoff_seed;
+          cf_job_timeout = job_timeout;
+          cf_heartbeat_timeout = heartbeat_timeout;
+          cf_max_queue = max_queue;
+          cf_cache_dir = (if cache then Some "_generated/cache" else None);
+          cf_chaos =
+            (if chaos_prob > 0.0 then
+               Some
+                 {
+                   Ocapi_service.ch_seed = chaos_seed;
+                   ch_kill_prob = chaos_prob;
+                   ch_kill_delay = chaos_delay;
+                 }
+             else None);
+          cf_die_after = die_after;
+          cf_on_line =
+            (if quiet then None
+             else
+               Some
+                 (fun line ->
+                   print_string line;
+                   print_newline ();
+                   flush stdout));
+        }
+      in
+      let s = Ocapi_service.serve cfg ~requests in
+      (match events_out with
+      | Some path ->
+        Ocapi_obs.Events.write ~canonical:true ~path ();
+        Ocapi_obs.Events.set_enabled false
+      | None -> ());
+      if json then
+        print_endline
+          (Ocapi_obs.Json.to_string
+             (Ocapi_obs.Json.Obj
+                [
+                  ("submitted", Ocapi_obs.Json.Int s.Ocapi_service.sm_submitted);
+                  ("deduped", Ocapi_obs.Json.Int s.sm_deduped);
+                  ("recovered", Ocapi_obs.Json.Int s.sm_recovered);
+                  ("completed", Ocapi_obs.Json.Int s.sm_completed);
+                  ("failed", Ocapi_obs.Json.Int s.sm_failed);
+                  ("poisoned", Ocapi_obs.Json.Int s.sm_poisoned);
+                  ("rejected", Ocapi_obs.Json.Int s.sm_rejected);
+                  ("crashes", Ocapi_obs.Json.Int s.sm_crashes);
+                  ("retries", Ocapi_obs.Json.Int s.sm_retries);
+                  ("chaos_kills", Ocapi_obs.Json.Int s.sm_chaos_kills);
+                  ("drained", Ocapi_obs.Json.Bool s.sm_drained);
+                  ("aborted", Ocapi_obs.Json.Bool s.sm_aborted);
+                ]))
+      else
+        Printf.printf
+          "serve: %d submitted, %d deduped, %d recovered, %d completed, %d \
+           failed (%d poisoned), %d rejected, %d crashes, %d retries, %d \
+           chaos kills (%.2fs)\n"
+          s.Ocapi_service.sm_submitted s.sm_deduped s.sm_recovered
+          s.sm_completed s.sm_failed s.sm_poisoned s.sm_rejected s.sm_crashes
+          s.sm_retries s.sm_chaos_kills s.sm_seconds;
+      if s.sm_aborted then 130
+      else if s.sm_drained then 4
+      else if s.sm_failed > 0 || s.sm_rejected > 0 then 1
+      else 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a campaign on supervised worker processes with retry/backoff \
+          and a crash-recoverable journal: a killed server restarted with \
+          the same command line resumes where it died, and the artifact \
+          tree converges to the bytes of an undisturbed run.")
+    Term.(
+      const run $ manifest_opt_arg $ workers_arg $ state_dir_arg
+      $ service_artifacts_arg $ retries_arg $ backoff_base_arg $ backoff_cap_arg
+      $ backoff_seed_arg $ job_timeout_arg $ heartbeat_timeout_arg
+      $ max_queue_arg $ cache_arg $ chaos_prob_arg $ chaos_seed_arg
+      $ chaos_delay_arg $ die_after_arg $ quiet_arg $ events_out_arg $ json_arg)
 
 (* report *)
 
@@ -738,4 +1008,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; simulate_cmd; synth_cmd; emit_cmd; profile_cmd;
-            fault_cmd; batch_cmd; report_cmd ]))
+            fault_cmd; batch_cmd; serve_cmd; worker_cmd; report_cmd ]))

@@ -894,3 +894,23 @@ let read_manifest path =
 let submit_request t r =
   submit ~priority:r.rq_priority ?timeout:r.rq_timeout ?label:r.rq_label t
     r.rq_job
+
+(* --- preparation for external executors ----------------------------------- *)
+
+type prepared = {
+  pr_key : string;
+  pr_corr : string;
+  pr_label : string;
+  pr_artifact_file : string;
+  pr_run : progress:(unit -> unit) -> Ocapi_obs.Json.t;
+}
+
+let prepare_request r =
+  let key, label, artifact_file, run = prepare ~label:r.rq_label r.rq_job in
+  {
+    pr_key = key;
+    pr_corr = corr_of_key key;
+    pr_label = label;
+    pr_artifact_file = artifact_file;
+    pr_run = run;
+  }

@@ -240,3 +240,30 @@ val request_of_line : string -> (request, string) result
 val read_manifest : string -> (request list, string) result
 
 val submit_request : t -> request -> handle
+
+(** {1 Preparation for external executors}
+
+    The campaign service ([Ocapi_service]) runs jobs in {e worker
+    processes} rather than on this module's domain pool, but shares the
+    job vocabulary: the same manifests, the same dedup fingerprints,
+    the same canonical artifact bytes.  [prepare_request] is that
+    shared front half of {!submit}: it resolves the design and engine,
+    builds and fingerprints the system (so the caller owns it from then
+    on), and returns the job's identity plus the closure that executes
+    it. *)
+
+type prepared = {
+  pr_key : string;  (** the {!Flow.Cache.key_of} dedup fingerprint *)
+  pr_corr : string;  (** correlation id: short digest of [pr_key] *)
+  pr_label : string;  (** display label (the request's, or derived) *)
+  pr_artifact_file : string;
+      (** artifact {e file name} (label slug + key digest), identical
+          to the one {!submit} would write under its [artifact_dir] *)
+  pr_run : progress:(unit -> unit) -> Ocapi_obs.Json.t;
+      (** executes the job; [progress] is the cooperative stop hook *)
+}
+
+(** @raise Ocapi_error.Error with code [Unsupported] on an unknown
+    design or engine name; [Invalid_argument] on non-positive
+    parameters (the same validation as {!submit}). *)
+val prepare_request : request -> prepared

@@ -235,15 +235,29 @@ module Cache = struct
         result
       with _ -> None
 
+  (* Writes are atomic (tmp + rename, the same idiom as the batch
+     artifact writer): a crash mid-write leaves at worst a stray tmp
+     file, never a truncated [.cache] entry for [disk_read] to choke
+     on.  The handler is deliberately wide — out of space, permission,
+     a directory swapped for a file, anything — because a failed write
+     must degrade to a future miss, not abort the simulation that just
+     produced the value. *)
   let disk_write ~namespace dir k v =
-    try
-      let oc = open_out_bin (disk_path ~namespace dir k) in
+    let path = disk_path ~namespace dir k in
+    let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+    match
+      let oc = open_out_bin tmp in
       Fun.protect
         ~finally:(fun () -> close_out_noerr oc)
         (fun () -> Marshal.to_channel oc (k, v) []);
+      Sys.rename tmp path
+    with
+    | () ->
       (match !disk_cap with Some cap -> sweep_disk dir cap | None -> ());
       true
-    with Sys_error _ -> false
+    | exception _ ->
+      (try Sys.remove tmp with _ -> ());
+      false
 
   (* The shared lookup/store shape of the history table and every
      auxiliary [Store]: memory first, then the namespaced disk entry,

@@ -138,7 +138,10 @@ module Cache : sig
   }
 
   (** [enable ?dir ?max_disk_bytes ()] turns the cache on; [dir] adds
-      the on-disk store (created if missing).  [max_disk_bytes] bounds
+      the on-disk store (created if missing).  Disk entries are written
+      atomically (tmp + rename) and any write or read failure —
+      including a corrupted or truncated entry — degrades to a miss,
+      never an exception.  [max_disk_bytes] bounds
       the disk store: after every write, if the [.cache] files of
       [dir] exceed the cap, the least-recently-used entries (oldest
       mtime; disk hits touch their file) are deleted until it fits.

@@ -9,6 +9,9 @@ type code =
   | Watchdog
   | Timeout
   | Cancelled
+  | Worker_crashed
+  | Retries_exhausted
+  | Overloaded
   | Unsupported
   | Shared_state
   | Internal
@@ -51,6 +54,9 @@ let code_label = function
   | Watchdog -> "watchdog"
   | Timeout -> "timeout"
   | Cancelled -> "cancelled"
+  | Worker_crashed -> "worker-crashed"
+  | Retries_exhausted -> "retries-exhausted"
+  | Overloaded -> "overloaded"
   | Unsupported -> "unsupported"
   | Shared_state -> "shared-state"
   | Internal -> "internal"

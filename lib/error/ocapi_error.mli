@@ -31,6 +31,19 @@ type code =
       (** a request exceeded its wall-clock deadline (batch jobs with
           a [~timeout]; the computation was abandoned cooperatively) *)
   | Cancelled  (** a queued or running request was cancelled *)
+  | Worker_crashed
+      (** a worker {e process} died mid-job — killed by a signal
+          (segfault, OOM kill, chaos injection) or reaped past its
+          heartbeat/deadline backstop by the campaign service, which
+          retries the job under its bounded retry budget *)
+  | Retries_exhausted
+      (** a poisoned job: it killed every worker that attempted it,
+          exhausting the retry budget, and is resolved [Failed]
+          instead of being requeued forever *)
+  | Overloaded
+      (** a submission was rejected by bounded-queue backpressure:
+          the service's pending queue is at capacity, and rejecting
+          beats growing without limit *)
   | Unsupported  (** construct outside an engine's subset *)
   | Shared_state
       (** a design object still owned by a live engine session (or by

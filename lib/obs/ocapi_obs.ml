@@ -844,16 +844,20 @@ module Events = struct
       (if ts then fields @ [ ("ts", Json.Float e.e_ts) ] else fields)
 
   (* Lifecycle rank inside one correlation id: submission before start
-     before the run before completion, whatever wall-clock order the
-     worker domains produced. *)
+     before the run before crash/retry before completion, whatever
+     wall-clock order the worker domains (or the campaign service's
+     worker processes) produced. *)
   let kind_rank = function
     | "job_submitted" -> 0
     | "job_deduped" -> 1
-    | "job_started" -> 2
-    | "run_started" -> 3
-    | "run_finished" -> 4
-    | "job_completed" | "job_failed" | "job_cancelled" -> 5
-    | _ -> 6
+    | "job_rejected" -> 2
+    | "job_started" -> 3
+    | "run_started" -> 4
+    | "run_finished" -> 5
+    | "worker_crashed" -> 6
+    | "job_retried" -> 7
+    | "job_completed" | "job_failed" | "job_cancelled" -> 8
+    | _ -> 9
 
   (* Canonical form: wall-clock stamps dropped, events sorted by
      (corr, lifecycle rank, rendered fields), seq renumbered.  Two runs

@@ -220,8 +220,10 @@ val pp_report : Format.formatter -> report -> unit
 (** {1 Structured event log}
 
     Job-lifecycle events ([job_submitted], [job_started],
-    [job_completed], [job_deduped], [job_failed], [job_cancelled], and
-    the engine-level [run_started]/[run_finished]) recorded into one
+    [job_completed], [job_deduped], [job_failed], [job_cancelled], the
+    campaign-service resilience markers
+    [job_rejected]/[worker_crashed]/[job_retried], and the engine-level
+    [run_started]/[run_finished]) recorded into one
     process-wide buffer, independent of the metric registry: a campaign
     emits a handful of events per job, so a single mutex-guarded list
     keeps a total order across domains without touching the lock-free

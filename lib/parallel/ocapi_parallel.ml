@@ -68,13 +68,20 @@ let map_tasks ?(domains = 1) ?chunk ~make_state ~tasks ~f () =
         if Ocapi_obs.enabled () then
           telemetry.(k) <- Some (Ocapi_obs.export_domain ())
       in
-      let handles =
-        Array.init domains (fun k ->
-            match states.(k) with
-            | Some st -> Domain.spawn (worker k st)
-            | None -> assert false)
-      in
-      Array.iter Domain.join handles;
+      (* Spawn incrementally so a mid-way failure (domain limit, out of
+         memory) can join the workers already launched — they drain the
+         queue and terminate on their own — instead of leaking them. *)
+      let handles = ref [] in
+      (try
+         for k = 0 to domains - 1 do
+           match states.(k) with
+           | Some st -> handles := Domain.spawn (worker k st) :: !handles
+           | None -> assert false
+         done
+       with e ->
+         List.iter Domain.join !handles;
+         raise e);
+      List.iter Domain.join !handles;
       (* Deterministic merge: telemetry in worker order, then the first
          failure by worker index, then the index-keyed results. *)
       Array.iter

@@ -1,0 +1,269 @@
+(** The resilient campaign service: supervised worker {e processes},
+    retry with seeded exponential backoff, and a crash-recoverable
+    write-ahead job journal.
+
+    [Ocapi_batch] runs a campaign on worker {e domains} of one process:
+    fast, deterministic — and fragile.  A segfaulting engine, an
+    OOM-killed worker, a hung job or a Ctrl-C loses the whole campaign
+    and its queue state.  This module is the resilience layer above it,
+    sharing the batch vocabulary (the same JSONL manifests, the same
+    {!Flow.Cache.key_of} dedup fingerprints via
+    {!Ocapi_batch.prepare_request}, the same canonical artifact bytes)
+    but farming execution out to independent OS-level worker processes
+    (the EDAptix model) under one supervising server:
+
+    - {b Process isolation}: the server ([ocapi serve]) spawns
+      [ocapi worker] subprocesses, one job per process.  A worker that
+      crashes, is killed, or stops heartbeating takes down only its own
+      job; the server observes the death via [waitpid] and the
+      heartbeat pipe and requeues the job.
+    - {b Retry with backoff}: each job has a bounded attempt budget
+      ({!config.cf_retries}).  A crashed attempt is requeued after
+      {!backoff_delay} — exponential in the attempt number with
+      deterministic seeded jitter — and a job that kills every worker
+      sent at it is {e poisoned}: resolved [Failed] with code
+      [Retries_exhausted] instead of wedging the queue.
+    - {b Write-ahead journal}: every submission and state transition is
+      appended to [state_dir/journal.jsonl] {e before} it takes effect.
+      On restart {!replay} rebuilds the completed-job dedup store and
+      the pending set, so a server crash (or kill -9) loses no queue
+      state and finished work is never re-executed — across restarts
+      and across client populations sharing one state directory.
+    - {b Graceful degradation}: SIGTERM/SIGINT enter drain mode (finish
+      running jobs, launch nothing new, journal everything, exit); a
+      second signal aborts hard — which is safe, because the journal
+      replays.  The pending queue is bounded ({!config.cf_max_queue});
+      submissions beyond it are rejected with code [Overloaded].
+    - {b Chaos mode}: a seeded kill schedule ({!chaos}) SIGKILLs
+      first-attempt workers at random, and per-job [{"chaos":
+      "crash"|"hang"}] manifest fields make a worker self-destruct or
+      hang silently.  Because artifacts are canonical bytes written
+      atomically by the worker that finishes the job, a chaos run
+      (worker kills, server kill, restart) converges to an artifact
+      tree byte-identical to an undisturbed serial run — the property
+      [scripts/crash_recovery_gate.sh] checks in CI. *)
+
+(** {1 Retry backoff} *)
+
+(** [backoff_delay ~base ~cap ~seed ~corr ~attempt] is the requeue
+    delay in seconds after failed attempt number [attempt] (1-based):
+    [base * 2{^attempt-1}], scaled by a jitter factor in [[1.0, 1.5)]
+    drawn deterministically from [(seed, corr, attempt)], and clamped
+    to [cap].  Deterministic, so a chaos campaign's schedule reproduces
+    from its seed; jittered, so a crashed fleet does not retry in
+    lockstep.
+    @raise Invalid_argument on [base <= 0.], [cap < base] or
+    [attempt < 1]. *)
+val backoff_delay :
+  base:float -> cap:float -> seed:int -> corr:string -> attempt:int -> float
+
+(** {1 The job journal}
+
+    A JSONL write-ahead log: one JSON object per line, appended (and
+    flushed) before the transition it records takes effect, so the
+    on-disk journal is never behind the server's in-memory state.  A
+    line interrupted mid-write by a crash is tolerated by
+    {!journal_load} (a truncated {e final} line is dropped).
+
+    Schema, by ["ev"] field:
+    {v
+{"ev":"submitted","corr":C,"key":K,"label":L,"artifact":F,"dedup":B,"request":{...}}
+{"ev":"started","corr":C,"attempt":N}
+{"ev":"crashed","corr":C,"attempt":N,"reason":R}
+{"ev":"retried","corr":C,"attempt":N,"backoff":S}
+{"ev":"completed","corr":C,"artifact":F}
+{"ev":"failed","corr":C,"code":E,"message":M}
+{"ev":"rejected","corr":C,"label":L}
+    v} *)
+
+type entry =
+  | J_submitted of {
+      js_corr : string;
+      js_key : string;  (** full {!Flow.Cache.key_of} dedup key *)
+      js_label : string;
+      js_artifact : string;  (** artifact file name (not path) *)
+      js_request : Ocapi_obs.Json.t;  (** original manifest object *)
+      js_dedup : bool;
+          (** served by an existing execution; replay skips it *)
+    }
+  | J_started of { jt_corr : string; jt_attempt : int }
+  | J_crashed of { jc_corr : string; jc_attempt : int; jc_reason : string }
+  | J_retried of { jr_corr : string; jr_attempt : int; jr_backoff : float }
+      (** [jr_attempt] is the {e next} attempt number *)
+  | J_completed of { jd_corr : string; jd_artifact : string }
+  | J_failed of { jf_corr : string; jf_code : string; jf_message : string }
+  | J_rejected of { jx_corr : string; jx_label : string }
+
+val entry_json : entry -> Ocapi_obs.Json.t
+val entry_of_json : Ocapi_obs.Json.t -> (entry, string) result
+
+(** An open journal (append channel, line-buffered with an explicit
+    flush per entry). *)
+type journal
+
+(** [journal_open path] opens (creating if missing) the journal for
+    appending. *)
+val journal_open : string -> journal
+
+val journal_append : journal -> entry -> unit
+val journal_close : journal -> unit
+
+(** [journal_load path] reads a journal back.  A missing file is
+    [Ok []]; blank lines are skipped; an unparsable {e final} line is
+    dropped (the crash-interrupted append); an unparsable interior
+    line is an error. *)
+val journal_load : string -> (entry list, string) result
+
+(** {1 Replay} *)
+
+(** A journaled job with no terminal record: it must run (again) after
+    a restart.  [p_attempts] counts the {e worker-crash} attempts
+    already consumed (journal [crashed] records); a server death
+    mid-run consumes no budget — the job was not at fault. *)
+type pending = {
+  p_corr : string;
+  p_key : string;
+  p_label : string;
+  p_artifact : string;
+  p_request : Ocapi_obs.Json.t;
+  p_attempts : int;
+}
+
+type recovered = {
+  rv_completed : (string * string) list;
+      (** (dedup key, artifact file) of jobs that finished [Completed];
+          resubmissions of these keys dedup instead of re-executing *)
+  rv_failed : (string * string) list;
+      (** (dedup key, error code) terminal failures; {e not} a dedup
+          source — a failed job stays resubmittable, as in the batch
+          service *)
+  rv_pending : pending list;  (** in original submission order *)
+}
+
+(** Fold a journal into the state a restarting server resumes from.
+    Pure; the inverse direction (state to journal) is {!serve}'s
+    write-ahead discipline. *)
+val replay : entry list -> recovered
+
+(** {1 Configuration} *)
+
+(** Seeded chaos injection: when configured, each {e first} attempt of
+    a job is, with probability [ch_kill_prob], scheduled to be
+    SIGKILLed between 0 and [ch_kill_delay] seconds after launch.
+    Retried attempts are never chaos-killed, so every job still
+    converges — chaos exercises the recovery machinery, not the retry
+    budget. *)
+type chaos = { ch_seed : int; ch_kill_prob : float; ch_kill_delay : float }
+
+type config = {
+  cf_workers : int;  (** concurrent worker processes *)
+  cf_state_dir : string;  (** journal (and any service state) home *)
+  cf_artifact_dir : string;
+  cf_worker_cmd : string list;
+      (** argv prefix of a worker; the server appends
+          [--request JSON --artifact PATH] (and [--timeout],
+          [--cache-dir]).  Default: [[Sys.executable_name; "worker"]] —
+          the CLI re-invoking itself. *)
+  cf_retries : int;  (** attempt budget per job (>= 1) *)
+  cf_backoff_base : float;
+  cf_backoff_cap : float;
+  cf_backoff_seed : int;
+  cf_job_timeout : float option;
+      (** default cooperative per-job timeout (seconds), applied when a
+          request carries none; enforced inside the worker *)
+  cf_kill_grace : float;
+      (** wall-clock slack beyond the cooperative timeout before the
+          server's kill(9) backstop fires on a worker that ignored it *)
+  cf_heartbeat_timeout : float;
+      (** kill(9) a worker silent for this long (its heartbeat thread
+          prints once a second, so this bounds detection of a truly
+          wedged process) *)
+  cf_max_queue : int;  (** pending-queue bound; beyond it: [Overloaded] *)
+  cf_cache_dir : string option;
+      (** when set, workers enable {!Flow.Cache} on this directory *)
+  cf_chaos : chaos option;
+  cf_die_after : int option;
+      (** crash-testing failpoint: SIGKILL {e the server itself} after
+          this many journaled completions *)
+  cf_on_line : (string -> unit) option;  (** streaming progress lines *)
+}
+
+(** Defaults: 2 workers, [_generated/service] state,
+    [_generated/service/artifacts] artifacts, CLI-re-invoking worker
+    command, 3 attempts, 0.5 s base / 30 s cap backoff (seed 1), no
+    cooperative timeout, 5 s kill grace, 30 s heartbeat timeout, queue
+    bound 1024, no cache, no chaos, no failpoint, silent. *)
+val default_config : config
+
+(** {1 Serving} *)
+
+type summary = {
+  sm_submitted : int;  (** manifest submissions (not replayed jobs) *)
+  sm_deduped : int;
+      (** submissions served by the journal's completed store or by an
+          already-queued execution *)
+  sm_recovered : int;  (** pending jobs requeued by journal replay *)
+  sm_completed : int;
+  sm_failed : int;  (** terminal failures, including poisoned jobs *)
+  sm_poisoned : int;  (** subset of [sm_failed] with [Retries_exhausted] *)
+  sm_rejected : int;  (** [Overloaded] backpressure rejections *)
+  sm_crashes : int;  (** worker deaths observed (incl. chaos/backstop) *)
+  sm_retries : int;  (** requeues after crashes *)
+  sm_chaos_kills : int;
+  sm_drained : bool;  (** a signal drained the service with work left *)
+  sm_aborted : bool;  (** a second signal aborted it mid-flight *)
+  sm_seconds : float;
+}
+
+(** [serve config ~requests] runs the service until the queue drains
+    (or a signal drains/aborts it): replays the journal, admits
+    [requests] (raw manifest objects — unknown fields such as ["chaos"]
+    ride along into the journal and the worker), supervises up to
+    [cf_workers] worker processes, and returns the summary.  Installs
+    SIGTERM/SIGINT handlers for the duration.  Lifecycle events
+    ([job_submitted], [job_started], [worker_crashed], [job_retried],
+    [job_completed], [job_failed], [job_rejected], [job_deduped]) are
+    emitted into {!Ocapi_obs.Events} when that log is enabled, joined
+    on the same correlation ids as the batch service and the trace
+    spans. *)
+val serve : config -> requests:Ocapi_obs.Json.t list -> summary
+
+(** {1 The worker side} *)
+
+(** Exit code of a worker that ran its job and produced a {e
+    structured} failure (printed as a [fail {...}] line on stdout);
+    exit 0 means the artifact was written.  Anything else — a signal, a
+    segfault, an OOM kill, a nonzero exit without the [fail] protocol —
+    is a worker crash, retried by the server. *)
+val exit_failed : int
+
+(** [worker_main ~request ~artifact ()] is the body of [ocapi worker]:
+    parse the manifest object, build and run the job
+    ({!Ocapi_batch.prepare_request}), heartbeat on stdout ([hb] lines,
+    every [heartbeat_every] seconds from a dedicated thread, so even a
+    compute-bound job stays observable), enforce the cooperative
+    [timeout] through the progress hook, and write the canonical
+    artifact bytes atomically (tmp + rename) to [artifact].  Returns
+    the process exit code (0, {!exit_failed}).
+
+    Chaos failpoints, read from the request's ["chaos"] field:
+    ["crash"] SIGKILLs the process after the job starts (never writes
+    the artifact); ["hang"] sleeps forever without heartbeats, so the
+    server's backstop must kill it. *)
+val worker_main :
+  ?timeout:float ->
+  ?heartbeat_every:float ->
+  ?cache_dir:string ->
+  request:Ocapi_obs.Json.t ->
+  artifact:string ->
+  unit ->
+  int
+
+(** {1 Manifests} *)
+
+(** [read_manifest path] parses a JSONL manifest into raw objects,
+    skipping blank lines and [#] comments ([Error] carries the 1-based
+    line number).  Unlike {!Ocapi_batch.read_manifest} the objects are
+    kept raw: the journal stores them verbatim and service-only fields
+    (["chaos"]) survive the round trip. *)
+val read_manifest : string -> (Ocapi_obs.Json.t list, string) result

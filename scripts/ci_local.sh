@@ -28,6 +28,9 @@ dune runtest
 stage "determinism gate (serial vs --domains 2)"
 scripts/determinism_gate.sh
 
+stage "crash-recovery gate (seeded chaos + server restart)"
+scripts/crash_recovery_gate.sh
+
 stage "bench smoke (BENCH_*.json + perf ledger)"
 dune exec bench/main.exe -- smoke
 ls -l BENCH_*.json

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# CI crash-recovery gate: a seeded chaos campaign — workers killed at
+# random, the server itself SIGKILLed mid-campaign, one job poisoned so
+# it can never succeed — must converge, after a restart against the
+# same state dir, to an artifact tree byte-identical to an undisturbed
+# run.  This guards the core resilience claim of `ocapi serve`: worker
+# death costs a retry, server death costs nothing (the write-ahead
+# journal replays queue, in-flight and completed state), and a job that
+# keeps crashing is quarantined as Failed/retries-exhausted instead of
+# wedging the queue.
+#
+# Usage: scripts/crash_recovery_gate.sh   (after `dune build`)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OCAPI=${OCAPI:-_build/default/bin/ocapi_cli.exe}
+if [ ! -x "$OCAPI" ]; then
+  echo "error: $OCAPI not built (run: dune build)" >&2
+  exit 1
+fi
+
+MANIFEST=examples/service_jobs.jsonl
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+fail=0
+
+ok()   { echo "ok   $1"; }
+bad()  { echo "FAIL $1" >&2; fail=1; }
+
+# The reference run drops the poisoned line: it is the tree the chaos
+# run must converge to, and the poison job by construction never
+# produces an artifact.
+grep -v '"chaos"' "$MANIFEST" >"$work/reference.jsonl"
+
+# 1. Undisturbed reference run: everything completes, exit 0.
+if "$OCAPI" serve --manifest "$work/reference.jsonl" --workers 2 \
+    --state-dir "$work/ref-state" --artifacts "$work/ref-art" \
+    --quiet >/dev/null; then
+  ok "reference run ($(ls "$work/ref-art" | wc -l) artifacts, exit 0)"
+else
+  bad "reference run: expected exit 0, got $?"
+fi
+
+# 2. Chaos run, phase 1: seeded worker kills, fast retry/backoff, and
+#    --die-after 2 makes the server SIGKILL itself after the second
+#    journaled completion — the shell must observe exit 137.
+chaos_serve() { # extra args...
+  "$OCAPI" serve --manifest "$MANIFEST" --workers 2 \
+    --state-dir "$work/chaos-state" --artifacts "$work/chaos-art" \
+    --retries 2 --backoff-base 0.1 --backoff-cap 1 --backoff-seed 9 \
+    --chaos-prob 0.5 --chaos-seed 42 --chaos-delay 0.3 "$@"
+}
+set +e
+chaos_serve --die-after 2 --events-out "$work/events-1.jsonl" \
+  --quiet >/dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" -eq 137 ]; then
+  ok "server crash injected (--die-after 2, exit 137)"
+else
+  bad "phase 1: expected the server to die with exit 137, got $rc"
+fi
+
+# 3. Restart the same command against the same state dir.  The journal
+#    replay must recover the in-flight/queued jobs, dedup every already
+#    completed one, and finish the campaign.  The poisoned job ends as
+#    Failed/retries-exhausted, so the exit code is 1 — any other code
+#    (0: poison silently succeeded; 137: died again; 4: drained) fails.
+set +e
+chaos_serve --events-out "$work/events-2.jsonl" \
+  >"$work/restart.out" 2>&1
+rc=$?
+set -e
+if [ "$rc" -eq 1 ]; then
+  ok "restart finished the campaign (exit 1 from the poisoned job)"
+else
+  bad "restart: expected exit 1, got $rc (see below)"
+  tail -5 "$work/restart.out" >&2 || true
+fi
+if grep -q "recovered" "$work/restart.out"; then
+  ok "journal replay recovered state across the server crash"
+else
+  bad "restart output never mentioned recovered jobs"
+fi
+
+# 4. Convergence: the recovered chaos tree must be byte-identical to
+#    the undisturbed reference tree — same filenames, same bytes, no
+#    artifact from the poisoned job.
+if diff -r "$work/ref-art" "$work/chaos-art" >/dev/null; then
+  ok "artifact trees byte-identical (chaos vs reference)"
+else
+  bad "artifact trees differ between chaos and reference runs"
+  diff -r "$work/ref-art" "$work/chaos-art" | head -10 >&2 || true
+fi
+
+# 5. The failure path must be observable, not just survivable: the
+#    event logs record worker_crashed and job_retried, and the journal
+#    holds the poisoned job's terminal Failed/retries-exhausted entry.
+cat "$work/events-1.jsonl" "$work/events-2.jsonl" >"$work/events.jsonl" \
+  2>/dev/null || true
+journal="$work/chaos-state/journal.jsonl"
+for kind in worker_crashed job_retried; do
+  if grep -q "\"$kind\"" "$work/events.jsonl"; then
+    ok "event log records $kind"
+  else
+    bad "event log is missing $kind"
+  fi
+done
+if grep -q '"retries-exhausted"' "$journal"; then
+  ok "journal quarantined the poisoned job (retries-exhausted)"
+else
+  bad "journal has no retries-exhausted entry for the poisoned job"
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "crash-recovery gate: PASS"
+else
+  echo "crash-recovery gate: FAIL" >&2
+fi
+exit "$fail"

@@ -26,4 +26,5 @@ let () =
       ("fault", Test_fault.suite);
       ("parallel", Test_parallel.suite);
       ("batch", Test_batch.suite);
+      ("service", Test_service.suite);
     ]
