@@ -1,6 +1,6 @@
-.PHONY: all build doc test bench bench-json bench-par bench-batch \
-	bench-service bench-smoke cache-stats fault batch serve profile report \
-	perf-gate ci-determinism ci-crash-recovery ci-local clean
+.PHONY: all build doc test bench bench-json bench-native bench-par \
+	bench-batch bench-service bench-smoke cache-stats fault batch serve \
+	profile report perf-gate ci-determinism ci-crash-recovery ci-local clean
 
 all: build doc
 
@@ -36,6 +36,13 @@ bench-json: build
 # by the last `make bench-json` (or `bench/main.exe -- cache`) run.
 cache-stats:
 	dune exec bench/main.exe -- cache-stats
+
+# Native-engine benchmark: cold emit+compile+dynlink vs warm cache-hit
+# session build (the warm run must invoke zero compilers), then a timed
+# DECT run; appends the native:compile and native:run series to the
+# perf ledger.  Skips (successfully) on toolchain-less hosts.
+bench-native: build
+	dune exec bench/main.exe -- native
 
 # Parallel campaign scaling: the DECT SEU campaign at 1, 2 and 4 worker
 # domains, with a bit-identity check of every parallel report against

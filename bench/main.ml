@@ -96,6 +96,7 @@ let table1_rows () =
       ~cycles_of:(function
         | Metrics.Interpreted_objects -> 4000
         | Metrics.Compiled_code -> 40000
+        | Metrics.Native_code -> 400000
         | Metrics.Rt_event_driven -> 1500
         | Metrics.Gate_netlist -> 300)
   in
@@ -108,6 +109,7 @@ let table1_rows () =
       ~cycles_of:(function
         | Metrics.Interpreted_objects -> 1000
         | Metrics.Compiled_code -> 20000
+        | Metrics.Native_code -> 200000
         | Metrics.Rt_event_driven -> 300
         | Metrics.Gate_netlist -> 60)
   in
@@ -1037,6 +1039,62 @@ let service_bench ?(jobs = 8) ?(workers = 2) ?(seu_runs = 60) () =
     print_newline ()
   end
 
+(* ---- native: cold compile vs warm load of the dynlinked engine ------------ *)
+
+(* Two ledger series: [native:compile] tracks how fast the emit +
+   ocamlopt + Dynlink path builds a cold DECT plugin (as a rate,
+   compiles/s, so the perf gate's higher-is-better verdicts apply), and
+   [native:run] tracks the steady-state cycle rate of the loaded
+   plugin.  The warm second session proves the cache works: zero
+   compiler invocations, one more cache hit. *)
+let native_bench ?(cycles = 64000) () =
+  print_endline "== native: dynlinked plugin compile/load/run (DECT) ==";
+  match Ocapi_native.availability () with
+  | Error e ->
+    Printf.printf "native engine unavailable -- skipping (%s)\n"
+      (Ocapi_error.to_string e)
+  | Ok () ->
+    let sys = dect_design () in
+    let digest = Cycle_system.digest sys in
+    Ocapi_native.clear_disk_cache ();
+    Flow.Cache.clear ();
+    Ocapi_native.reset_stats ();
+    let (module E : Ocapi_engine.ENGINE) = Ocapi_engine.get "native" in
+    let t0 = Unix.gettimeofday () in
+    let ses = E.make sys in
+    let compile_seconds = Unix.gettimeofday () -. t0 in
+    let run_seconds =
+      Fun.protect ~finally:ses.Ocapi_engine.ses_close (fun () ->
+          ses.Ocapi_engine.ses_reset ();
+          for _ = 1 to min 1000 cycles do ses.Ocapi_engine.ses_step () done;
+          ses.Ocapi_engine.ses_reset ();
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to cycles do ses.Ocapi_engine.ses_step () done;
+          Unix.gettimeofday () -. t0)
+    in
+    let cold = Ocapi_native.stats () in
+    let t0 = Unix.gettimeofday () in
+    let warm_ses = E.make sys in
+    let warm_load_seconds = Unix.gettimeofday () -. t0 in
+    warm_ses.Ocapi_engine.ses_close ();
+    let warm = Ocapi_native.stats () in
+    let rate = float_of_int cycles /. run_seconds in
+    Printf.printf
+      "cold: %.3fs to emit+compile+load, then %d cycles at %.0f cycles/s\n"
+      compile_seconds cycles rate;
+    Printf.printf
+      "warm: %.3fs to load (%d compiler invocations, %d cache hits)\n"
+      warm_load_seconds
+      (warm.Ocapi_native.compiles - cold.Ocapi_native.compiles)
+      (warm.Ocapi_native.cache_hits - cold.Ocapi_native.cache_hits);
+    if warm.Ocapi_native.compiles <> cold.Ocapi_native.compiles then
+      print_endline "  WARM SESSION RAN THE COMPILER!";
+    ledger ~digest ~bench:"native:compile" ~engine:"native"
+      ~unit_:"compiles/s"
+      (1.0 /. compile_seconds);
+    ledger ~digest ~bench:"native:run" ~engine:"native" ~unit_:"cycles/s" rate;
+    print_newline ()
+
 (* The CI smoke stage: every BENCH_*.json writer at a size that finishes
    in seconds, so the pipeline uploads fresh artifacts on each run. *)
 let smoke () =
@@ -1044,7 +1102,8 @@ let smoke () =
   fault_bench ~sa_faults:40 ~seu_runs:100 ();
   batch_bench ~domains:2 ~seeds:2 ~seu_runs:40 ();
   service_bench ~jobs:4 ~seu_runs:30 ();
-  cache_bench ()
+  cache_bench ();
+  native_bench ~cycles:8000 ()
 
 (* Print the counters recorded in BENCH_cache.json (the `make cache-stats`
    entry point).  A naive scanner keeps this free of a JSON-parsing dep. *)
@@ -1117,6 +1176,7 @@ let () =
       | "cache-stats" -> cache_stats ()
       | "batch" -> batch_bench ()
       | "service" -> service_bench ()
+      | "native" -> native_bench ()
       | "smoke" -> smoke ()
       | other -> Printf.printf "unknown bench target %s\n" other)
     targets;

@@ -77,7 +77,7 @@ let check_cmd =
 let engine_arg =
   let doc =
     "Cycle engine (resolved from the engine registry: interp, compiled, \
-     rtl) or gates."
+     native, rtl) or gates."
   in
   Arg.(value & opt string "interp" & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
 
@@ -247,7 +247,7 @@ let profile_design_arg =
     & info [ "design"; "d" ] ~docv:"DESIGN" ~doc)
 
 let profile_engine_arg =
-  let doc = "Engine to profile: interp, compiled, rtl, gates or synth." in
+  let doc = "Engine to profile: interp, compiled, native, rtl, gates or synth." in
   Arg.(value & opt string "compiled" & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
 
 let metrics_out_arg =
@@ -351,7 +351,7 @@ let max_faults_arg =
   Arg.(value & opt (some int) None & info [ "max-faults" ] ~docv:"N" ~doc)
 
 let fault_engine_arg =
-  let doc = "SEU engine: interp, compiled or rtl." in
+  let doc = "SEU engine: interp, compiled, native or rtl." in
   Arg.(value & opt string "compiled" & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
 
 let domains_arg =

@@ -1,17 +1,20 @@
 type engine =
   | Interpreted_objects
   | Compiled_code
+  | Native_code
   | Rt_event_driven
   | Gate_netlist
 
 let engine_label = function
   | Interpreted_objects -> "OCaml (interpreted obj)"
   | Compiled_code -> "OCaml (compiled)"
+  | Native_code -> "OCaml (native)"
   | Rt_event_driven -> "VHDL (RT)"
   | Gate_netlist -> "Verilog (netlist)"
 
 let all_engines =
-  [ Interpreted_objects; Compiled_code; Rt_event_driven; Gate_netlist ]
+  [ Interpreted_objects; Compiled_code; Native_code; Rt_event_driven;
+    Gate_netlist ]
 
 type measurement = {
   m_engine : engine;
@@ -37,6 +40,7 @@ let resident_bytes root = Obj.reachable_words (Obj.repr root) * (Sys.word_size /
 let session_engine = function
   | Interpreted_objects -> Some "interp"
   | Compiled_code -> Some "compiled"
+  | Native_code -> Some "native"
   | Rt_event_driven -> Some "rtl"
   | Gate_netlist -> None
 
@@ -59,7 +63,7 @@ let measure ?(ocaml_source_lines = 0) ?macro_of_kernel sys engine ~cycles =
           let lines =
             match engine with
             | Interpreted_objects -> ocaml_source_lines
-            | Compiled_code ->
+            | Compiled_code | Native_code ->
               (* The static program size stands in for the paper's
                  generated-C++ line count. *)
               Option.value ~default:0 ses.ses_static_size

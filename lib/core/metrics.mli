@@ -8,6 +8,8 @@
     - [Interpreted_objects] — the three-phase cycle scheduler walking
       the object structure ("C++ (interpreted obj)"),
     - [Compiled_code] — the flattened closure program ("C++ (compiled)"),
+    - [Native_code] — the regenerated simulator compiled to machine
+      code and dynlinked (the paper's "simulator is regenerated" path),
     - [Rt_event_driven] — the delta-cycle RTL kernel ("VHDL (RT)"),
     - [Gate_netlist] — the synthesized netlist under the event-driven
       gate simulator ("VHDL/Verilog (netlist)"). *)
@@ -15,6 +17,7 @@
 type engine =
   | Interpreted_objects
   | Compiled_code
+  | Native_code
   | Rt_event_driven
   | Gate_netlist
 

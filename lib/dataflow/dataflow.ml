@@ -3,6 +3,16 @@ exception Dataflow_error of string
 let error fmt = Format.kasprintf (fun s -> raise (Dataflow_error s)) fmt
 
 module Kernel = struct
+  type model =
+    | Ram_model of {
+        words : int;
+        data_fmt : Fixed.format;
+        addr_port : string;
+        wdata_port : string;
+        we_port : string;
+        rdata_port : string;
+      }
+
   type t = {
     k_name : string;
     k_inputs : (string * int) list;
@@ -12,17 +22,19 @@ module Kernel = struct
     k_reset : unit -> unit;
     k_commit : unit -> unit;
     k_behavior : (string * Fixed.t list) list -> (string * Fixed.t list) list;
+    k_model : model option;
   }
 
   let create k_name ?(ready = fun () -> true) ?(formats = [])
-      ?(commit = fun () -> ()) ?(reset = fun () -> ()) ~inputs ~outputs
+      ?(commit = fun () -> ()) ?(reset = fun () -> ()) ?model ~inputs ~outputs
       k_behavior =
     List.iter
       (fun (p, rate) ->
         if rate < 1 then error "kernel %s: port %s has rate %d < 1" k_name p rate)
       (inputs @ outputs);
     { k_name; k_inputs = inputs; k_outputs = outputs; k_ready = ready;
-      k_formats = formats; k_reset = reset; k_commit = commit; k_behavior }
+      k_formats = formats; k_reset = reset; k_commit = commit; k_behavior;
+      k_model = model }
 
   let port_format k port =
     match List.assoc_opt port k.k_formats with

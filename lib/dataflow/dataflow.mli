@@ -19,6 +19,31 @@ module Kernel : sig
       required per input port, produced per output port) plus a
       behaviour function.  Behaviours may carry state in their closure. *)
 
+  (** A declarative description of a kernel's complete behaviour, for
+      kernels whose semantics fit a closed form.  A kernel carrying a
+      model {e guarantees} that its closures ([k_ready], [k_behavior],
+      [k_commit], [k_reset]) implement exactly the model's semantics
+      with the default always-true firing rule; code-generating back
+      ends (the native engine's emitter) may then bypass the closures
+      entirely and inline the model, keeping results bit-identical
+      while avoiding the per-firing boxing of the closure interface. *)
+  type model =
+    | Ram_model of {
+        words : int;
+        data_fmt : Fixed.format;
+        addr_port : string;
+        wdata_port : string;
+        we_port : string;
+        rdata_port : string;
+      }
+        (** A single-port synchronous RAM ([Ram_cell.kernel]'s
+            contract): per firing, [rdata_port] produces the
+            {e pre-write} word at [addr_port] (index taken modulo
+            [words], wrapped positive); when [we_port] is true the
+            [wdata_port] token — resized to [data_fmt] with truncation
+            and wrap-around — is staged and applied by the commit
+            phase.  Reset zeroes the store. *)
+
   type t = {
     k_name : string;
     k_inputs : (string * int) list;  (** port name, tokens consumed *)
@@ -42,6 +67,8 @@ module Kernel : sig
             may take effect. *)
     k_behavior : (string * Fixed.t list) list -> (string * Fixed.t list) list;
         (** consumed tokens by port -> produced tokens by port *)
+    k_model : model option;
+        (** declarative equivalent of the closures, when one exists *)
   }
 
   val create :
@@ -50,6 +77,7 @@ module Kernel : sig
     ?formats:(string * Fixed.format) list ->
     ?commit:(unit -> unit) ->
     ?reset:(unit -> unit) ->
+    ?model:model ->
     inputs:(string * int) list ->
     outputs:(string * int) list ->
     ((string * Fixed.t list) list -> (string * Fixed.t list) list) ->

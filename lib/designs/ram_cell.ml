@@ -33,6 +33,16 @@ let kernel ~name ~words ~data_fmt ~addr_fmt =
      cycle while signals settle, and only the settled staging counts. *)
   let pending = ref None in
   Dataflow.Kernel.create name
+    ~model:
+      (Dataflow.Kernel.Ram_model
+         {
+           words;
+           data_fmt;
+           addr_port = "addr";
+           wdata_port = "wdata";
+           we_port = "we";
+           rdata_port = "rdata";
+         })
     ~formats:
       [
         ("addr", addr_fmt);

@@ -2,23 +2,37 @@
 
     The paper's environment runs the {e same} captured design through
     interchangeable evaluation back-ends — three-phase interpreted
-    scheduling, compiled-code simulation, event-driven RT simulation
-    (sections 4–5, Table 1).  This module is that interchangeability
-    made first-class: one module type {!ENGINE}, one {!session} calling
-    convention (stepwise execution, probe histories, and the register /
-    FSM-state poke surface the SEU campaigns need), and a registry of
-    first-class modules wrapping the three implementations.
+    scheduling, compiled-code simulation, the regenerated native
+    simulator, event-driven RT simulation (sections 4–5, Table 1).
+    This module is that interchangeability made first-class: one module
+    type {!ENGINE}, one {!session} calling convention (stepwise
+    execution, probe histories, and the register / FSM-state poke
+    surface the SEU campaigns need), and a registry of first-class
+    modules wrapping the four implementations.
 
     Everything above this layer — [Flow], [Ocapi_fault], the CLI, the
     benchmarks — selects engines by {e name} through the registry
     instead of branching per engine.  The gate-level simulator
-    ([Netlist.Sim]) is not a cycle engine and stays outside. *)
+    ([Netlist.Sim]) is not a cycle engine and stays outside.
+
+    Overview, in reading order:
+
+    - {!section:sessions} — the {!session} record every engine's
+      [make] returns: the whole per-engine surface in one place.
+    - {!section:options} — per-engine elaboration {!options} and the
+      {!capabilities} record that says which engine honours what.
+    - {!section:interface} — the {!ENGINE} module type an
+      implementation provides.
+    - {!section:registry} — name/alias lookup ({!find}, {!get}) and
+      registration ({!register}).
+    - {!section:execution} — {!run}, the one stepping discipline
+      shared by simulation, sweeps and fault campaigns. *)
 
 (** Probe histories, as [(probe name, (cycle, token) list)] pairs —
     the shape of [Cycle_system.output_history] across all engines. *)
 type histories = (string * (int * Fixed.t) list) list
 
-(** {1 Sessions}
+(** {1:sessions Sessions}
 
     A session is one engine instance elaborated over one system:
     the interpreted engine walks the system itself, the compiled
@@ -63,7 +77,7 @@ type session = {
       (** detach the engine mark from the system; idempotent *)
 }
 
-(** {1 Engine options} *)
+(** {1:options Engine options and capabilities} *)
 
 type options = {
   opt_two_phase : bool;
@@ -85,7 +99,7 @@ type capabilities = {
   cap_static_size : bool;  (** sessions carry [ses_static_size] *)
 }
 
-(** {1 The engine interface} *)
+(** {1:interface The engine interface} *)
 
 module type ENGINE = sig
   (** registry key, e.g. ["compiled"] *)
@@ -110,12 +124,14 @@ type t = (module ENGINE)
 val name_of : t -> string
 val display_of : t -> string
 
-(** {1 Registry}
+(** {1:registry Registry}
 
     The built-in engines register themselves in paper order —
     ["interp"], ["compiled"], ["rtl"] — when this module is linked;
-    {!all} preserves registration order (the first engine is the
-    baseline of engine-agreement sweeps). *)
+    the native engine (["native"], alias ["jit"]) registers fourth,
+    from the flow layer's linkage of [Ocapi_native].  {!all} preserves
+    registration order (the first engine is the baseline of
+    engine-agreement sweeps). *)
 
 val register : t -> unit
 
@@ -130,7 +146,7 @@ val get : string -> t
 val all : unit -> t list
 val names : unit -> string list
 
-(** {1 Uniform execution} *)
+(** {1:execution Uniform execution} *)
 
 (** [run ?inject ?progress ses ~cycles] is the one stepping discipline
     shared by plain simulation, campaign controls and faulty runs:

@@ -13,6 +13,7 @@ type code =
   | Retries_exhausted
   | Overloaded
   | Unsupported
+  | Native_unavailable
   | Shared_state
   | Internal
 
@@ -58,6 +59,7 @@ let code_label = function
   | Retries_exhausted -> "retries-exhausted"
   | Overloaded -> "overloaded"
   | Unsupported -> "unsupported"
+  | Native_unavailable -> "native-unavailable"
   | Shared_state -> "shared-state"
   | Internal -> "internal"
 

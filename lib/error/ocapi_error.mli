@@ -45,6 +45,12 @@ type code =
           the service's pending queue is at capacity, and rejecting
           beats growing without limit *)
   | Unsupported  (** construct outside an engine's subset *)
+  | Native_unavailable
+      (** the native (dynlinked) engine cannot run here: no
+          [ocamlfind]/[ocamlopt] toolchain on [PATH], no native
+          [Dynlink] support, or the plugin ABI interface could not be
+          located.  Sessions degrade to the interpreted compiled
+          program; [Ocapi_native.availability] reports this code *)
   | Shared_state
       (** a design object still owned by a live engine session (or by
           another worker domain) was handed to a second consumer — e.g.

@@ -1,0 +1,653 @@
+(* The native (dynlinked) engine: the paper's "regenerated" simulator,
+   actually compiled.  [Emit.emit_plugin] renders the design as an OCaml
+   module over unboxed int words (or int64 cells when the width analysis
+   rejects packing); this host compiles it out-of-process with
+   [ocamlfind ocamlopt -shared], loads the .cmxs with
+   [Dynlink.loadfile_private], and wires the resulting raw state arrays
+   into a full [Ocapi_engine.session].  Artifacts are cached on disk
+   keyed by structural digest + emitter version, so compilation is
+   one-time per structure; every failure path degrades to an interpreted
+   [Compiled_sim] program behind the same session surface. *)
+
+let engine_name = "native"
+
+(* --- always-on statistics ------------------------------------------------- *)
+
+(* Not gated on [Ocapi_obs.enabled]: tests use these to prove the true
+   native path ran (the fallback would otherwise silently mask emission
+   bugs) and that warm runs performed zero compiler invocations. *)
+
+type stats = {
+  compiles : int;
+  cache_hits : int;
+  corrupt_misses : int;
+  fallbacks : int;
+  loads : int;
+}
+
+let n_compiles = ref 0
+let n_cache_hits = ref 0
+let n_corrupt = ref 0
+let n_fallbacks = ref 0
+let n_loads = ref 0
+
+let stats () =
+  {
+    compiles = !n_compiles;
+    cache_hits = !n_cache_hits;
+    corrupt_misses = !n_corrupt;
+    fallbacks = !n_fallbacks;
+    loads = !n_loads;
+  }
+
+let reset_stats () =
+  n_compiles := 0;
+  n_cache_hits := 0;
+  n_corrupt := 0;
+  n_fallbacks := 0;
+  n_loads := 0
+
+let bump counter obs_name =
+  incr counter;
+  if Ocapi_obs.enabled () then Ocapi_obs.count ("native." ^ obs_name)
+
+(* --- availability --------------------------------------------------------- *)
+
+let diag msg =
+  Ocapi_error.make Ocapi_error.Native_unavailable ~severity:Ocapi_error.Warning
+    ~engine:engine_name msg
+
+let disabled () =
+  match Sys.getenv_opt "OCAPI_NATIVE_DISABLE" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let find_on_path exe =
+  match Sys.getenv_opt "PATH" with
+  | None -> None
+  | Some path ->
+    String.split_on_char ':' path
+    |> List.find_map (fun d ->
+           if d = "" then None
+           else
+             let p = Filename.concat d exe in
+             if Sys.file_exists p then Some p else None)
+
+let abi_cmi = "ocapi_native_abi.cmi"
+
+(* The plugin is compiled against the ABI's .cmi from this build tree
+   (so Dynlink's interface-digest check is against the very module the
+   host links).  Walk up from the executable and the cwd towards a dune
+   _build root; [OCAPI_NATIVE_CMI_DIR] overrides for installed use. *)
+let cmi_dir () =
+  let candidate d = Sys.file_exists (Filename.concat d abi_cmi) in
+  match Sys.getenv_opt "OCAPI_NATIVE_CMI_DIR" with
+  | Some d -> if candidate d then Some d else None
+  | None ->
+    let objs = Filename.concat "native_abi" ".ocapi_native_abi.objs" in
+    let rels =
+      [
+        Filename.concat "_build"
+          (Filename.concat "default" (Filename.concat "lib" objs));
+        Filename.concat "lib" objs;
+      ]
+      |> List.map (fun d -> Filename.concat d "byte")
+    in
+    let rec walk base n =
+      if n > 8 then None
+      else
+        match
+          List.find_opt (fun rel -> candidate (Filename.concat base rel)) rels
+        with
+        | Some rel -> Some (Filename.concat base rel)
+        | None ->
+          let parent = Filename.dirname base in
+          if parent = base then None else walk parent (n + 1)
+    in
+    let roots = [ Filename.dirname Sys.executable_name; Sys.getcwd () ] in
+    List.fold_left
+      (fun acc r -> match acc with Some _ -> acc | None -> walk r 0)
+      None roots
+
+let availability () =
+  if disabled () then
+    Error (diag "native engine disabled by OCAPI_NATIVE_DISABLE")
+  else if not Dynlink.is_native then
+    Error (diag "host runs bytecode; native Dynlink is unavailable")
+  else
+    match find_on_path "ocamlfind" with
+    | None -> Error (diag "no ocamlfind on PATH; cannot compile plugins")
+    | Some _ -> begin
+      match cmi_dir () with
+      | None ->
+        Error
+          (diag
+             "plugin ABI interface (ocapi_native_abi.cmi) not found; set \
+              OCAPI_NATIVE_CMI_DIR")
+      | Some _ -> Ok ()
+    end
+
+(* --- artifact cache ------------------------------------------------------- *)
+
+(* Always-on disk cache, independent of Flow.Cache being enabled, so a
+   warm second process skips the compiler entirely.  Defaults to a
+   per-user directory under the system temp dir; [OCAPI_NATIVE_CACHE_DIR]
+   relocates it (tests use a fresh directory to force a cold start). *)
+let cache_dir () =
+  match Sys.getenv_opt "OCAPI_NATIVE_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> Filename.concat (Filename.get_temp_dir_name ()) "ocapi-native-cache"
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+  end
+
+let clear_disk_cache () =
+  let dir = cache_dir () in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f ->
+        if String.length f >= 12 && String.sub f 0 12 = "ocapi_plugin" then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
+(* Optional second tier: Flow.Cache's store, installed by the flow
+   layer so `--cache` runs keep .cmxs bytes next to history entries. *)
+let shared_find : (string -> (string * string) option) ref =
+  ref (fun _ -> None)
+
+let shared_store : (string -> string * string -> unit) ref =
+  ref (fun _ _ -> ())
+
+let set_shared_store ~find ~store =
+  shared_find := find;
+  shared_store := store
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic-enough writes (tmp + rename) so a concurrent process never
+   loads a torn .cmxs. *)
+let write_file path contents =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Hashtbl.hash path)
+      (Hashtbl.hash contents)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+let cache_key sys ~cmi =
+  let cmi_digest =
+    try Digest.to_hex (Digest.file (Filename.concat cmi abi_cmi))
+    with Sys_error _ -> "no-cmi"
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            Cycle_system.digest sys;
+            string_of_int Emit.emitter_version;
+            Sys.ocaml_version;
+            cmi_digest;
+          ]))
+
+(* --- out-of-process compilation and loading ------------------------------- *)
+
+(* Plugin loads hand off through one global slot in [Ocapi_native_abi],
+   and engine sweeps create sessions from several domains at once, so
+   the whole locate-compile-load path is serialized. *)
+let load_mutex = Mutex.create ()
+
+exception Fall of Ocapi_error.t
+
+let compile_cmxs ~cmi ~src ~out =
+  let ocamlfind =
+    match find_on_path "ocamlfind" with
+    | Some p -> p
+    | None -> raise (Fall (diag "ocamlfind disappeared from PATH"))
+  in
+  let native_objs = Filename.concat (Filename.dirname cmi) "native" in
+  let incs =
+    Printf.sprintf "-I %s%s" (Filename.quote cmi)
+      (if Sys.file_exists native_objs then
+         " -I " ^ Filename.quote native_objs
+       else "")
+  in
+  let log = out ^ ".log" in
+  let cmd =
+    Printf.sprintf "%s ocamlopt -shared -w -a %s %s -o %s > %s 2>&1"
+      (Filename.quote ocamlfind) incs (Filename.quote src)
+      (Filename.quote out) (Filename.quote log)
+  in
+  let rc = Sys.command cmd in
+  if rc <> 0 then begin
+    let detail = try read_file log with _ -> "" in
+    let detail =
+      if String.length detail > 400 then String.sub detail 0 400 else detail
+    in
+    raise
+      (Fall (diag (Printf.sprintf "plugin compile failed (rc %d): %s" rc detail)))
+  end
+
+exception Bad_plugin
+
+(* Every load dynlinks a throwaway copy of the artifact under a unique
+   pathname.  dlopen dedupes by pathname: loading the cached [.cmxs]
+   path a second time would re-run the module initializer over the
+   already-mapped object, rebinding the module globals out from under
+   every live session built from the same digest (engine sweeps and
+   parallel fault campaigns do exactly this).  A fresh inode per load
+   makes each plugin instance genuinely private; the copy is unlinked
+   immediately after loading (the mapping keeps the inode alive). *)
+let load_plugin path =
+  Ocapi_native_abi.clear ();
+  let priv = Filename.temp_file "ocapi_plugin_load" ".cmxs" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove priv with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin priv in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (read_file path));
+      Dynlink.loadfile_private priv;
+      match Ocapi_native_abi.take () with
+      | Some p -> p
+      | None -> raise Bad_plugin)
+
+let read_meta path : Emit.plugin_meta option =
+  match
+    (try Some (Marshal.from_string (read_file path) 0) with _ -> None)
+  with
+  | Some m when m.Emit.pm_version = Emit.emitter_version -> Some m
+  | _ -> None
+
+(* Locate or build the (plugin, meta) pair for [sys]: disk artifact ->
+   Flow.Cache store -> fresh emission + compile.  Runs under the load
+   mutex.  Raises [Fall] on environmental failures (the caller degrades
+   to the interpreted program) and [Compiled_types.Unsupported] on
+   design-level rejections (shared verbatim with the compiled engine). *)
+let obtain_plugin sys =
+  let cmi =
+    match cmi_dir () with
+    | Some d -> d
+    | None -> raise (Fall (diag "plugin ABI interface not found"))
+  in
+  let dir = cache_dir () in
+  mkdir_p dir;
+  let key = cache_key sys ~cmi in
+  let base = Filename.concat dir ("ocapi_plugin_" ^ key) in
+  let cmxs = base ^ ".cmxs" and metaf = base ^ ".meta" in
+  let drop_corrupt () =
+    bump n_corrupt "corrupt_misses";
+    (try Sys.remove cmxs with Sys_error _ -> ());
+    (try Sys.remove metaf with Sys_error _ -> ())
+  in
+  let try_load ~count_hit () =
+    match read_meta metaf with
+    | None -> None
+    | Some meta -> (
+      try
+        let p = load_plugin cmxs in
+        bump n_loads "loads";
+        if count_hit then bump n_cache_hits "cache_hits";
+        Some (p, meta)
+      with _ -> None)
+  in
+  let from_disk =
+    if Sys.file_exists cmxs && Sys.file_exists metaf then begin
+      match try_load ~count_hit:true () with
+      | Some r -> Some r
+      | None ->
+        drop_corrupt ();
+        None
+    end
+    else None
+  in
+  let from_store =
+    match from_disk with
+    | Some r -> Some r
+    | None -> begin
+      match !shared_find key with
+      | None -> None
+      | Some (cmxs_bytes, meta_bytes) -> (
+        write_file cmxs cmxs_bytes;
+        write_file metaf meta_bytes;
+        match try_load ~count_hit:true () with
+        | Some r -> Some r
+        | None ->
+          drop_corrupt ();
+          None)
+    end
+  in
+  match from_store with
+  | Some r -> r
+  | None ->
+    let t_compile = Ocapi_obs.span_begin () in
+    let src, meta = Emit.emit_plugin sys in
+    write_file (base ^ ".ml") src;
+    compile_cmxs ~cmi ~src:(base ^ ".ml") ~out:cmxs;
+    write_file metaf (Marshal.to_string (meta : Emit.plugin_meta) []);
+    bump n_compiles "compiles";
+    Ocapi_obs.span_end ~cat:"native"
+      ~args:[ ("key", Ocapi_obs.Json.String key) ]
+      "native.compile" t_compile;
+    (try !shared_store key (read_file cmxs, read_file metaf)
+     with _ -> ());
+    (match try_load ~count_hit:false () with
+    | Some r -> r
+    | None -> raise (Fall (diag "freshly compiled plugin failed to load")))
+
+(* --- session construction ------------------------------------------------- *)
+
+let get_slot (p : Ocapi_native_abi.plugin) i =
+  match p.Ocapi_native_abi.p_values with
+  | Ocapi_native_abi.Words a -> Int64.of_int a.(i)
+  | Ocapi_native_abi.Boxed a -> a.(i)
+
+let set_slot (p : Ocapi_native_abi.plugin) i v =
+  match p.Ocapi_native_abi.p_values with
+  | Ocapi_native_abi.Words a -> a.(i) <- Int64.to_int v
+  | Ocapi_native_abi.Boxed a -> a.(i) <- v
+
+let wrap_mantissa (f : Fixed.format) m =
+  let w = f.Fixed.width in
+  let mask = Int64.sub (Int64.shift_left 1L w) 1L in
+  match f.Fixed.signedness with
+  | Fixed.Unsigned -> Int64.logand m mask
+  | Fixed.Signed ->
+    let low = Int64.logand m mask in
+    if Int64.logand low (Int64.shift_left 1L (w - 1)) <> 0L then
+      Int64.sub low (Int64.shift_left 1L w)
+    else low
+
+(* Probe histories are recorded into growable unboxed arrays and only
+   materialized as [Fixed.t] lists when [ses_histories] is called: the
+   obvious per-cycle [Fixed.create] + cons would cost more than the
+   whole generated step (every [Int64] intermediate boxes), and probe
+   recording runs once per probe per cycle. *)
+type probe_rec = {
+  pr_name : string;
+  pr_slot : int;
+  pr_stamp : int;
+  pr_fmt : Fixed.format;
+  mutable pr_cycles : int array;
+  mutable pr_ints : int array;  (* mantissas, [Words] plugins *)
+  mutable pr_i64s : int64 array;  (* mantissas, [Boxed] plugins *)
+  mutable pr_len : int;
+}
+
+let ensure_capacity ~words pr =
+  if pr.pr_len = Array.length pr.pr_cycles then begin
+    let cap = max 256 (2 * pr.pr_len) in
+    let grow a zero =
+      let b = Array.make cap zero in
+      Array.blit a 0 b 0 pr.pr_len;
+      b
+    in
+    pr.pr_cycles <- grow pr.pr_cycles 0;
+    if words then pr.pr_ints <- grow pr.pr_ints 0
+    else pr.pr_i64s <- grow pr.pr_i64s 0L
+  end
+
+let probe_history ~words pr =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let m =
+        if words then Int64.of_int pr.pr_ints.(i) else pr.pr_i64s.(i)
+      in
+      go (i - 1) ((pr.pr_cycles.(i), Fixed.create pr.pr_fmt m) :: acc)
+  in
+  go (pr.pr_len - 1) []
+
+(* A close that detaches exactly once, however many times callers'
+   cleanup paths run it. *)
+let closer sys =
+  let closed = ref false in
+  fun () ->
+    if not !closed then begin
+      closed := true;
+      Cycle_system.detach_engine sys engine_name
+    end
+
+let install_kernels (p : Ocapi_native_abi.plugin) (meta : Emit.plugin_meta)
+    untimed =
+  List.iteri
+    (fun j (kname, inputs, outputs) ->
+      let k =
+        match List.assoc_opt kname untimed with
+        | Some k -> k
+        | None ->
+          Ocapi_error.fail Ocapi_error.Internal ~engine:engine_name
+            "plugin metadata names unknown kernel %s" kname
+      in
+      let fire () =
+        if k.Dataflow.Kernel.k_ready () then begin
+          if Ocapi_obs.enabled () then Ocapi_obs.count "native.kernel_firings";
+          let consumed =
+            List.map
+              (fun (port, slot, fmt) ->
+                (port, [ Fixed.create fmt (get_slot p slot) ]))
+              inputs
+          in
+          let produced = k.Dataflow.Kernel.k_behavior consumed in
+          List.iter
+            (fun (port, slot, stamp) ->
+              match List.assoc_opt port produced with
+              | Some [ v ] ->
+                set_slot p slot (Fixed.mantissa v);
+                p.Ocapi_native_abi.p_stamps.(stamp) <-
+                  !(p.Ocapi_native_abi.p_cycle)
+              | Some _ | None -> ())
+            outputs
+        end
+      in
+      let commit () =
+        if k.Dataflow.Kernel.k_ready () then k.Dataflow.Kernel.k_commit ()
+      in
+      p.Ocapi_native_abi.p_kernels.(j) <- fire;
+      p.Ocapi_native_abi.p_kernel_commits.(j) <- commit)
+    meta.Emit.pm_kernels
+
+let native_session sys =
+  let p, meta =
+    Mutex.protect load_mutex (fun () -> obtain_plugin sys)
+  in
+  let untimed = Cycle_system.untimed_components sys in
+  install_kernels p meta untimed;
+  let stims =
+    meta.Emit.pm_stims
+    |> List.filter_map (fun (name, slot, stampi) ->
+           Cycle_system.primary_inputs sys
+           |> List.find_opt (fun (n, _, _) -> n = name)
+           |> Option.map (fun (_, _, fn) -> (fn, slot, stampi)))
+    |> Array.of_list
+  in
+  let probes =
+    meta.Emit.pm_probes
+    |> List.map (fun (name, slot, stampi, fmt) ->
+           {
+             pr_name = name;
+             pr_slot = slot;
+             pr_stamp = stampi;
+             pr_fmt = fmt;
+             pr_cycles = [||];
+             pr_ints = [||];
+             pr_i64s = [||];
+             pr_len = 0;
+           })
+    |> Array.of_list
+  in
+  (* Mode-specialized recorder: the [Words] path never touches a boxed
+     value, keeping the per-cycle host overhead to a few array writes. *)
+  let record_probes =
+    let stamps = p.Ocapi_native_abi.p_stamps in
+    match p.Ocapi_native_abi.p_values with
+    | Ocapi_native_abi.Words a ->
+      fun c ->
+        Array.iter
+          (fun pr ->
+            if stamps.(pr.pr_stamp) = c then begin
+              ensure_capacity ~words:true pr;
+              pr.pr_cycles.(pr.pr_len) <- c;
+              pr.pr_ints.(pr.pr_len) <- a.(pr.pr_slot);
+              pr.pr_len <- pr.pr_len + 1
+            end)
+          probes
+    | Ocapi_native_abi.Boxed a ->
+      fun c ->
+        Array.iter
+          (fun pr ->
+            if stamps.(pr.pr_stamp) = c then begin
+              ensure_capacity ~words:false pr;
+              pr.pr_cycles.(pr.pr_len) <- c;
+              pr.pr_i64s.(pr.pr_len) <- a.(pr.pr_slot);
+              pr.pr_len <- pr.pr_len + 1
+            end)
+          probes
+  in
+  let words =
+    match p.Ocapi_native_abi.p_values with
+    | Ocapi_native_abi.Words _ -> true
+    | Ocapi_native_abi.Boxed _ -> false
+  in
+  let regs = Array.of_list meta.Emit.pm_regs in
+  let comps = Array.of_list meta.Emit.pm_comps in
+  let step () =
+    let c = !(p.Ocapi_native_abi.p_cycle) in
+    Array.iter
+      (fun (fn, slot, stampi) ->
+        match fn c with
+        | Some v ->
+          set_slot p slot (Fixed.mantissa v);
+          p.Ocapi_native_abi.p_stamps.(stampi) <- c
+        | None -> ())
+      stims;
+    (try p.Ocapi_native_abi.p_step () with
+    | Ocapi_native_abi.Native_overflow msg ->
+      raise
+        (Ocapi_error.Error
+           (Ocapi_error.make Ocapi_error.Overflow ~engine:engine_name ~cycle:c
+              msg)));
+    record_probes c;
+    if Ocapi_obs.enabled () then Ocapi_obs.count "native.steps"
+  in
+  let reset () =
+    p.Ocapi_native_abi.p_reset ();
+    List.iter (fun (_, k) -> k.Dataflow.Kernel.k_reset ()) untimed;
+    Array.iter (fun pr -> pr.pr_len <- 0) probes
+  in
+  Cycle_system.attach_engine sys engine_name;
+  {
+    Ocapi_engine.ses_engine = engine_name;
+    ses_step = step;
+    ses_cycle = (fun () -> !(p.Ocapi_native_abi.p_cycle));
+    ses_reset = reset;
+    ses_histories =
+      (fun () ->
+        Array.to_list probes
+        |> List.map (fun pr -> (pr.pr_name, probe_history ~words pr)));
+    ses_register_count = Array.length regs;
+    ses_register_info =
+      (fun i ->
+        let name, fmt, _ = regs.(i) in
+        (name, fmt));
+    ses_poke_register_bit =
+      (fun i ~bit ->
+        let name, fmt, slot = regs.(i) in
+        if bit < 0 || bit >= fmt.Fixed.width then
+          invalid_arg
+            (Printf.sprintf
+               "flip_register_bit: bit %d outside %s for register %s" bit
+               (Fixed.format_to_string fmt) name);
+        let flipped =
+          Int64.logxor (get_slot p slot) (Int64.shift_left 1L bit)
+        in
+        set_slot p slot (wrap_mantissa fmt flipped));
+    ses_component_count = Array.length comps;
+    ses_component_info = (fun i -> comps.(i));
+    ses_component_state = (fun i -> p.Ocapi_native_abi.p_states.(i));
+    ses_force_component_state =
+      (fun i s ->
+        let cname, n = comps.(i) in
+        if s < 0 || s >= n then
+          raise
+            (Ocapi_error.Error
+               (Ocapi_error.make Ocapi_error.Invalid_state ~engine:engine_name
+                  ~construct:cname
+                  ~cycle:!(p.Ocapi_native_abi.p_cycle)
+                  (Printf.sprintf
+                     "FSM driven into unencoded state %d (%d states)" s n)));
+        p.Ocapi_native_abi.p_states.(i) <- s);
+    ses_resident_words =
+      (fun () -> Obj.reachable_words (Obj.repr (p, probes, regs, comps)));
+    ses_static_size = Some meta.Emit.pm_statements;
+    ses_close = closer sys;
+  }
+
+(* The interpreted-compiled degradation: same session surface, same
+   [ses_engine] name (so sweep artifacts stay deterministic whether or
+   not a toolchain is present), same histories. *)
+let fallback_session sys =
+  bump n_fallbacks "fallbacks";
+  let prog = Compiled_sim.compile sys in
+  let probes = Cycle_system.probes sys in
+  Cycle_system.attach_engine sys engine_name;
+  {
+    Ocapi_engine.ses_engine = engine_name;
+    ses_step = (fun () -> Compiled_sim.step prog);
+    ses_cycle = (fun () -> Compiled_sim.current_cycle prog);
+    ses_reset = (fun () -> Compiled_sim.reset prog);
+    ses_histories =
+      (fun () ->
+        List.map (fun p -> (p, Compiled_sim.output_history prog p)) probes);
+    ses_register_count = Compiled_sim.register_count prog;
+    ses_register_info = Compiled_sim.register_info prog;
+    ses_poke_register_bit = Compiled_sim.flip_register_bit prog;
+    ses_component_count = Compiled_sim.component_count prog;
+    ses_component_info = Compiled_sim.component_info prog;
+    ses_component_state = Compiled_sim.component_state prog;
+    ses_force_component_state = Compiled_sim.set_component_state prog;
+    ses_resident_words = (fun () -> Obj.reachable_words (Obj.repr prog));
+    ses_static_size = Some (Compiled_sim.statement_count prog);
+    ses_close = closer sys;
+  }
+
+module Native_engine : Ocapi_engine.ENGINE = struct
+  let name = engine_name
+  let display = "native"
+  let aliases = [ "jit" ]
+
+  let capabilities =
+    {
+      Ocapi_engine.cap_two_phase = false;
+      cap_max_deltas = false;
+      cap_shares_registers = false;
+      cap_static_size = true;
+    }
+
+  let make ?options:_ sys =
+    Cycle_system.reset sys;
+    match availability () with
+    | Error _ -> fallback_session sys
+    | Ok () -> (
+      try native_session sys
+      with Fall _ | Bad_plugin -> fallback_session sys)
+end
+
+let registered = ref false
+
+let register_engine () =
+  if not !registered then begin
+    registered := true;
+    Ocapi_engine.register (module Native_engine : Ocapi_engine.ENGINE)
+  end

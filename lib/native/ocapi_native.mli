@@ -1,0 +1,104 @@
+(** The native compiled engine: the generated simulator, dynlinked.
+
+    This is the fourth first-class {!Ocapi_engine.ENGINE} (registered
+    as ["native"], alias ["jit"]).  Where the interpreted compiled
+    engine walks a statement array, this engine feeds the design
+    through [Emit.emit_plugin], compiles the emitted module
+    out-of-process with [ocamlfind ocamlopt -shared], loads the
+    resulting [.cmxs] with [Dynlink.loadfile_private], and drives the
+    plugin's raw state arrays through the common session surface —
+    stimuli, probe histories, register bit pokes, FSM state forcing,
+    untimed kernels and telemetry all behave exactly as on the other
+    engines.
+
+    {2 Lifecycle}
+
+    Session creation follows a three-rung ladder:
+
+    + {b Word-packed native}: the emitter's width-bound analysis proves
+      every net and register mantissa fits an unboxed 63-bit OCaml
+      [int]; the plugin simulates over [int array] words.
+    + {b Boxed native}: the analysis rejects packing (values provably
+      or possibly wider than 62 magnitude bits); the plugin simulates
+      over [int64 array] cells — still compiled machine code.
+    + {b Interpreted fallback}: no toolchain on [PATH], bytecode host,
+      missing ABI [.cmi], compile or load failure, or
+      [OCAPI_NATIVE_DISABLE] set — the session silently degrades to an
+      interpreted [Compiled_sim] program that reports
+      [ses_engine = "native"], so sweep artifacts stay byte-identical
+      whether or not a toolchain is present.
+
+    Compiled artifacts ([.cmxs] plus a marshalled [Emit.plugin_meta]
+    sidecar) are cached on disk keyed by
+    [md5(Cycle_system.digest | Emit.emitter_version | Sys.ocaml_version
+    | ABI cmi digest)], so warm loads skip the compiler entirely; a
+    second tier in [Flow.Cache]'s store is wired up by the flow layer
+    via {!set_shared_store}.  Corrupt or stale artifacts are counted,
+    deleted and recompiled.  Every load goes through a throwaway copy
+    of the artifact under a unique path: the dynamic loader dedupes
+    shared objects by pathname, so re-loading a cached [.cmxs] in
+    place would hand concurrent sessions of the same design one shared
+    mapping and let a later load re-initialise the module under an
+    earlier session.  The copy guarantees each session owns a private
+    plugin instance.
+
+    Environment variables: [OCAPI_NATIVE_DISABLE] (any value but
+    [""]/[0] forces the fallback rung), [OCAPI_NATIVE_CACHE_DIR]
+    (relocates the artifact cache), [OCAPI_NATIVE_CMI_DIR] (points at
+    the directory holding [ocapi_native_abi.cmi] for installed use). *)
+
+(** {1 Registration} *)
+
+(** Register the ["native"] engine (alias ["jit"]) with
+    {!Ocapi_engine.register}.  Idempotent; called by the flow layer at
+    startup so every [Ocapi_engine.find]/[get] client sees it. *)
+val register_engine : unit -> unit
+
+(** {1 Availability} *)
+
+(** [availability ()] is [Ok ()] when a session would take a native
+    rung, or [Error d] with a {!Ocapi_error.Native_unavailable}
+    diagnostic explaining which prerequisite is missing (toolchain,
+    native Dynlink, ABI interface, or an explicit disable).  Sessions
+    never fail for these reasons — they degrade — so this is the
+    introspection point for tests and doctors. *)
+val availability : unit -> (unit, Ocapi_error.t) result
+
+(** {1 Statistics} *)
+
+(** Monotonic counters since start (or {!reset_stats}).  Always on —
+    independent of [Ocapi_obs] telemetry — because tests use them to
+    prove which rung ran: a warm cache shows [compiles = 0] with
+    [cache_hits > 0]; a toolchain-less host shows [fallbacks > 0]. *)
+type stats = {
+  compiles : int;  (** out-of-process [ocamlopt] invocations *)
+  cache_hits : int;  (** plugin loads served from a cached [.cmxs] *)
+  corrupt_misses : int;
+      (** cached artifacts that failed to unmarshal, load, or register
+          — counted, deleted, then recompiled *)
+  fallbacks : int;  (** sessions that degraded to the interpreted rung *)
+  loads : int;  (** successful [Dynlink] loads (fresh or cached) *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+(** {1 Cache wiring} *)
+
+(** Install the second-tier artifact store (the flow layer passes
+    [Flow.Cache]-backed hooks).  [find key] returns
+    [(cmxs_bytes, meta_bytes)]; [store key (cmxs_bytes, meta_bytes)]
+    persists a freshly compiled pair. *)
+val set_shared_store :
+  find:(string -> (string * string) option) ->
+  store:(string -> string * string -> unit) ->
+  unit
+
+(** Delete all plugin artifacts in the disk cache directory (used by
+    benchmarks to measure cold-compile cost deterministically). *)
+val clear_disk_cache : unit -> unit
+
+(** The artifact cache directory currently in effect
+    ([OCAPI_NATIVE_CACHE_DIR] or a fixed location under the system
+    temp dir). *)
+val cache_dir : unit -> string

@@ -1,0 +1,23 @@
+type values = Words of int array | Boxed of int64 array
+
+type plugin = {
+  p_values : values;
+  p_stamps : int array;
+  p_cycle : int ref;
+  p_states : int array;
+  p_kernels : (unit -> unit) array;
+  p_kernel_commits : (unit -> unit) array;
+  p_step : unit -> unit;
+  p_reset : unit -> unit;
+}
+
+exception Native_overflow of string
+
+let slot : plugin option ref = ref None
+let register p = slot := Some p
+let clear () = slot := None
+
+let take () =
+  let p = !slot in
+  slot := None;
+  p

@@ -1,0 +1,66 @@
+(** Plugin ABI between the host and a dynlinked generated simulator.
+
+    The native engine compiles the source produced by [Emit.emit_plugin]
+    with [ocamlfind ocamlopt -shared] and loads the resulting [.cmxs]
+    with [Dynlink.loadfile_private].  A privately loaded module cannot
+    export values through the normal module system, so the handoff runs
+    through this tiny, dependency-free library, linked into the host and
+    visible (via its [.cmi]) to the out-of-process compile: the plugin's
+    toplevel builds a {!plugin} record and calls {!register}; the host
+    {!clear}s the slot, loads the [.cmxs], and {!take}s the record.
+
+    The record exposes the plugin's raw state — value/stamp arrays, the
+    cycle counter, FSM state words and kernel hook slots — under a fixed
+    slot-layout contract (nets first in [Cycle_system.nets] order, then
+    current/next word pairs per register in [all_regs] order).  That
+    contract is versioned by [Emit.emitter_version], which is folded
+    into the [.cmxs] cache key, so a stale plugin can never be paired
+    with a newer host.
+
+    Loads happen under a single global mutex in [Ocapi_native] (engine
+    sweeps create sessions from several domains at once), so the single
+    shared {!slot} cell needs no locking of its own. *)
+
+(** The plugin's value store.  [Words] is the bit-packed fast path:
+    every net and register mantissa proven (by the emitter's width-bound
+    analysis) to fit an unboxed 63-bit OCaml [int].  [Boxed] is the
+    fallback emission mode using [int64] cells, semantically identical
+    to the interpreted compiled engine on any width. *)
+type values = Words of int array | Boxed of int64 array
+
+(** Everything the host needs to drive one loaded simulator instance.
+    Arrays are the plugin's own working state, mutated in place by
+    [p_step] — the host writes stimuli into [p_values]/[p_stamps]
+    before each step and reads probes after it. *)
+type plugin = {
+  p_values : values;  (** one cell per net slot and register word *)
+  p_stamps : int array;  (** last cycle each net was driven, [-1] never *)
+  p_cycle : int ref;  (** current cycle, incremented by [p_step] *)
+  p_states : int array;  (** FSM state per timed component, in order *)
+  p_kernels : (unit -> unit) array;
+      (** untimed-kernel fire hooks, one per kernel in
+          [untimed_components] order; installed by the host after load
+          and called by generated code at its topological position *)
+  p_kernel_commits : (unit -> unit) array;
+      (** untimed-kernel commit hooks, called after every fire hook *)
+  p_step : unit -> unit;  (** run one clock cycle *)
+  p_reset : unit -> unit;
+      (** reset registers/states/stamps/cycle to power-on *)
+}
+
+(** Raised by generated code on a fixed-point overflow check (the
+    analogue of the interpreted engine's structured [Overflow]
+    diagnostic); the host converts it back to [Ocapi_error.Error]. *)
+exception Native_overflow of string
+
+(** Called by the plugin's toplevel to publish its {!plugin} record. *)
+val register : plugin -> unit
+
+(** Empty the handoff slot before a load, so a plugin that fails to
+    register is detected as corrupt rather than yielding a stale
+    record. *)
+val clear : unit -> unit
+
+(** Claim the record published by the most recent load, emptying the
+    slot; [None] if the loaded module never called {!register}. *)
+val take : unit -> plugin option

@@ -35,6 +35,18 @@ check_cmp() { # label serial_file parallel_file
   --domains 2 --json >"$work/seu-2.json"
 check_cmp "seu report (dect, 300 runs)" "$work/seu-1.json" "$work/seu-2.json"
 
+# 1b. The same SEU campaign on the native (dynlinked) engine: the
+#     regenerated simulator must classify every run identically whether
+#     sessions are built serially or from two worker domains at once
+#     (each session dynlinks a private plugin instance — this guards
+#     that isolation).
+"$OCAPI" fault --design dect --campaign seu --runs 300 --seed 1 \
+  --engine native --json >"$work/seu-native-1.json"
+"$OCAPI" fault --design dect --campaign seu --runs 300 --seed 1 \
+  --engine native --domains 2 --json >"$work/seu-native-2.json"
+check_cmp "seu report (dect, native engine, 300 runs)" \
+  "$work/seu-native-1.json" "$work/seu-native-2.json"
+
 # 2. Stuck-at campaign report: a seeded 80-fault sample of the DECT
 #    gate-level netlist.
 "$OCAPI" fault --design dect --campaign stuck-at --cycles 24 \

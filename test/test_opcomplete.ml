@@ -163,6 +163,13 @@ let test_vhdl_markers () =
     ]
 
 let test_emitted_simulator () =
+  (* Skipped on toolchain-less hosts, same rationale as the engines
+     suite's end-to-end emitted-simulator test. *)
+  if
+    Sys.command
+      "command -v ocamlfind >/dev/null 2>&1 || command -v ocamlopt >/dev/null 2>&1"
+    <> 0
+  then Alcotest.skip ();
   let sys = build () in
   let cycles = 40 in
   let interp = Flow.simulate sys ~cycles in
