@@ -351,8 +351,16 @@ let max_faults_arg =
   Arg.(value & opt (some int) None & info [ "max-faults" ] ~docv:"N" ~doc)
 
 let fault_engine_arg =
-  let doc = "SEU engine: interp, compiled, native or rtl." in
+  let doc = "SEU engine: interp, compiled, native, rtl or gate." in
   Arg.(value & opt string "compiled" & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
+
+let optimized_arg =
+  let doc =
+    "Stuck-at only: run the campaign on both the raw synthesized netlist and \
+     the Netopt-optimized one (derived through the IR pass pipeline), \
+     reporting pre- and post-optimization coverage side by side."
+  in
+  Arg.(value & flag & info [ "optimized" ] ~doc)
 
 let domains_arg =
   let doc =
@@ -362,7 +370,8 @@ let domains_arg =
   Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
 let fault_cmd =
-  let run name campaign cycles runs seed max_faults engine domains json =
+  let run name campaign cycles runs seed max_faults engine domains optimized
+      json =
     with_design name (fun d ->
         (* Each extra worker domain owns a fresh, isolated copy of the
            design; [build_design] is deterministic, so replicas match. *)
@@ -372,6 +381,23 @@ let fault_cmd =
           | Error e -> failwith e
         in
         match campaign with
+        | "stuck-at" | "stuck_at" | "sa" when optimized ->
+          let compare, telemetry =
+            Ocapi_obs.run_with_telemetry ~label:(name ^ ".stuck-at-opt")
+              (fun () ->
+                Ocapi_fault.stuck_at_optimized ?max_faults ~seed ~domains
+                  ~macro_of_kernel:d.d_macro d.d_sys ~cycles)
+          in
+          if json then
+            print_endline
+              (Ocapi_obs.Json.to_string
+                 (Ocapi_fault.stuck_compare_json compare))
+          else begin
+            Format.printf "%a@." Ocapi_fault.pp_stuck_compare compare;
+            Printf.printf "campaign wall time: %.2fs\n"
+              telemetry.Ocapi_obs.rp_seconds
+          end;
+          0
         | "stuck-at" | "stuck_at" | "sa" ->
           let report, telemetry =
             Ocapi_obs.run_with_telemetry ~label:(name ^ ".stuck-at")
@@ -423,7 +449,8 @@ let fault_cmd =
           as masked / silent data corruption / detected.")
     Term.(
       const run $ fault_design_arg $ campaign_arg $ cycles_arg 64 $ runs_arg
-      $ seed_arg $ max_faults_arg $ fault_engine_arg $ domains_arg $ json_arg)
+      $ seed_arg $ max_faults_arg $ fault_engine_arg $ domains_arg
+      $ optimized_arg $ json_arg)
 
 (* batch *)
 

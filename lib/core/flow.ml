@@ -405,6 +405,7 @@ end)
    naming [Ocapi_native]. *)
 let () =
   Ocapi_native.register_engine ();
+  Ocapi_ir.register_gate_engine ();
   Ocapi_native.set_shared_store ~find:Cmxs_store.probe ~store:Cmxs_store.add
 
 (* One cache key per distinct behaviour: scheduling discipline and the
@@ -454,12 +455,6 @@ let simulate ?telemetry ?(two_phase = false) ?(engine = "interp") ?max_deltas
       in
       Ocapi_obs.Events.emit ?corr ~fields:ev_fields "run_finished";
       result)
-
-let simulate_compiled ?telemetry sys ~cycles =
-  simulate ?telemetry ~engine:"compiled" sys ~cycles
-
-let simulate_rtl ?telemetry sys ~cycles =
-  simulate ?telemetry ~engine:"rtl" sys ~cycles
 
 type mismatch = {
   mm_pair : string;

@@ -88,22 +88,6 @@ val simulate_result_json :
   (string * (int * Fixed.t) list) list ->
   Ocapi_obs.Json.t
 
-(** Same as [simulate ~engine:"compiled"].
-    @deprecated use {!simulate} with [~engine:"compiled"]. *)
-val simulate_compiled :
-  ?telemetry:Ocapi_obs.report option ref ->
-  Cycle_system.t ->
-  cycles:int ->
-  (string * (int * Fixed.t) list) list
-
-(** Same as [simulate ~engine:"rtl"].
-    @deprecated use {!simulate} with [~engine:"rtl"]. *)
-val simulate_rtl :
-  ?telemetry:Ocapi_obs.report option ref ->
-  Cycle_system.t ->
-  cycles:int ->
-  (string * (int * Fixed.t) list) list
-
 (** {1 Keyed result cache}
 
     Memoizes {!simulate} results by

@@ -30,70 +30,52 @@ let timed f =
   f ();
   Unix.gettimeofday () -. t0
 
-(* Process size is the engine's resident state (slots, signals, event
-   structures): the words reachable from the engine root after
-   construction and a short warm-up, before the timed run — the recorded
-   probe histories of a long run would otherwise dominate. *)
-let resident_bytes root = Obj.reachable_words (Obj.repr root) * (Sys.word_size / 8)
-
-(* The registry engine behind a Table 1 row, for the cycle engines. *)
+(* The registry engine behind each Table 1 row.  Since the gate engine
+   joined the registry every row is measured through the same uniform
+   session loop — no per-representation harness remains here. *)
 let session_engine = function
-  | Interpreted_objects -> Some "interp"
-  | Compiled_code -> Some "compiled"
-  | Native_code -> Some "native"
-  | Rt_event_driven -> Some "rtl"
-  | Gate_netlist -> None
+  | Interpreted_objects -> "interp"
+  | Compiled_code -> "compiled"
+  | Native_code -> "native"
+  | Rt_event_driven -> "rtl"
+  | Gate_netlist -> "gate"
 
 let measure ?(ocaml_source_lines = 0) ?macro_of_kernel sys engine ~cycles =
-  let seconds, source_lines, process_bytes =
-    match session_engine engine with
-    | Some name ->
-      let (module E : Ocapi_engine.ENGINE) = Ocapi_engine.get name in
-      let ses = E.make sys in
-      Fun.protect ~finally:ses.Ocapi_engine.ses_close (fun () ->
-          let open Ocapi_engine in
-          ses.ses_reset ();
-          for _ = 1 to min 16 cycles do ses.ses_step () done (* warm-up *);
-          ses.ses_reset ();
-          let resident = ses.ses_resident_words () * (Sys.word_size / 8) in
-          let s =
-            timed (fun () ->
-                for _ = 1 to cycles do ses.ses_step () done)
-          in
-          let lines =
-            match engine with
-            | Interpreted_objects -> ocaml_source_lines
-            | Compiled_code | Native_code ->
-              (* The static program size stands in for the paper's
-                 generated-C++ line count. *)
-              Option.value ~default:0 ses.ses_static_size
-            | _ -> Vhdl.line_count (Vhdl.of_system sys)
-          in
-          (s, lines, resident))
-    | None ->
-      let vectors = Testbench.record sys ~cycles in
+  (* The paper reports generated-HDL line counts for the RT and netlist
+     rows; render those before the session opens. *)
+  let generated_lines =
+    match engine with
+    | Rt_event_driven -> Vhdl.line_count (Vhdl.of_system sys)
+    | Gate_netlist ->
       let nl, _report = Synthesize.synthesize ?macro_of_kernel sys in
-      let sim = Netlist.Sim.create nl in
-      let per_cycle = Array.make (max 1 cycles) [] in
-      List.iter
-        (fun (c, name, v) ->
-          if c < cycles then per_cycle.(c) <- (name, v) :: per_cycle.(c))
-        vectors.Testbench.tb_inputs;
-      Netlist.Sim.settle sim;
-      let resident = resident_bytes sim in
-      let s =
-        timed (fun () ->
-            for c = 0 to cycles - 1 do
-              List.iter
-                (fun (name, v) ->
-                  Netlist.Sim.set_input sim name (Fixed.mantissa v))
-                per_cycle.(c);
-              Netlist.Sim.settle sim;
-              Netlist.Sim.clock sim
-            done)
-      in
-      ignore (Sys.opaque_identity sim);
-      (s, Verilog.line_count (Verilog.of_netlist nl), resident)
+      Verilog.line_count (Verilog.of_netlist nl)
+    | Interpreted_objects | Compiled_code | Native_code -> 0
+  in
+  let (module E : Ocapi_engine.ENGINE) =
+    Ocapi_engine.get (session_engine engine)
+  in
+  let ses = E.make sys in
+  let seconds, source_lines, process_bytes =
+    Fun.protect ~finally:ses.Ocapi_engine.ses_close (fun () ->
+        let open Ocapi_engine in
+        ses.ses_reset ();
+        for _ = 1 to min 16 cycles do ses.ses_step () done (* warm-up *);
+        ses.ses_reset ();
+        let resident = ses.ses_resident_words () * (Sys.word_size / 8) in
+        let s =
+          timed (fun () ->
+              for _ = 1 to cycles do ses.ses_step () done)
+        in
+        let lines =
+          match engine with
+          | Interpreted_objects -> ocaml_source_lines
+          | Compiled_code | Native_code ->
+            (* The static program size stands in for the paper's
+               generated-C++ line count. *)
+            Option.value ~default:0 ses.ses_static_size
+          | Rt_event_driven | Gate_netlist -> generated_lines
+        in
+        (s, lines, resident))
   in
   Cycle_system.reset sys;
   {

@@ -32,6 +32,8 @@ type capabilities = {
   cap_max_deltas : bool;
   cap_shares_registers : bool;
   cap_static_size : bool;
+  cap_register_pokes : bool;
+  cap_state_pokes : bool;
 }
 
 module type ENGINE = sig
@@ -98,6 +100,8 @@ module Interp_engine = struct
       cap_max_deltas = false;
       cap_shares_registers = true;
       cap_static_size = false;
+      cap_register_pokes = true;
+      cap_state_pokes = true;
     }
 
   let make ?(options = default_options) sys =
@@ -168,6 +172,8 @@ module Compiled_engine = struct
       cap_max_deltas = false;
       cap_shares_registers = false;
       cap_static_size = true;
+      cap_register_pokes = true;
+      cap_state_pokes = true;
     }
 
   let make ?options:_ sys =
@@ -218,6 +224,8 @@ module Rtl_engine = struct
       cap_max_deltas = true;
       cap_shares_registers = true;
       cap_static_size = false;
+      cap_register_pokes = true;
+      cap_state_pokes = true;
     }
 
   let make ?(options = default_options) sys =

@@ -15,6 +15,7 @@ type code =
   | Unsupported
   | Native_unavailable
   | Shared_state
+  | Mismatch
   | Internal
 
 type t = {
@@ -61,6 +62,7 @@ let code_label = function
   | Unsupported -> "unsupported"
   | Native_unavailable -> "native-unavailable"
   | Shared_state -> "shared-state"
+  | Mismatch -> "mismatch"
   | Internal -> "internal"
 
 let severity_label = function

@@ -55,6 +55,9 @@ type code =
       (** a design object still owned by a live engine session (or by
           another worker domain) was handed to a second consumer — e.g.
           a [~replicate] factory returning the campaign system itself *)
+  | Mismatch
+      (** cross-level equivalence checking found two representations of
+          one design disagreeing on a probe token ([Ocapi_ir.check_equivalence]) *)
   | Internal  (** violated internal invariant *)
 
 type t = {

@@ -149,21 +149,62 @@ let stuck_at_netlist ?max_faults ?(seed = 1) ?settle_budget ?(domains = 1)
     st_records = records;
   }
 
-let stuck_at_system ?max_faults ?seed ?settle_budget ?options ?macro_of_kernel
-    ?domains ?progress sys ~cycles =
-  (* Record the system's own stimuli, as the test-bench generator does. *)
+(* The system's own stimuli, recorded as the test-bench generator
+   does, keyed to the netlist input-bus naming. *)
+let record_vectors sys ~cycles =
   Cycle_system.reset sys;
   Cycle_system.run sys cycles;
   let input_hist = Cycle_system.input_history sys in
   Cycle_system.reset sys;
-  let nl, _report = Synthesize.synthesize ?options ?macro_of_kernel sys in
   let vectors = Array.make (max 1 cycles) [] in
   List.iter
     (fun (c, name, v) ->
       if c < cycles then vectors.(c) <- (name, Fixed.mantissa v) :: vectors.(c))
     input_hist;
+  vectors
+
+let stuck_at_system ?max_faults ?seed ?settle_budget ?options ?macro_of_kernel
+    ?domains ?progress sys ~cycles =
+  let vectors = record_vectors sys ~cycles in
+  let nl, _report = Synthesize.synthesize ?options ?macro_of_kernel sys in
   stuck_at_netlist ?max_faults ?seed ?settle_budget ?domains ?progress nl
     ~vectors
+
+type stuck_compare = {
+  sc_design : string;
+  sc_pre : stuck_report;
+  sc_post : stuck_report;
+  sc_provenance : Ocapi_ir.pass_record list;
+}
+
+let stuck_at_optimized ?max_faults ?seed ?settle_budget ?options
+    ?macro_of_kernel ?domains ?progress sys ~cycles =
+  let vectors = record_vectors sys ~cycles in
+  (* Lower through the IR pass pipeline so the optimized netlist
+     carries a provenance chain back to the behavioral root. *)
+  let gate =
+    Ocapi_ir.apply
+      (Ocapi_ir.lower_to_gate_with ?options ?macro_of_kernel ())
+      (Ocapi_ir.behavioral sys)
+  in
+  let opt = Ocapi_ir.apply Ocapi_ir.optimize_gates gate in
+  let netlist_of d =
+    match Ocapi_ir.to_netlist d with
+    | Some nl -> nl
+    | None -> assert false (* both designs are at the gate level *)
+  in
+  let campaign nl =
+    stuck_at_netlist ?max_faults ?seed ?settle_budget ?domains ?progress nl
+      ~vectors
+  in
+  let pre = campaign (netlist_of gate) in
+  let post = campaign (netlist_of opt) in
+  {
+    sc_design = Cycle_system.name sys;
+    sc_pre = pre;
+    sc_post = post;
+    sc_provenance = opt.Ocapi_ir.ir_provenance;
+  }
 
 (* --- SEU campaigns -------------------------------------------------------- *)
 
@@ -481,6 +522,28 @@ let pp_stuck_report ppf r =
       | _ -> ())
     r.st_records
 
+let pp_stuck_compare ppf c =
+  Format.fprintf ppf
+    "@[<v>stuck-at pre/post optimization: %s@,\
+     %-12s %10s %10s@,\
+     %-12s %10d %10d@,\
+     %-12s %10d %10d@,\
+     %-12s %10d %10d@,\
+     %-12s %9.1f%% %9.1f%%@]" c.sc_design "" "pre-opt" "post-opt" "universe"
+    c.sc_pre.st_universe c.sc_post.st_universe "simulated"
+    c.sc_pre.st_simulated c.sc_post.st_simulated "detected"
+    c.sc_pre.st_detected c.sc_post.st_detected "coverage"
+    (100.0 *. c.sc_pre.st_coverage)
+    (100.0 *. c.sc_post.st_coverage);
+  Format.fprintf ppf "@,@[<v 2>provenance:";
+  List.iter
+    (fun (p : Ocapi_ir.pass_record) ->
+      Format.fprintf ppf "@,%s: %s -> %s" p.Ocapi_ir.pr_pass
+        (String.sub p.Ocapi_ir.pr_input_digest 0 8)
+        (String.sub p.Ocapi_ir.pr_output_digest 0 8))
+    c.sc_provenance;
+  Format.fprintf ppf "@]"
+
 let pp_seu_report ppf r =
   Format.fprintf ppf
     "@[<v>SEU campaign: %s on %s engine@,\
@@ -542,6 +605,27 @@ let stuck_report_json r =
                    (Obj [ ("fault", String rc.sr_label); ("error", error_json d) ])
                | _ -> None)
              r.st_records) );
+    ]
+
+let stuck_compare_json c =
+  let open Ocapi_obs.Json in
+  Obj
+    [
+      ("campaign", String "stuck-at-optimized");
+      ("design", String c.sc_design);
+      ("pre", stuck_report_json c.sc_pre);
+      ("post", stuck_report_json c.sc_post);
+      ( "provenance",
+        List
+          (List.map
+             (fun (p : Ocapi_ir.pass_record) ->
+               Obj
+                 [
+                   ("pass", String p.Ocapi_ir.pr_pass);
+                   ("input_digest", String p.Ocapi_ir.pr_input_digest);
+                   ("output_digest", String p.Ocapi_ir.pr_output_digest);
+                 ])
+             c.sc_provenance) );
     ]
 
 let seu_report_json r =

@@ -95,6 +95,39 @@ val stuck_at_system :
   cycles:int ->
   stuck_report
 
+(** A stuck-at campaign run twice from the same recorded stimuli: once
+    on the raw synthesized netlist and once on the [Netopt]-optimized
+    one, with the {!Ocapi_ir} provenance chain that derived the
+    optimized netlist from the behavioral root.  Optimization shrinks
+    the fault universe (dead and duplicated logic carries undetectable
+    faults), so the post-optimization coverage is the honest figure of
+    merit for a test bench. *)
+type stuck_compare = {
+  sc_design : string;
+  sc_pre : stuck_report;  (** campaign on the raw synthesized netlist *)
+  sc_post : stuck_report;  (** campaign on the [Netopt]-optimized netlist *)
+  sc_provenance : Ocapi_ir.pass_record list;
+      (** the pass chain that produced the optimized netlist *)
+}
+
+(** [stuck_at_optimized sys ~cycles] records the system's stimuli once,
+    lowers the system through the {!Ocapi_ir} pipeline
+    ([lower-to-gate] then [optimize-gates]) and runs
+    {!stuck_at_netlist} on both gate-level designs with the shared
+    vectors.  All options are forwarded to both campaigns; [progress]
+    (fault index) fires for each campaign in turn. *)
+val stuck_at_optimized :
+  ?max_faults:int ->
+  ?seed:int ->
+  ?settle_budget:int ->
+  ?options:Synthesize.options ->
+  ?macro_of_kernel:(Dataflow.Kernel.t -> Synthesize.macro_spec option) ->
+  ?domains:int ->
+  ?progress:(int -> unit) ->
+  Cycle_system.t ->
+  cycles:int ->
+  stuck_compare
+
 (** {1 SEU (transient bit-flip) campaigns}
 
     Campaigns run on any cycle engine of the {!Ocapi_engine} registry,
@@ -211,9 +244,11 @@ val control_run :
 (** {1 Reports} *)
 
 val pp_stuck_report : Format.formatter -> stuck_report -> unit
+val pp_stuck_compare : Format.formatter -> stuck_compare -> unit
 val pp_seu_report : Format.formatter -> seu_report -> unit
 
 (** JSON renderings (for [BENCH_fault.json] and the CLI). *)
 val stuck_report_json : stuck_report -> Ocapi_obs.Json.t
 
+val stuck_compare_json : stuck_compare -> Ocapi_obs.Json.t
 val seu_report_json : seu_report -> Ocapi_obs.Json.t

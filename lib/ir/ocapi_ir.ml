@@ -1,0 +1,463 @@
+type payload =
+  | Behavioral of Cycle_system.t
+  | Rtl of Rtl.t
+  | Gate of Netlist.t
+
+type pass_record = {
+  pr_pass : string;
+  pr_input_digest : string;
+  pr_output_digest : string;
+}
+
+type t = {
+  ir_design : payload;
+  ir_source : Cycle_system.t;
+  ir_digest : string;
+  ir_provenance : pass_record list;
+}
+
+type pass = { pass_name : string; pass_body : t -> payload }
+
+let digest_of = function
+  | Behavioral sys -> Cycle_system.digest sys
+  | Rtl r -> Rtl.digest r
+  | Gate nl -> Netlist.digest nl
+
+let level_name d =
+  match d.ir_design with
+  | Behavioral _ -> "behavioral"
+  | Rtl _ -> "rtl"
+  | Gate _ -> "gate"
+
+let behavioral sys =
+  {
+    ir_design = Behavioral sys;
+    ir_source = sys;
+    ir_digest = Cycle_system.digest sys;
+    ir_provenance = [];
+  }
+
+let to_system d =
+  match d.ir_design with Behavioral s -> Some s | Rtl _ | Gate _ -> None
+
+let to_rtl d =
+  match d.ir_design with Rtl r -> Some r | Behavioral _ | Gate _ -> None
+
+let to_netlist d =
+  match d.ir_design with Gate nl -> Some nl | Behavioral _ | Rtl _ -> None
+
+let wrong_level pass d ~expected =
+  raise
+    (Ocapi_error.Error
+       (Ocapi_error.make Ocapi_error.Unsupported ~engine:"ir"
+          ~construct:(Cycle_system.name d.ir_source)
+          (Printf.sprintf "pass %s expects a %s design, got %s" pass expected
+             (level_name d))))
+
+(* --- the pass manager ----------------------------------------------------- *)
+
+let apply pass d =
+  let input_digest = d.ir_digest in
+  let out = pass.pass_body d in
+  let out_digest = digest_of out in
+  {
+    ir_design = out;
+    ir_source = d.ir_source;
+    ir_digest = out_digest;
+    ir_provenance =
+      d.ir_provenance
+      @ [
+          {
+            pr_pass = pass.pass_name;
+            pr_input_digest = input_digest;
+            pr_output_digest = out_digest;
+          };
+        ];
+  }
+
+let pipeline passes d = List.fold_left (fun d p -> apply p d) d passes
+
+(* --- kernel macro mapping -------------------------------------------------- *)
+
+let macro_of_model (k : Dataflow.Kernel.t) =
+  match k.Dataflow.Kernel.k_model with
+  | Some (Dataflow.Kernel.Ram_model m) ->
+    Some
+      (Synthesize.Ram_macro
+         {
+           words = m.words;
+           width = m.data_fmt.Fixed.width;
+           addr_port = m.addr_port;
+           wdata_port = m.wdata_port;
+           we_port = m.we_port;
+           rdata_port = m.rdata_port;
+         })
+  | None -> None
+
+(* --- built-in passes ------------------------------------------------------- *)
+
+let lower_to_rtl =
+  {
+    pass_name = "lower-to-rtl";
+    pass_body =
+      (fun d ->
+        match d.ir_design with
+        | Behavioral sys ->
+          Cycle_system.reset sys;
+          Rtl (Rtl.of_system sys)
+        | Rtl _ | Gate _ -> wrong_level "lower-to-rtl" d ~expected:"behavioral");
+  }
+
+let lower_to_gate_with ?options ?(macro_of_kernel = macro_of_model) () =
+  {
+    pass_name = "lower-to-gate";
+    pass_body =
+      (fun d ->
+        match d.ir_design with
+        | Behavioral _ | Rtl _ ->
+          (* Synthesis reads captured structure only, so lowering an
+             RTL-level design goes through the retained behavioral
+             root — deterministic, hence digest-stable. *)
+          let sys = d.ir_source in
+          Cycle_system.reset sys;
+          let nl, _report = Synthesize.synthesize ?options ~macro_of_kernel sys in
+          Gate nl
+        | Gate _ -> wrong_level "lower-to-gate" d ~expected:"behavioral or rtl");
+  }
+
+let lower_to_gate = lower_to_gate_with ()
+
+let optimize_gates =
+  {
+    pass_name = "optimize-gates";
+    pass_body =
+      (fun d ->
+        match d.ir_design with
+        | Gate nl -> Gate (fst (Netopt.run nl))
+        | Behavioral _ | Rtl _ -> wrong_level "optimize-gates" d ~expected:"gate");
+  }
+
+let builtin_passes = [ lower_to_rtl; lower_to_gate; optimize_gates ]
+
+let find_pass name =
+  List.find_opt (fun p -> p.pass_name = name) builtin_passes
+
+let pass_names () = List.map (fun p -> p.pass_name) builtin_passes
+
+(* --- shared probe plumbing ------------------------------------------------- *)
+
+let probe_histories sys =
+  List.filter_map
+    (fun p ->
+      match Cycle_system.find_component sys p with
+      | Some c -> Some (p, Cycle_system.output_history sys c)
+      | None -> None)
+    (Cycle_system.probes sys)
+
+(* Probe formats: the sink net's format at (probe, "in"), which fixes
+   signedness for two's-complement readback from the netlist. *)
+let probe_formats sys =
+  let fmts = Cycle_system.net_formats sys in
+  let sink_map = Hashtbl.create 32 in
+  List.iter
+    (fun (net, _, sinks) ->
+      List.iter (fun (sc, sp) -> Hashtbl.replace sink_map (sc, sp) net) sinks)
+    (Cycle_system.nets sys);
+  fun p ->
+    match Hashtbl.find_opt sink_map (p, "in") with
+    | Some net -> (
+      match Hashtbl.find_opt fmts net with
+      | Some f -> f
+      | None -> Fixed.bit_format)
+    | None -> Fixed.bit_format
+
+(* --- cross-level equivalence ----------------------------------------------- *)
+
+(* Replay the behavioral root's recorded stimuli on a netlist and
+   sample the probes at the behavioral token cycles — the
+   generated-test-bench discipline of Synthesize.verify, producing
+   histories shaped exactly like the behavioral ones. *)
+let gate_histories sys nl ~cycles =
+  Cycle_system.reset sys;
+  Cycle_system.run sys cycles;
+  let expected = probe_histories sys in
+  let input_hist = Cycle_system.input_history sys in
+  Cycle_system.reset sys;
+  let fmt_of = probe_formats sys in
+  let out_names = List.map fst (Netlist.outputs_list nl) in
+  let sim = Netlist.Sim.create nl in
+  let per_cycle = Array.make (max 1 cycles) [] in
+  List.iter
+    (fun (c, name, v) ->
+      if c < cycles then per_cycle.(c) <- (name, v) :: per_cycle.(c))
+    input_hist;
+  let acc = List.map (fun (p, _) -> (p, ref [])) expected in
+  for c = 0 to cycles - 1 do
+    List.iter
+      (fun (name, v) -> Netlist.Sim.set_input sim name (Fixed.mantissa v))
+      per_cycle.(c);
+    Netlist.Sim.settle sim;
+    List.iter
+      (fun (p, hist) ->
+        match List.assoc_opt c hist with
+        | None -> ()
+        | Some _ when not (List.mem p out_names) -> ()
+        | Some _ ->
+          let fmt = fmt_of p in
+          let signed = fmt.Fixed.signedness = Fixed.Signed in
+          let m = Netlist.Sim.get_output sim ~signed p in
+          let r = List.assoc p acc in
+          r := (c, Fixed.create fmt m) :: !r)
+      expected;
+    Netlist.Sim.clock sim
+  done;
+  List.map (fun (p, r) -> (p, List.rev !r)) acc
+
+let histories_of ~cycles d =
+  match d.ir_design with
+  | Behavioral sys ->
+    Cycle_system.reset sys;
+    Cycle_system.run sys cycles;
+    let h = probe_histories sys in
+    Cycle_system.reset sys;
+    h
+  | Rtl r ->
+    let sys = d.ir_source in
+    Rtl.reset r;
+    Rtl.run r cycles;
+    let h =
+      List.map (fun p -> (p, Rtl.output_history r p)) (Cycle_system.probes sys)
+    in
+    Rtl.reset r;
+    (* The RTL elaboration aliases the system's registers. *)
+    Cycle_system.reset sys;
+    h
+  | Gate nl -> gate_histories d.ir_source nl ~cycles
+
+let check_equivalence ?(cycles = 200) a b =
+  let la = level_name a and lb = level_name b in
+  let ha = histories_of ~cycles a and hb = histories_of ~cycles b in
+  let mismatch ?cycle ~construct fmt =
+    Format.kasprintf
+      (fun msg ->
+        Error
+          (Ocapi_error.make Ocapi_error.Mismatch ~engine:"ir" ~construct
+             ?cycle
+             ~nets:[ construct ]
+             msg))
+      fmt
+  in
+  let rec compare_tokens p ta tb =
+    match (ta, tb) with
+    | [], [] -> Ok ()
+    | (c, va) :: ra, (c', vb) :: rb when c = c' ->
+      if Fixed.mantissa va = Fixed.mantissa vb then compare_tokens p ra rb
+      else
+        mismatch ~cycle:c ~construct:p
+          "%s and %s disagree on probe %s: %s vs %s" la lb p
+          (Fixed.to_string va) (Fixed.to_string vb)
+    | (c, _) :: _, (c', _) :: _ ->
+      mismatch ~cycle:(min c c') ~construct:p
+        "%s and %s record probe %s tokens at different cycles (%d vs %d)" la
+        lb p c c'
+    | ts, [] | [], ts ->
+      let c = match ts with (c, _) :: _ -> c | [] -> 0 in
+      mismatch ~cycle:c ~construct:p
+        "%s and %s record different token counts on probe %s (%d vs %d)" la
+        lb p (List.length ta) (List.length tb)
+  in
+  let rec scan = function
+    | [] -> Ok ()
+    | (p, ta) :: rest -> (
+      let tb = match List.assoc_opt p hb with Some l -> l | None -> [] in
+      match compare_tokens p ta tb with Ok () -> scan rest | Error e -> Error e)
+  in
+  scan ha
+
+(* --- the gate cycle engine -------------------------------------------------- *)
+
+module Gate_engine = struct
+  let name = "gate"
+  let display = "gate"
+  let aliases = [ "netlist" ]
+
+  let capabilities =
+    {
+      Ocapi_engine.cap_two_phase = false;
+      cap_max_deltas = false;
+      cap_shares_registers = false;
+      cap_static_size = true;
+      cap_register_pokes = true;
+      cap_state_pokes = true;
+    }
+
+  let make ?options:_ sys =
+    Cycle_system.reset sys;
+    let synth_options =
+      { Synthesize.default_options with Synthesize.emit_probe_valids = true }
+    in
+    let nl, _report, smap =
+      Synthesize.synthesize_mapped ~options:synth_options
+        ~macro_of_kernel:macro_of_model sys
+    in
+    let sim = Netlist.Sim.create nl in
+    let fmt_of = probe_formats sys in
+    let out_names = List.map fst (Netlist.outputs_list nl) in
+    let in_names = List.map fst (Netlist.inputs_list nl) in
+    (* Probes present in the netlist, with format and valid wire. *)
+    let probe_rows =
+      List.map
+        (fun p ->
+          let present = List.mem p out_names in
+          let valid =
+            if List.mem ("__valid__" ^ p) out_names then
+              Some ("__valid__" ^ p)
+            else None
+          in
+          (p, fmt_of p, present, valid))
+        (Cycle_system.probes sys)
+    in
+    let input_rows =
+      List.filter_map
+        (fun (iname, _fmt, stim) ->
+          if List.mem iname in_names then
+            Some (iname, stim, List.mem ("__stimvalid__" ^ iname) in_names)
+          else None)
+        (Cycle_system.primary_inputs sys)
+    in
+    let cycle = ref 0 in
+    let hist = Hashtbl.create 8 in
+    List.iter (fun (p, _, _, _) -> Hashtbl.replace hist p (ref [])) probe_rows;
+    let push p tok =
+      let r = Hashtbl.find hist p in
+      r := tok :: !r
+    in
+    let step () =
+      List.iter
+        (fun (iname, stim, has_valid) ->
+          match stim !cycle with
+          | Some v ->
+            Netlist.Sim.set_input sim iname (Fixed.mantissa v);
+            if has_valid then
+              Netlist.Sim.set_input sim ("__stimvalid__" ^ iname) 1L
+          | None ->
+            if has_valid then
+              Netlist.Sim.set_input sim ("__stimvalid__" ^ iname) 0L)
+        input_rows;
+      Netlist.Sim.settle sim;
+      List.iter
+        (fun (p, fmt, present, valid) ->
+          if present then begin
+            let live =
+              match valid with
+              | Some vname ->
+                Netlist.Sim.get_output sim ~signed:false vname = 1L
+              | None -> true
+            in
+            if live then begin
+              let signed = fmt.Fixed.signedness = Fixed.Signed in
+              let m = Netlist.Sim.get_output sim ~signed p in
+              push p (!cycle, Fixed.create fmt m)
+            end
+          end)
+        probe_rows;
+      Netlist.Sim.clock sim;
+      incr cycle
+    in
+    let reset () =
+      Netlist.Sim.reset sim;
+      Netlist.Sim.clear_fault sim;
+      cycle := 0;
+      Hashtbl.iter (fun _ r -> r := []) hist
+    in
+    let bit_of encoding s b =
+      match encoding with
+      | Synthesize.Binary -> s land (1 lsl b) <> 0
+      | Synthesize.One_hot -> s = b
+    in
+    let invalid_state ~construct s n =
+      raise
+        (Ocapi_error.Error
+           (Ocapi_error.make Ocapi_error.Invalid_state ~engine:name ~construct
+              ~cycle:!cycle
+              (Printf.sprintf "state index %d outside the %d encoded states" s
+                 n)))
+    in
+    Cycle_system.attach_engine sys name;
+    let closed = ref false in
+    {
+      Ocapi_engine.ses_engine = name;
+      ses_step = step;
+      ses_cycle = (fun () -> !cycle);
+      ses_reset = reset;
+      ses_histories =
+        (fun () ->
+          List.map
+            (fun (p, _, _, _) -> (p, List.rev !(Hashtbl.find hist p)))
+            probe_rows);
+      ses_register_count = Array.length smap.Synthesize.sm_regs;
+      ses_register_info =
+        (fun i ->
+          let r = smap.Synthesize.sm_regs.(i) in
+          (r.Synthesize.rm_name, r.Synthesize.rm_fmt));
+      ses_poke_register_bit =
+        (fun i ~bit ->
+          let r = smap.Synthesize.sm_regs.(i) in
+          let nets = r.Synthesize.rm_nets in
+          let b = min bit (Array.length nets - 1) in
+          Netlist.Sim.poke_net sim nets.(b)
+            (not (Netlist.Sim.net_value sim nets.(b))));
+      ses_component_count = Array.length smap.Synthesize.sm_fsms;
+      ses_component_info =
+        (fun i ->
+          let f = smap.Synthesize.sm_fsms.(i) in
+          (f.Synthesize.fm_name, f.Synthesize.fm_states));
+      ses_component_state =
+        (fun i ->
+          let f = smap.Synthesize.sm_fsms.(i) in
+          let bits =
+            Array.map (Netlist.Sim.net_value sim) f.Synthesize.fm_state_nets
+          in
+          match f.Synthesize.fm_encoding with
+          | Synthesize.Binary ->
+            let v = ref 0 in
+            Array.iteri (fun b on -> if on then v := !v lor (1 lsl b)) bits;
+            !v
+          | Synthesize.One_hot -> (
+            let set = ref [] in
+            Array.iteri (fun b on -> if on then set := b :: !set) bits;
+            match !set with
+            | [ b ] -> b
+            | _ ->
+              invalid_state ~construct:f.Synthesize.fm_name (-1)
+                f.Synthesize.fm_states));
+      ses_force_component_state =
+        (fun i s ->
+          let f = smap.Synthesize.sm_fsms.(i) in
+          if s < 0 || s >= f.Synthesize.fm_states then
+            invalid_state ~construct:f.Synthesize.fm_name s
+              f.Synthesize.fm_states
+          else
+            Array.iteri
+              (fun b net ->
+                Netlist.Sim.poke_net sim net
+                  (bit_of f.Synthesize.fm_encoding s b))
+              f.Synthesize.fm_state_nets);
+      ses_resident_words = (fun () -> Obj.reachable_words (Obj.repr sim));
+      ses_static_size = Some (Netlist.counts nl).Netlist.gate_equivalents;
+      ses_close =
+        (fun () ->
+          if not !closed then begin
+            closed := true;
+            Cycle_system.detach_engine sys name
+          end);
+    }
+end
+
+let registered = ref false
+
+let register_gate_engine () =
+  if not !registered then begin
+    registered := true;
+    Ocapi_engine.register (module Gate_engine)
+  end

@@ -304,6 +304,69 @@ let net_label t n =
     | Some s -> s
     | None -> Printf.sprintf "n%d" n)
 
+(* Canonical structural hash.  Net indices are creation-order integers
+   and every element list is rebuilt in creation order, so two builder
+   runs producing the same structure hash identically; the name is
+   excluded on purpose — the digest identifies the circuit, not its
+   label. *)
+let digest t =
+  let b = Buffer.create 4096 in
+  let net n = Buffer.add_string b (string_of_int n); Buffer.add_char b ',' in
+  let bus bus = Array.iter net bus; Buffer.add_char b ';' in
+  let kind_tag = function
+    | Buf -> 'b' | Not -> 'n' | And -> 'a' | Or -> 'o' | Xor -> 'x'
+    | Nand -> 'A' | Nor -> 'O' | Mux2 -> 'm' | Const0 -> '0' | Const1 -> '1'
+  in
+  Buffer.add_string b "nets:";
+  Buffer.add_string b (string_of_int t.n_nets);
+  Buffer.add_string b "|gates:";
+  List.iter
+    (fun g ->
+      Buffer.add_char b (kind_tag g.g_kind);
+      Array.iter net g.g_inputs;
+      net g.g_out)
+    (List.rev t.gates);
+  Buffer.add_string b "|dffs:";
+  List.iter
+    (fun d ->
+      Buffer.add_char b (if d.d_init then '1' else '0');
+      net d.d_d;
+      net d.d_q)
+    (List.rev t.dffs);
+  Buffer.add_string b "|roms:";
+  List.iter
+    (fun r ->
+      Buffer.add_string b r.r_name;
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int r.r_width);
+      Array.iter (fun w -> Buffer.add_string b (Int64.to_string w);
+                   Buffer.add_char b ',') r.r_contents;
+      bus r.r_addr;
+      bus r.r_out)
+    (List.rev t.roms);
+  Buffer.add_string b "|rams:";
+  List.iter
+    (fun m ->
+      Buffer.add_string b m.m_name;
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int m.m_words);
+      Buffer.add_char b 'x';
+      Buffer.add_string b (string_of_int m.m_width);
+      bus m.m_addr;
+      bus m.m_wdata;
+      net m.m_we;
+      bus m.m_out)
+    (List.rev t.rams);
+  Buffer.add_string b "|inputs:";
+  List.iter
+    (fun (name, bs) -> Buffer.add_string b name; Buffer.add_char b ':'; bus bs)
+    (List.rev t.inputs);
+  Buffer.add_string b "|outputs:";
+  List.iter
+    (fun (name, bs) -> Buffer.add_string b name; Buffer.add_char b ':'; bus bs)
+    (List.rev t.outputs);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 (* --- stuck-at fault model ------------------------------------------------ *)
 
 type fault_site = Stem of net | Branch of { br_gate : int; br_pin : int }
@@ -691,6 +754,14 @@ module Sim = struct
   let clear_fault t =
     t.forced_net <- -1;
     t.fault_elem <- -1
+
+  (* Direct net access for the gate cycle engine's poke surface: a DFF
+     q-net write models a transient bit flip (the register re-samples at
+     the next edge), a read decodes FSM state bits.  Writes respect an
+     active stem fault and propagate through the event queue at the next
+     settle. *)
+  let net_value t n = t.values.(n)
+  let poke_net t n v = set_net t n v
 
   type stats = { evaluations : int; events : int }
 

@@ -144,6 +144,15 @@ val outputs_list : t -> (string * net array) list
     (["samples[3]"]) when it has one, else ["n<index>"]. *)
 val net_label : t -> net -> string
 
+(** Canonical structural hash (hex MD5) over nets, gates, flip-flops,
+    macro cells and named buses, in creation order.  The netlist's name
+    is excluded: two identically-built circuits digest equally whatever
+    they are called.  This is the gate level's entry in the cross-level
+    digest scheme ([Cycle_system.digest] / [Rtl.digest] / here), and
+    what gate-level [Flow.Cache] keys and pass provenance records are
+    made of. *)
+val digest : t -> string
+
 (** {1 Stuck-at fault model}
 
     The classic gate-level fault universe: every gate pin can be stuck
@@ -218,6 +227,18 @@ module Sim : sig
 
   val inject : t -> fault -> unit
   val clear_fault : t -> unit
+
+  (** {2 Net access}
+
+      The poke surface of the gate cycle engine: a write to a DFF
+      q-net between two clocks models a transient bit flip (the
+      register re-samples from [d] at the next edge), a read of the
+      controller's state bits decodes FSM state.  Writes respect an
+      active stem fault and propagate through the event queue at the
+      next {!settle}. *)
+
+  val net_value : t -> net -> bool
+  val poke_net : t -> net -> bool -> unit
 
   type stats = { evaluations : int; events : int }
 

@@ -58,6 +58,70 @@ type t = {
   max_deltas : int;
 }
 
+(* Canonical structural hash.  Signal/process ids are global gensyms
+   (two elaborations of the same system get different ids), so the
+   digest is built from names, elaboration order, formats and initial
+   values only — everything that determines behaviour and nothing that
+   varies between identical elaborations. *)
+let digest t =
+  let b = Buffer.create 4096 in
+  let fmt_of (f : Fixed.format) =
+    Buffer.add_string b
+      (Printf.sprintf "%c%d.%d"
+         (match f.Fixed.signedness with Fixed.Signed -> 's' | Fixed.Unsigned -> 'u')
+         f.Fixed.width f.Fixed.frac)
+  in
+  let value v =
+    fmt_of (Fixed.fmt v);
+    Buffer.add_char b '=';
+    Buffer.add_string b (Int64.to_string (Fixed.mantissa v))
+  in
+  Buffer.add_string b "signals:";
+  List.iter
+    (fun s ->
+      Buffer.add_string b s.sg_name;
+      Buffer.add_char b ':';
+      value s.sg_initial;
+      Buffer.add_char b ';')
+    (List.rev t.signals);
+  Buffer.add_string b "|processes:";
+  List.iter
+    (fun p ->
+      Buffer.add_string b p.pr_name;
+      Buffer.add_char b '<';
+      List.iter
+        (fun s -> Buffer.add_string b s.sg_name; Buffer.add_char b ',')
+        p.pr_sensitivity;
+      Buffer.add_char b '>')
+    (List.rev t.processes);
+  Buffer.add_string b "|probes:";
+  List.iter
+    (fun p ->
+      Buffer.add_string b p.pb_name;
+      Buffer.add_char b '~';
+      Buffer.add_string b p.pb_signal.sg_name;
+      Buffer.add_char b ';')
+    t.probes;
+  Buffer.add_string b "|regs:";
+  Array.iter
+    (fun r ->
+      Buffer.add_string b (Signal.Reg.name r);
+      Buffer.add_char b ':';
+      value (Signal.Reg.init r);
+      Buffer.add_char b ';')
+    t.regs;
+  Buffer.add_string b "|states:";
+  Array.iter
+    (fun (name, s, n) ->
+      Buffer.add_string b name;
+      Buffer.add_char b ':';
+      Buffer.add_string b s.sg_name;
+      Buffer.add_char b '/';
+      Buffer.add_string b (string_of_int n);
+      Buffer.add_char b ';')
+    t.state_sigs;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 (* --- construction -------------------------------------------------------- *)
 
 (* Atomic so elaborations may run concurrently in different domains

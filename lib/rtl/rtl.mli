@@ -39,6 +39,14 @@ type t
     bounds the delta-cycle loop of one settle (default 1000). *)
 val of_system : ?max_deltas:int -> Cycle_system.t -> t
 
+(** Canonical structural hash (hex MD5) of the elaboration: signal
+    names, initial values and formats in elaboration order, process
+    names and sensitivity lists, probes, registers and FSM state
+    signals.  Gensym'd signal/process ids are excluded, so two
+    elaborations of the same system digest equally — the RTL level's
+    entry in the cross-level digest scheme. *)
+val digest : t -> string
+
 (** Simulate one clock cycle (input drive + both clock edges). *)
 val cycle : t -> unit
 

@@ -4,9 +4,14 @@ let error fmt = Format.kasprintf (fun s -> raise (Synth_error s)) fmt
 
 type state_encoding = Binary | One_hot
 
-type options = { share_operators : bool; state_encoding : state_encoding }
+type options = {
+  share_operators : bool;
+  state_encoding : state_encoding;
+  emit_probe_valids : bool;
+}
 
-let default_options = { share_operators = true; state_encoding = Binary }
+let default_options =
+  { share_operators = true; state_encoding = Binary; emit_probe_valids = false }
 
 type macro_spec =
   | Ram_macro of {
@@ -34,6 +39,29 @@ type report = {
   total : Netlist.gate_counts;
   total_seconds : float;
 }
+
+(* --- structural map ------------------------------------------------------- *)
+
+(* Where the design's architectural state landed in the netlist: the
+   flip-flop q-nets of every datapath register (Cycle_system.all_regs
+   order) and of every controller state register (timed-component
+   order).  This is the gate cycle engine's poke surface — SEU flips
+   write q-nets, FSM state reads decode them. *)
+
+type reg_map = {
+  rm_name : string;
+  rm_fmt : Fixed.format;
+  rm_nets : Netlist.net array;  (* q-nets, LSB first *)
+}
+
+type fsm_map = {
+  fm_name : string;
+  fm_states : int;
+  fm_encoding : state_encoding;
+  fm_state_nets : Netlist.net array;  (* state register q-nets *)
+}
+
+type state_map = { sm_regs : reg_map array; sm_fsms : fsm_map array }
 
 (* --- shared operator pools ------------------------------------------------ *)
 
@@ -347,7 +375,7 @@ let synthesize_controller nl fsm ~encoding ~guard_net =
     Netlist.dff_into nl ~init:(bit_of init_enc b) ~q:state_q.(b) d
   done;
   ignore n_states;
-  sels
+  (sels, state_q)
 
 (* --- per-component synthesis ---------------------------------------------- *)
 
@@ -405,7 +433,7 @@ let synthesize_component nl ~options ~cname fsm ~in_bus ~drive =
       transitions
   in
   (* Controller. *)
-  let sels =
+  let sels, state_q =
     synthesize_controller nl fsm ~encoding:options.state_encoding
       ~guard_net:(fun ti -> guard_nets.(ti))
   in
@@ -549,22 +577,35 @@ let synthesize_component nl ~options ~cname fsm ~in_bus ~drive =
       ~args:[ ("gates", Ocapi_obs.Json.Int (after - before)) ]
       ("synth." ^ cname) t_span
   end;
-  {
-    cr_name = cname;
-    cr_instructions = Array.length transitions;
-    cr_states = List.length (Fsm.states fsm);
-    cr_shared_units =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) pool_max []
-      |> List.sort compare;
-    cr_ops_before_sharing = !total_shareable;
-    cr_gate_equivalents = after - before;
-    cr_seconds = Unix.gettimeofday () -. t0;
-  }
+  let report =
+    {
+      cr_name = cname;
+      cr_instructions = Array.length transitions;
+      cr_states = List.length (Fsm.states fsm);
+      cr_shared_units =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) pool_max []
+        |> List.sort compare;
+      cr_ops_before_sharing = !total_shareable;
+      cr_gate_equivalents = after - before;
+      cr_seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  let reg_nets =
+    List.map (fun r -> (Signal.Reg.id r, reg_bus r)) regs
+  in
+  (* Which transitions write each output port — the timed half of the
+     probe-valid computation. *)
+  let port_sels =
+    Hashtbl.fold
+      (fun port choices acc -> (port, List.map fst choices) :: acc)
+      out_choices []
+  in
+  (report, reg_nets, state_q, port_sels)
 
 (* --- system linkage --------------------------------------------------------- *)
 
-let synthesize ?(options = default_options) ?(macro_of_kernel = fun _ -> None)
-    sys =
+let synthesize_mapped ?(options = default_options)
+    ?(macro_of_kernel = fun _ -> None) sys =
   let t0 = Unix.gettimeofday () in
   let t_span = Ocapi_obs.span_begin () in
   let nl = Netlist.create (Cycle_system.name sys) in
@@ -605,13 +646,17 @@ let synthesize ?(options = default_options) ?(macro_of_kernel = fun _ -> None)
     | None -> None
   in
   (* Timed components. *)
-  let reports =
+  let comp_results =
     List.map
       (fun (cname, fsm) ->
-        synthesize_component nl ~options ~cname fsm
-          ~in_bus:(in_bus_of cname) ~drive:(drive_of cname))
+        let report, reg_nets, state_q, port_sels =
+          synthesize_component nl ~options ~cname fsm
+            ~in_bus:(in_bus_of cname) ~drive:(drive_of cname)
+        in
+        (cname, fsm, report, reg_nets, state_q, port_sels))
       (Cycle_system.timed_components sys)
   in
+  let reports = List.map (fun (_, _, r, _, _, _) -> r) comp_results in
   (* Untimed kernels as macro cells. *)
   List.iter
     (fun (cname, k) ->
@@ -644,6 +689,115 @@ let synthesize ?(options = default_options) ?(macro_of_kernel = fun _ -> None)
       | Some net -> Netlist.output_bus nl pname (fst (Hashtbl.find net_bus net))
       | None -> ())
     (Cycle_system.probes sys);
+  (* Optional probe-valid wires: a 1-bit output per probe that is high
+     exactly when the behavioral engine would record a token.  A net
+     driven by a timed component is valid when one of the transitions
+     writing the port fires (OR of their select lines); a macro-cell
+     output is valid when all the kernel's inputs are (AND of input-net
+     valids); a primary input's validity only the test bench knows, so
+     it becomes a host-driven 1-bit input bus. *)
+  if options.emit_probe_valids then begin
+    let driver_of_net = Hashtbl.create 64 in
+    List.iter
+      (fun (net, (dc, dp), _) -> Hashtbl.replace driver_of_net net (dc, dp))
+      nets;
+    let port_sels_of = Hashtbl.create 16 in
+    List.iter
+      (fun (cname, _, _, _, _, port_sels) ->
+        List.iter
+          (fun (port, sels) -> Hashtbl.replace port_sels_of (cname, port) sels)
+          port_sels)
+      comp_results;
+    let kernel_inputs = Hashtbl.create 16 in
+    List.iter
+      (fun (cname, k) ->
+        Hashtbl.replace kernel_inputs cname
+          (List.map fst k.Dataflow.Kernel.k_inputs))
+      (Cycle_system.untimed_components sys);
+    let stim_valid = Hashtbl.create 8 in
+    let valid_memo = Hashtbl.create 32 in
+    let rec valid_of_net net =
+      match Hashtbl.find_opt valid_memo net with
+      | Some (Some v) -> v
+      | Some None ->
+        (* A combinational cycle through kernels (gated off at run
+           time): break it optimistically. *)
+        Netlist.gate nl Netlist.Const1 []
+      | None ->
+        Hashtbl.replace valid_memo net None;
+        let v =
+          match Hashtbl.find_opt driver_of_net net with
+          | None -> Netlist.gate nl Netlist.Const0 []
+          | Some (dc, dp) ->
+            if List.mem dc primary_input_names then begin
+              match Hashtbl.find_opt stim_valid dc with
+              | Some n -> n
+              | None ->
+                let bus = Netlist.input_bus nl ("__stimvalid__" ^ dc) 1 in
+                Hashtbl.replace stim_valid dc bus.(0);
+                bus.(0)
+            end
+            else begin
+              match Hashtbl.find_opt port_sels_of (dc, dp) with
+              | Some sels -> Wordgen.or_tree nl sels
+              | None -> (
+                match Hashtbl.find_opt kernel_inputs dc with
+                | Some ports ->
+                  Wordgen.and_tree nl
+                    (List.filter_map
+                       (fun port ->
+                         Option.map valid_of_net
+                           (Hashtbl.find_opt sink_map (dc, port)))
+                       ports)
+                | None -> Netlist.gate nl Netlist.Const0 [])
+            end
+        in
+        Hashtbl.replace valid_memo net (Some v);
+        v
+    in
+    List.iter
+      (fun pname ->
+        match Hashtbl.find_opt sink_map (pname, "in") with
+        | Some net ->
+          Netlist.output_bus nl ("__valid__" ^ pname) [| valid_of_net net |]
+        | None -> ())
+      (Cycle_system.probes sys)
+  end;
+  (* The structural map: datapath registers in Cycle_system.all_regs
+     order, controllers in timed-component order. *)
+  let reg_nets_by_id = Hashtbl.create 64 in
+  List.iter
+    (fun (_, _, _, reg_nets, _, _) ->
+      List.iter (fun (id, nets) -> Hashtbl.replace reg_nets_by_id id nets)
+        reg_nets)
+    comp_results;
+  let sm_regs =
+    Array.of_list
+      (List.filter_map
+         (fun r ->
+           Option.map
+             (fun nets ->
+               {
+                 rm_name = Signal.Reg.name r;
+                 rm_fmt = Signal.Reg.fmt r;
+                 rm_nets = nets;
+               })
+             (Hashtbl.find_opt reg_nets_by_id (Signal.Reg.id r)))
+         (Cycle_system.all_regs sys))
+  in
+  let sm_fsms =
+    Array.of_list
+      (List.map
+         (fun (cname, fsm, _, _, state_q, _) ->
+           {
+             fm_name = cname;
+             fm_states = List.length (Fsm.states fsm);
+             fm_encoding = options.state_encoding;
+             fm_state_nets = state_q;
+           })
+         comp_results)
+  in
+  let state_map = { sm_regs; sm_fsms } in
   let report =
     {
       system_name = Cycle_system.name sys;
@@ -663,6 +817,10 @@ let synthesize ?(options = default_options) ?(macro_of_kernel = fun _ -> None)
         ]
       "synth.elaborate" t_span
   end;
+  (nl, report, state_map)
+
+let synthesize ?options ?macro_of_kernel sys =
+  let nl, report, _ = synthesize_mapped ?options ?macro_of_kernel sys in
   (nl, report)
 
 let pp_report ppf r =

@@ -32,6 +32,14 @@ type options = {
   state_encoding : state_encoding;
       (** controller state register encoding (default [Binary];
           [One_hot] trades register bits for decode logic) *)
+  emit_probe_valids : bool;
+      (** also emit, per probe [p], a 1-bit output bus ["__valid__p"]
+          that is high exactly when the behavioral engine would record
+          a token on [p], plus a 1-bit input bus ["__stimvalid__i"] per
+          primary input [i] whose probes depend on stimulus arrival.
+          The gate cycle engine needs these to reconstruct sparse probe
+          histories; default off, which leaves the netlist byte-for-byte
+          what it was before this option existed *)
 }
 
 val default_options : options
@@ -65,6 +73,30 @@ type report = {
   total_seconds : float;
 }
 
+(** {1 Structural map}
+
+    Where the architectural state of the design landed in the netlist —
+    the poke surface of the gate cycle engine and of netlist-level fault
+    injection. *)
+
+type reg_map = {
+  rm_name : string;
+  rm_fmt : Fixed.format;  (** declared register format *)
+  rm_nets : Netlist.net array;  (** flip-flop q-nets, LSB first *)
+}
+
+type fsm_map = {
+  fm_name : string;
+  fm_states : int;  (** encoded state count *)
+  fm_encoding : state_encoding;
+  fm_state_nets : Netlist.net array;  (** state register q-nets *)
+}
+
+type state_map = {
+  sm_regs : reg_map array;  (** [Cycle_system.all_regs] order *)
+  sm_fsms : fsm_map array;  (** timed-component (system) order *)
+}
+
 (** [synthesize ?options ?macro_of_kernel sys] produces the linked
     system netlist and a synthesis report.  Untimed kernels require a
     [macro_of_kernel] mapping; unknown kernels raise {!Synth_error}. *)
@@ -73,6 +105,14 @@ val synthesize :
   ?macro_of_kernel:(Dataflow.Kernel.t -> macro_spec option) ->
   Cycle_system.t ->
   Netlist.t * report
+
+(** [synthesize_mapped] is {!synthesize} plus the {!state_map} relating
+    the system's registers and FSMs to netlist flip-flops. *)
+val synthesize_mapped :
+  ?options:options ->
+  ?macro_of_kernel:(Dataflow.Kernel.t -> macro_spec option) ->
+  Cycle_system.t ->
+  Netlist.t * report * state_map
 
 val pp_report : Format.formatter -> report -> unit
 

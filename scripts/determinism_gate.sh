@@ -47,6 +47,17 @@ check_cmp "seu report (dect, 300 runs)" "$work/seu-1.json" "$work/seu-2.json"
 check_cmp "seu report (dect, native engine, 300 runs)" \
   "$work/seu-native-1.json" "$work/seu-native-2.json"
 
+# 1c. The same SEU campaign on the gate (synthesized netlist) engine:
+#     flips land on physical flip-flop q-nets, and each worker domain
+#     synthesizes and simulates a private netlist instance.  Fewer runs
+#     — gate simulation is the slowest engine.
+"$OCAPI" fault --design hcor --campaign seu --runs 60 --cycles 24 --seed 1 \
+  --engine gate --json >"$work/seu-gate-1.json"
+"$OCAPI" fault --design hcor --campaign seu --runs 60 --cycles 24 --seed 1 \
+  --engine gate --domains 2 --json >"$work/seu-gate-2.json"
+check_cmp "seu report (hcor, gate engine, 60 runs)" \
+  "$work/seu-gate-1.json" "$work/seu-gate-2.json"
+
 # 2. Stuck-at campaign report: a seeded 80-fault sample of the DECT
 #    gate-level netlist.
 "$OCAPI" fault --design dect --campaign stuck-at --cycles 24 \
@@ -54,6 +65,15 @@ check_cmp "seu report (dect, native engine, 300 runs)" \
 "$OCAPI" fault --design dect --campaign stuck-at --cycles 24 \
   --max-faults 80 --seed 1 --domains 2 --json >"$work/sa-2.json"
 check_cmp "stuck-at report (dect, 80 faults)" "$work/sa-1.json" "$work/sa-2.json"
+
+# 2b. Pre/post-optimization stuck-at compare: both campaigns and the
+#     IR provenance chain must be bit-identical across domain counts.
+"$OCAPI" fault --design hcor --campaign stuck-at --optimized --cycles 24 \
+  --max-faults 60 --seed 1 --json >"$work/sa-opt-1.json"
+"$OCAPI" fault --design hcor --campaign stuck-at --optimized --cycles 24 \
+  --max-faults 60 --seed 1 --domains 2 --json >"$work/sa-opt-2.json"
+check_cmp "stuck-at --optimized report (hcor, 60 faults)" \
+  "$work/sa-opt-1.json" "$work/sa-opt-2.json"
 
 # 3. Batch artifact tree and canonical event log: the example manifest
 #    (simulate + seu + stuck-at + engine-sweep, with a duplicate)

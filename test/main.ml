@@ -10,6 +10,7 @@ let () =
       ("sched", Test_sched.suite);
       ("engines", Test_engines.suite);
       ("engine", Test_engine.suite);
+      ("ir", Test_ir.suite);
       ("native", Test_native.suite);
       ("netlist", Test_netlist.suite);
       ("sop", Test_sop.suite);

@@ -83,7 +83,7 @@ let test_compiled_equivalence () =
   for seed = 1 to 5 do
     let sys = rich_system seed in
     let interp = Flow.simulate sys ~cycles:50 in
-    let compiled = Flow.simulate_compiled sys ~cycles:50 in
+    let compiled = Flow.simulate ~engine:"compiled" sys ~cycles:50 in
     Alcotest.(check bool)
       (Printf.sprintf "seed %d" seed)
       true
@@ -94,7 +94,7 @@ let test_rtl_equivalence () =
   for seed = 6 to 9 do
     let sys = rich_system seed in
     let interp = Flow.simulate sys ~cycles:40 in
-    let rtl = Flow.simulate_rtl sys ~cycles:40 in
+    let rtl = Flow.simulate ~engine:"rtl" sys ~cycles:40 in
     Alcotest.(check bool)
       (Printf.sprintf "seed %d" seed)
       true (histories_equal interp rtl)
@@ -289,7 +289,7 @@ let random_system_property =
       ignore (Cycle_system.connect sys (s1i, "out") [ (c, "in1") ]);
       ignore (Cycle_system.connect sys (c, "y") [ (probe, "in") ]);
       let interp = Flow.simulate sys ~cycles:20 in
-      let compiled = Flow.simulate_compiled sys ~cycles:20 in
+      let compiled = Flow.simulate ~engine:"compiled" sys ~cycles:20 in
       histories_equal interp compiled)
 
 (* The same property against the event-driven RT engine. *)
@@ -337,8 +337,59 @@ let random_system_rtl_property =
       ignore (Cycle_system.connect sys (s1i, "out") [ (c, "in1") ]);
       ignore (Cycle_system.connect sys (c, "y") [ (probe, "in") ]);
       let interp = Flow.simulate sys ~cycles:12 in
-      let rtl = Flow.simulate_rtl sys ~cycles:12 in
+      let rtl = Flow.simulate ~engine:"rtl" sys ~cycles:12 in
       histories_equal interp rtl)
+
+(* The same property through synthesis: the gate engine simulates the
+   synthesized netlist of the random system, so this is a differential
+   sweep of the whole lowering chain — wordgen arithmetic, controller
+   encoding and the probe-valid wires — against the interpreter. *)
+let random_system_gate_property =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1_000_000) in
+  QCheck.Test.make ~name:"random DAG: gate == interpreted" ~count:20 arb
+    (fun seed ->
+      let fresh = Printf.sprintf "gate%d_%d" seed in
+      let in_fmt = Fixed.signed ~width:6 ~frac:2 in
+      let inputs =
+        Array.init 2 (fun i -> Signal.Input.create (Printf.sprintf "in%d" i) in_fmt)
+      in
+      let regs = Array.init 2 (fun i -> Signal.Reg.create clk (fresh i) in_fmt) in
+      let expr =
+        QCheck.Gen.generate1
+          ~rand:(Random.State.make [| seed; 23 |])
+          (Gen.expr_gen ~inputs ~regs 3)
+      in
+      let out_fmt = Fixed.signed ~width:10 ~frac:3 in
+      let sfg =
+        Sfg.build (fresh 77) (fun b ->
+            Array.iter (fun i -> ignore (Sfg.Builder.input_port b i)) inputs;
+            Sfg.Builder.output b "y"
+              (Signal.resize ~overflow:Fixed.Saturate out_fmt expr);
+            Array.iter
+              (fun r ->
+                Sfg.Builder.assign_resized b r
+                  (Signal.resize ~overflow:Fixed.Saturate (Signal.Reg.fmt r) expr))
+              regs)
+      in
+      let fsm = Fsm.create (fresh 88) in
+      let s0 = Fsm.initial fsm "s0" in
+      Fsm.(s0 |-- always |+ sfg |-> s0);
+      let sys = Cycle_system.create (fresh 99) in
+      let c = Cycle_system.add_timed sys "c" fsm in
+      let stim i =
+        Cycle_system.add_input sys (Printf.sprintf "stim%d" i) in_fmt
+          (fun cyc ->
+            let r = Random.State.make [| seed; i; cyc |] in
+            Some (Fixed.create in_fmt (Int64.of_int (Random.State.int r 63 - 31))))
+      in
+      let s0i = stim 0 and s1i = stim 1 in
+      let probe = Cycle_system.add_output sys "y_out" in
+      ignore (Cycle_system.connect sys (s0i, "out") [ (c, "in0") ]);
+      ignore (Cycle_system.connect sys (s1i, "out") [ (c, "in1") ]);
+      ignore (Cycle_system.connect sys (c, "y") [ (probe, "in") ]);
+      let interp = Flow.simulate sys ~cycles:12 in
+      let gate = Flow.simulate ~engine:"gate" sys ~cycles:12 in
+      histories_equal interp gate)
 
 (* Chains of two components with a combinational cross-component path:
    the front's input-dependent output feeds the back's logic within the
@@ -401,7 +452,7 @@ let random_chain_property =
       ignore (Cycle_system.connect sys (c1, "o") [ (c2, "i0") ]);
       ignore (Cycle_system.connect sys (c2, "o") [ (probe, "in") ]);
       let interp = Flow.simulate sys ~cycles:16 in
-      let compiled = Flow.simulate_compiled sys ~cycles:16 in
+      let compiled = Flow.simulate ~engine:"compiled" sys ~cycles:16 in
       histories_equal interp compiled)
 
 let suite =
@@ -409,5 +460,6 @@ let suite =
   @ [
       QCheck_alcotest.to_alcotest random_system_property;
       QCheck_alcotest.to_alcotest random_system_rtl_property;
+      QCheck_alcotest.to_alcotest random_system_gate_property;
       QCheck_alcotest.to_alcotest random_chain_property;
     ]

@@ -164,7 +164,7 @@ let test_compiled_resize_helpers () =
               ignore (Cycle_system.connect sys (stim, "out") [ (c, "x") ]);
               ignore (Cycle_system.connect sys (c, "y") [ (p, "in") ]);
               let interp = Flow.simulate sys ~cycles:n in
-              let compiled = Flow.simulate_compiled sys ~cycles:n in
+              let compiled = Flow.simulate ~engine:"compiled" sys ~cycles:n in
               let hy = List.assoc "y_out" interp in
               let hc = List.assoc "y_out" compiled in
               List.iter2

@@ -274,8 +274,8 @@ let test_instrumented_equals_plain () =
   let sys = mini_system () in
   let cycles = 40 in
   let plain_i = Flow.simulate sys ~cycles in
-  let plain_c = Flow.simulate_compiled sys ~cycles in
-  let plain_r = Flow.simulate_rtl sys ~cycles in
+  let plain_c = Flow.simulate ~engine:"compiled" sys ~cycles in
+  let plain_r = Flow.simulate ~engine:"rtl" sys ~cycles in
   let cell = ref None in
   let tele_i = Flow.simulate ~telemetry:cell sys ~cycles in
   (match !cell with
@@ -284,14 +284,14 @@ let test_instrumented_equals_plain () =
     | Some (Ocapi_obs.Counter_v n) -> Alcotest.(check int) "cycles" cycles n
     | _ -> Alcotest.fail "sched.cycles missing")
   | None -> Alcotest.fail "no interp report");
-  let tele_c = Flow.simulate_compiled ~telemetry:cell sys ~cycles in
+  let tele_c = Flow.simulate ~engine:"compiled" ~telemetry:cell sys ~cycles in
   (match !cell with
   | Some rp ->
     (match List.assoc_opt "compiled.steps" rp.Ocapi_obs.rp_metrics with
     | Some (Ocapi_obs.Counter_v n) -> Alcotest.(check int) "steps" cycles n
     | _ -> Alcotest.fail "compiled.steps missing")
   | None -> Alcotest.fail "no compiled report");
-  let tele_r = Flow.simulate_rtl ~telemetry:cell sys ~cycles in
+  let tele_r = Flow.simulate ~engine:"rtl" ~telemetry:cell sys ~cycles in
   histories_equal (Flow.first_history_mismatch plain_i tele_i = None);
   histories_equal (Flow.first_history_mismatch plain_c tele_c = None);
   histories_equal (Flow.first_history_mismatch plain_r tele_r = None);

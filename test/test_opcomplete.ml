@@ -129,7 +129,9 @@ let test_netlist_all_option_combinations () =
     (fun (share, encoding, optimize) ->
       let sys = build () in
       let options =
-        { Synthesize.share_operators = share; Synthesize.state_encoding = encoding }
+        { Synthesize.default_options with
+          Synthesize.share_operators = share;
+          Synthesize.state_encoding = encoding }
       in
       let r = Synthesize.verify ~options ~optimize sys ~cycles:60 in
       Alcotest.(check int)
