@@ -1,6 +1,7 @@
 .PHONY: all build doc test bench bench-json bench-native bench-par \
-	bench-batch bench-service bench-smoke cache-stats fault batch serve \
-	profile report perf-gate ci-determinism ci-crash-recovery ci-local clean
+	bench-batch bench-service bench-smoke cache-stats fault fuzz batch serve \
+	profile report perf-gate ci-determinism ci-crash-recovery ci-fuzz \
+	ci-local clean
 
 all: build doc
 
@@ -119,6 +120,19 @@ ci-determinism: build
 # restart to an artifact tree byte-identical to an undisturbed run.
 ci-crash-recovery: build
 	scripts/crash_recovery_gate.sh
+
+# Differential fuzz demo: replay the committed reproducer corpus, then
+# cross-check 50 generated designs on every engine, shrinking any
+# divergence to a minimal reproducer.
+fuzz: build
+	dune exec bin/ocapi_cli.exe -- fuzz --seed 42 --count 50 \
+	  --corpus corpus/fuzz_corpus.jsonl
+
+# The CI fuzz smoke gate: harness self-test (an injected engine bug must
+# be caught and shrunk), corpus replay + 25 fresh designs on every
+# engine, and a serial vs --domains 2 byte-compare of the fuzz report.
+ci-fuzz: build
+	scripts/fuzz_gate.sh
 
 # The whole CI pipeline, run locally (build, docs when odoc exists,
 # tests, determinism gate, bench smoke) — an `act`-equivalent dry run.

@@ -54,6 +54,15 @@ let dect_design () =
   in
   d.Dect_transceiver.system
 
+let rs_design () =
+  (Rs_codec.create
+     ~data_stimulus:(Rs_codec.data_stimulus ())
+     ~err_stimulus:(Rs_codec.err_stimulus ()) ())
+    .Rs_codec.system
+
+let cpu_design () =
+  (Acc_cpu.create ~io_stimulus:(Acc_cpu.io_stimulus ()) ()).Acc_cpu.system
+
 let gates ?macro_of_kernel sys =
   let _, rep = Synthesize.synthesize ?macro_of_kernel sys in
   rep.Synthesize.total.Netlist.gate_equivalents
@@ -113,7 +122,31 @@ let table1_rows () =
         | Metrics.Rt_event_driven -> 300
         | Metrics.Gate_netlist -> 60)
   in
-  [ hcor_row; dect_row ]
+  let rs = rs_design () in
+  let rs_row =
+    measure_design ~design:"RS" ~sys:rs ~src_lines:(Rs_codec.source_lines ())
+      ~gate_count:(gates rs) ~macro_of_kernel:None
+      ~cycles_of:(function
+        | Metrics.Interpreted_objects -> 4000
+        | Metrics.Compiled_code -> 40000
+        | Metrics.Native_code -> 400000
+        | Metrics.Rt_event_driven -> 2000
+        | Metrics.Gate_netlist -> 400)
+  in
+  let cpu = cpu_design () in
+  let cpu_row =
+    measure_design ~design:"CPU" ~sys:cpu
+      ~src_lines:(Acc_cpu.source_lines ())
+      ~gate_count:(gates ~macro_of_kernel:Ram_cell.macro_of_kernel cpu)
+      ~macro_of_kernel:(Some Ram_cell.macro_of_kernel)
+      ~cycles_of:(function
+        | Metrics.Interpreted_objects -> 4000
+        | Metrics.Compiled_code -> 40000
+        | Metrics.Native_code -> 400000
+        | Metrics.Rt_event_driven -> 2000
+        | Metrics.Gate_netlist -> 400)
+  in
+  [ hcor_row; dect_row; rs_row; cpu_row ]
 
 let table1_json rows =
   let open Ocapi_obs.Json in
@@ -573,6 +606,31 @@ let fault_bench ?(sa_faults = 200) ?(seu_runs = 1000) () =
     seu.Ocapi_fault.seu_engine seu.Ocapi_fault.seu_runs
     seu.Ocapi_fault.seu_masked seu.Ocapi_fault.seu_sdc
     seu.Ocapi_fault.seu_detected seu_rate;
+  (* The gallery designs ride the same campaign shapes, so the perf
+     gate tracks them from their first commit. *)
+  let gallery_seu name sys ~cycles =
+    let t = Unix.gettimeofday () in
+    let report =
+      Ocapi_fault.seu_campaign ~engine:"compiled" ~runs:seu_runs ~seed:1 sys
+        ~cycles
+    in
+    let seconds = Unix.gettimeofday () -. t in
+    let rate = float_of_int report.Ocapi_fault.seu_runs /. seconds in
+    Printf.printf
+      "%s seu (%s): %d runs -- masked %d, sdc %d, detected %d (%.0f runs/s)\n"
+      name report.Ocapi_fault.seu_engine report.Ocapi_fault.seu_runs
+      report.Ocapi_fault.seu_masked report.Ocapi_fault.seu_sdc
+      report.Ocapi_fault.seu_detected rate;
+    ledger
+      ~digest:(Cycle_system.digest sys)
+      ~bench:(Printf.sprintf "fault:seu:%s:r%d" name seu_runs)
+      ~engine:"compiled" ~unit_:"runs/s" rate;
+    (report, seconds, rate)
+  in
+  let seu_rs, rs_seconds, rs_rate = gallery_seu "rs" (rs_design ()) ~cycles:45 in
+  let seu_cpu, cpu_seconds, cpu_rate =
+    gallery_seu "cpu" (cpu_design ()) ~cycles:Acc_cpu.check_cycles
+  in
   let json =
     Ocapi_obs.Json.(
       Obj
@@ -591,6 +649,20 @@ let fault_bench ?(sa_faults = 200) ?(seu_runs = 1000) () =
                 ("report", Ocapi_fault.seu_report_json seu);
                 ("seconds", Float seu_seconds);
                 ("runs_per_second", Float seu_rate);
+              ] );
+          ( "seu_rs",
+            Obj
+              [
+                ("report", Ocapi_fault.seu_report_json seu_rs);
+                ("seconds", Float rs_seconds);
+                ("runs_per_second", Float rs_rate);
+              ] );
+          ( "seu_cpu",
+            Obj
+              [
+                ("report", Ocapi_fault.seu_report_json seu_cpu);
+                ("seconds", Float cpu_seconds);
+                ("runs_per_second", Float cpu_rate);
               ] );
         ])
   in

@@ -13,8 +13,10 @@
                  [--retries N] [--chaos-prob P] [--die-after N]
      ocapi worker --request JSON --artifact FILE   (spawned by serve)
      ocapi report [--ledger FILE] [--events FILE] [--html FILE] [--gate]
+     ocapi fuzz [--seed N] [--count N] [--engines A,B] [--corpus FILE]
+                [--shrink] [--deep] [--domains N] [--self-test] [--json]
 
-   Designs: hcor | dect (the reference designs of lib/designs). *)
+   Designs: hcor | dect | rs | cpu (the gallery designs of lib/designs). *)
 
 open Cmdliner
 
@@ -44,10 +46,30 @@ let build_design = function
         d_sys = (Dect_transceiver.create ~stimulus:stim ()).Dect_transceiver.system;
         d_macro = Dect_transceiver.macro_of_kernel;
       }
-  | other -> Error (Printf.sprintf "unknown design %S (try hcor or dect)" other)
+  | "rs" ->
+    Ok
+      {
+        d_sys =
+          (Rs_codec.create
+             ~data_stimulus:(Rs_codec.data_stimulus ())
+             ~err_stimulus:(Rs_codec.err_stimulus ()) ())
+            .Rs_codec.system;
+        d_macro = (fun _ -> None);
+      }
+  | "cpu" ->
+    Ok
+      {
+        d_sys =
+          (Acc_cpu.create ~io_stimulus:(Acc_cpu.io_stimulus ()) ())
+            .Acc_cpu.system;
+        d_macro = Ram_cell.macro_of_kernel;
+      }
+  | other ->
+    Error
+      (Printf.sprintf "unknown design %S (try hcor, dect, rs or cpu)" other)
 
 let design_arg =
-  let doc = "Reference design to operate on: hcor or dect." in
+  let doc = "Reference design to operate on: hcor, dect, rs or cpu." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
 
 let cycles_arg default =
@@ -240,7 +262,7 @@ let emit_cmd =
 
 (* profile *)
 let profile_design_arg =
-  let doc = "Reference design to profile: hcor or dect." in
+  let doc = "Reference design to profile: hcor, dect, rs or cpu." in
   Arg.(
     required
     & opt (some string) None
@@ -328,7 +350,7 @@ let profile_cmd =
 
 (* fault *)
 let fault_design_arg =
-  let doc = "Reference design to run the campaign on: hcor or dect." in
+  let doc = "Reference design to run the campaign on: hcor, dect, rs or cpu." in
   Arg.(
     required
     & opt (some string) None
@@ -469,7 +491,7 @@ let register_batch_designs () =
             | Ok d -> d.d_sys
             | Error e -> failwith e)
       | Error _ -> ())
-    [ "hcor"; "dect" ]
+    [ "hcor"; "dect"; "rs"; "cpu" ]
 
 let manifest_arg =
   let doc = "JSONL job manifest: one job object per line (see ocapi batch --help)." in
@@ -1026,6 +1048,167 @@ let report_cmd =
       const run $ ledger_arg $ events_arg $ html_arg $ json_arg $ gate_arg
       $ fail_on_arg $ window_arg $ tolerance_arg $ hard_tolerance_arg)
 
+(* fuzz *)
+
+let fuzz_cmd =
+  let fuzz_seed_arg =
+    let doc = "Campaign seed; per-design generator seeds derive from it." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let count_arg =
+    let doc = "Fresh generated designs to check." in
+    Arg.(value & opt int 50 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let size_arg =
+    let doc = "Generator size knob (1-4): larger draws bigger designs." in
+    Arg.(value & opt int 2 & info [ "size" ] ~docv:"K" ~doc)
+  in
+  let engines_arg =
+    let doc =
+      "Comma-separated engine roster to cross-check (default: every \
+       registered engine)."
+    in
+    Arg.(value & opt (some string) None & info [ "engines" ] ~docv:"A,B" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "JSONL reproducer corpus: its entries are replayed before the fresh \
+       designs, and this run's new reproducers are appended to it."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"FILE" ~doc)
+  in
+  let repro_out_arg =
+    let doc =
+      "Also write this run's reproducers (shrunk failing genomes) to $(docv), \
+       replacing it.  The file is written even when empty, so CI can upload \
+       it unconditionally."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reproducers-out" ] ~docv:"FILE" ~doc)
+  in
+  let shrink_arg =
+    let doc = "Shrink failing designs to minimal reproducers." in
+    Arg.(value & opt bool true & info [ "shrink" ] ~docv:"BOOL" ~doc)
+  in
+  let deep_arg =
+    let doc = "Also cross-check SEU classification and stuck-at determinism." in
+    Arg.(value & flag & info [ "deep" ] ~doc)
+  in
+  let self_test_arg =
+    let doc =
+      "Harness self-test: cross-check the interpreter against a deliberately \
+       broken engine and require the campaign to catch it (exit 0 when every \
+       design diverges and a shrunk reproducer is produced)."
+    in
+    Arg.(value & flag & info [ "self-test" ] ~doc)
+  in
+  let run seed count size engines corpus repro_out shrink deep domains
+      self_test json =
+    let resolve names =
+      List.fold_left
+        (fun acc n ->
+          match acc with
+          | Error _ -> acc
+          | Ok l -> (
+            match Ocapi_engine.find n with
+            | Some e -> Ok (Ocapi_engine.name_of e :: l)
+            | None -> Error n))
+        (Ok []) names
+      |> Result.map List.rev
+    in
+    let engines =
+      if self_test then
+        Ok (Some [ "interp"; Ocapi_diff.register_buggy_engine () ])
+      else
+        match engines with
+        | None -> Ok None
+        | Some s -> (
+          match resolve (String.split_on_char ',' s) with
+          | Ok l -> Ok (Some l)
+          | Error n -> Error n)
+    in
+    match engines with
+    | Error n -> unknown_engine n
+    | Ok engines -> (
+      let loaded =
+        match corpus with
+        | None -> Ok []
+        | Some path -> Ocapi_diff.Corpus.load path
+      in
+      match loaded with
+      | Error e ->
+        Printf.eprintf "corpus: %s\n" e;
+        2
+      | Ok entries ->
+        let report =
+          Ocapi_diff.fuzz ?engines ~deep ~shrink_failures:shrink ~size ~domains
+            ~corpus:entries ~seed ~count ()
+        in
+        if json then
+          print_endline
+            (Ocapi_obs.Json.to_string (Ocapi_diff.report_json report))
+        else Format.printf "%a@." Ocapi_diff.pp_report report;
+        let reproducers = Ocapi_diff.report_reproducers report in
+        (match (corpus, reproducers) with
+        | Some path, _ :: _ ->
+          Ocapi_diff.Corpus.append path reproducers;
+          if not json then
+            Printf.printf "appended %d reproducer(s) to %s\n"
+              (List.length reproducers) path
+        | _ -> ());
+        (match repro_out with
+        | Some path ->
+          let oc = open_out path in
+          List.iter
+            (fun e ->
+              output_string oc
+                (Ocapi_obs.Json.to_string (Ocapi_diff.Corpus.entry_json e));
+              output_char oc '\n')
+            reproducers;
+          close_out oc;
+          if not json then
+            Printf.printf "wrote %s (%d reproducer(s))\n" path
+              (List.length reproducers)
+        | None -> ());
+        if self_test then
+          if
+            report.Ocapi_diff.fz_divergent > 0
+            && List.exists
+                 (fun r -> r.Ocapi_diff.dr_shrunk <> None)
+                 report.Ocapi_diff.fz_results
+          then begin
+            if not json then
+              print_endline
+                "self-test: the harness caught the injected engine bug and \
+                 shrank a reproducer";
+            0
+          end
+          else begin
+            Printf.eprintf
+              "self-test FAILED: the injected engine bug went undetected\n";
+            1
+          end
+        else if
+          report.Ocapi_diff.fz_divergent = 0
+          && report.Ocapi_diff.fz_replay_failures = 0
+        then 0
+        else 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential-fuzz the engine stack: generate seeded random designs, \
+          run each on every engine, diff the probe histories (plus netlist \
+          equivalence and, with --deep, fault-campaign cross-checks), and \
+          shrink any failure to a replayable corpus reproducer.  The report \
+          is canonical: bit-identical for any --domains value.")
+    Term.(
+      const run $ fuzz_seed_arg $ count_arg $ size_arg $ engines_arg
+      $ corpus_arg $ repro_out_arg $ shrink_arg $ deep_arg $ domains_arg
+      $ self_test_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "ocapi" ~version:Ocapi.version
@@ -1035,4 +1218,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; simulate_cmd; synth_cmd; emit_cmd; profile_cmd;
-            fault_cmd; batch_cmd; serve_cmd; worker_cmd; report_cmd ]))
+            fault_cmd; batch_cmd; serve_cmd; worker_cmd; report_cmd;
+            fuzz_cmd ]))

@@ -68,6 +68,13 @@ type job =
       sa_max_faults : int option;
     }
   | Engine_sweep of { sw_design : string; sw_cycles : int }
+  | Fuzz of {
+      fu_seed : int;
+      fu_count : int;
+      fu_engines : string list option;
+      fu_deep : bool;
+      fu_shrink : bool;
+    }
   | Custom of {
       cu_tag : string;
       cu_body : progress:(unit -> unit) -> Ocapi_obs.Json.t;
@@ -573,6 +580,28 @@ let prepare ~label job =
           Flow.engine_disagreements ~progress:(fun _ -> progress ()) sys
             ~cycles:sw_cycles
           |> Flow.mismatches_json ~cycles:sw_cycles )
+    | Fuzz { fu_seed; fu_count; fu_engines; fu_deep; fu_shrink } ->
+      require_pos "count" fu_count;
+      (* No single design to fingerprint: the campaign's identity is its
+         parameters (the generator is pure in them), so the dedup key is
+         a literal string, Custom-style.  Engines are resolved here so a
+         bad roster fails at submit, not on a worker. *)
+      let engines =
+        match fu_engines with
+        | None -> Ocapi_diff.default_engines ()
+        | Some names ->
+          List.map
+            (fun n -> Ocapi_engine.name_of (Ocapi_engine.get n))
+            names
+      in
+      ( Printf.sprintf "batch-fuzz|seed%d|count%d|%s|deep%b|shrink%b" fu_seed
+          fu_count (String.concat "," engines) fu_deep fu_shrink,
+        Printf.sprintf "fuzz:s%d:n%d" fu_seed fu_count,
+        fun ~progress ->
+          Ocapi_diff.fuzz ~engines ~deep:fu_deep ~shrink_failures:fu_shrink
+            ~progress:(fun _ -> progress ())
+            ~seed:fu_seed ~count:fu_count ()
+          |> Ocapi_diff.report_json )
     | Custom { cu_tag; cu_body } ->
       ("batch-custom|" ^ cu_tag, "custom:" ^ cu_tag, cu_body)
   in
@@ -808,14 +837,38 @@ let request_of_json json =
     | Some v -> Ok v
     | None -> Error (Printf.sprintf "missing required field %S" field)
   in
+  let bool_field field =
+    match member field json with
+    | Some (Bool b) -> Ok (Some b)
+    | Some _ -> Error (Printf.sprintf "field %S must be a boolean" field)
+    | None -> Ok None
+  in
+  let str_list field =
+    match member field json with
+    | Some (List items) ->
+      let rec go acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | String s :: rest -> go (s :: acc) rest
+        | _ -> Error (Printf.sprintf "field %S must be a list of strings" field)
+      in
+      go [] items
+    | Some _ -> Error (Printf.sprintf "field %S must be a list of strings" field)
+    | None -> Ok None
+  in
   let* kind = str "kind" in
   let* kind = require "kind" kind in
-  let* design = str "design" in
-  let* design = require "design" design in
+  (* [design] is required by every design-bound kind, but a fuzz
+     campaign generates its own designs. *)
+  let* design_opt = str "design" in
+  let design = require "design" design_opt in
   let* engine = str "engine" in
   let* cycles = int_field "cycles" in
   let* runs = int_field "runs" in
   let* seed = int_field "seed" in
+  let* count = int_field "count" in
+  let* engines = str_list "engines" in
+  let* deep = bool_field "deep" in
+  let* shrink = bool_field "shrink" in
   let* max_faults = int_field "max_faults" in
   let* timeout = num_field "timeout" in
   let* label = str "label" in
@@ -831,6 +884,7 @@ let request_of_json json =
   let* job =
     match kind with
     | "simulate" ->
+      let* design = design in
       Ok
         (Simulate
            {
@@ -840,6 +894,7 @@ let request_of_json json =
              sim_seed = seed;
            })
     | "seu" ->
+      let* design = design in
       Ok
         (Seu
            {
@@ -850,6 +905,7 @@ let request_of_json json =
              seu_seed = seed;
            })
     | "stuck-at" | "stuck_at" ->
+      let* design = design in
       Ok
         (Stuck_at
            {
@@ -859,9 +915,20 @@ let request_of_json json =
              sa_max_faults = max_faults;
            })
     | "engine-sweep" | "sweep" ->
+      let* design = design in
       Ok
         (Engine_sweep
            { sw_design = design; sw_cycles = Option.value cycles ~default:200 })
+    | "fuzz" ->
+      Ok
+        (Fuzz
+           {
+             fu_seed = seed;
+             fu_count = Option.value count ~default:25;
+             fu_engines = engines;
+             fu_deep = Option.value deep ~default:false;
+             fu_shrink = Option.value shrink ~default:true;
+           })
     | other -> Error (Printf.sprintf "unknown job kind %S" other)
   in
   Ok { rq_job = job; rq_priority = priority; rq_timeout = timeout; rq_label = label }

@@ -76,6 +76,18 @@ type job =
       sa_max_faults : int option;
     }
   | Engine_sweep of { sw_design : string; sw_cycles : int }
+  | Fuzz of {
+      fu_seed : int;  (** campaign seed; per-design seeds derive from it *)
+      fu_count : int;  (** fresh generated designs to check *)
+      fu_engines : string list option;
+          (** engine roster ([None] = {!Ocapi_diff.default_engines}) *)
+      fu_deep : bool;  (** also run SEU / stuck-at cross-checks *)
+      fu_shrink : bool;  (** shrink failing designs to reproducers *)
+    }
+      (** A differential fuzz campaign ({!Ocapi_diff.fuzz}).  Unlike the
+          other kinds it references no registered design — the campaign
+          generates its own — so its dedup key is its parameter tuple
+          and its artifact is the canonical fuzz report. *)
   | Custom of {
       cu_tag : string;
           (** dedup key: identical tags coalesce to one execution *)
@@ -215,11 +227,14 @@ val stats : t -> stats
     v}
 
     Fields: [kind] (["simulate"] | ["seu"] | ["stuck-at"] |
-    ["engine-sweep"]) and [design] are required; [engine], [cycles],
-    [runs], [seed], [max_faults], [priority] (["high"] | ["normal"] |
-    ["low"]), [timeout] (seconds) and [label] are optional with the
-    same defaults as the CLI.  [Custom] jobs carry closures and have
-    no manifest form. *)
+    ["engine-sweep"] | ["fuzz"]) is required, and so is [design] for
+    every kind but ["fuzz"] (a fuzz campaign generates its own
+    designs); [engine], [cycles], [runs], [seed], [max_faults],
+    [priority] (["high"] | ["normal"] | ["low"]), [timeout] (seconds)
+    and [label] are optional with the same defaults as the CLI.  A
+    ["fuzz"] job additionally takes [count] (default 25), [engines] (a
+    JSON list of engine names), [deep] and [shrink] (booleans).
+    [Custom] jobs carry closures and have no manifest form. *)
 
 type request = {
   rq_job : job;

@@ -587,12 +587,21 @@ let cycle t =
         tr.tr_hist <- (t.cycle_count, v) :: tr.tr_hist
       end)
     t.traces;
+  (* Kernel state commits are synchronous: like a register latch they
+     apply the staging settled from this cycle's pre-edge signal values.
+     Committing before the clock event re-runs any process keeps the
+     staged write exactly what the cycle's tokens computed — the three-
+     phase scheduler's register-update-phase semantics.  (Committing
+     after the edge settle would overwrite the staging with post-edge
+     register values first: a one-cycle skew on register-driven write
+     data that the differential fuzzer caught.) *)
+  if t.kernel_commits <> [] then List.iter (fun f -> f ()) t.kernel_commits;
   (* Rising edge, settle. *)
   settle t [ (t.clk, Fixed.of_bool true) ];
-  (* Kernel state commits happen at the edge; committed state may change
-     combinational reads, so kernel processes re-execute and settle. *)
+  (* Committed state may change combinational reads (a RAM's read port
+     now sees the written word), so kernel processes re-execute and
+     settle even when none of their input nets saw an edge event. *)
   if t.kernel_commits <> [] then begin
-    List.iter (fun f -> f ()) t.kernel_commits;
     let assignments =
       List.concat_map
         (fun p ->

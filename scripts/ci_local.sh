@@ -31,6 +31,9 @@ scripts/determinism_gate.sh
 stage "crash-recovery gate (seeded chaos + server restart)"
 scripts/crash_recovery_gate.sh
 
+stage "fuzz gate (self-test + corpus replay + fresh sweep, serial vs --domains 2)"
+scripts/fuzz_gate.sh
+
 stage "bench smoke (BENCH_*.json + perf ledger)"
 dune exec bench/main.exe -- smoke
 ls -l BENCH_*.json

@@ -58,6 +58,21 @@ check_cmp "seu report (dect, native engine, 300 runs)" \
 check_cmp "seu report (hcor, gate engine, 60 runs)" \
   "$work/seu-gate-1.json" "$work/seu-gate-2.json"
 
+# 1d. The gallery designs ride the same check: the RS codec's SEU
+#     classification and the accumulator CPU's (whose RAM cell crosses
+#     the timed/untimed loop) must be domain-count-invariant too.
+"$OCAPI" fault --design rs --campaign seu --runs 300 --cycles 45 --seed 1 \
+  --json >"$work/seu-rs-1.json"
+"$OCAPI" fault --design rs --campaign seu --runs 300 --cycles 45 --seed 1 \
+  --domains 2 --json >"$work/seu-rs-2.json"
+check_cmp "seu report (rs, 300 runs)" "$work/seu-rs-1.json" "$work/seu-rs-2.json"
+
+"$OCAPI" fault --design cpu --campaign seu --runs 300 --seed 1 \
+  --json >"$work/seu-cpu-1.json"
+"$OCAPI" fault --design cpu --campaign seu --runs 300 --seed 1 \
+  --domains 2 --json >"$work/seu-cpu-2.json"
+check_cmp "seu report (cpu, 300 runs)" "$work/seu-cpu-1.json" "$work/seu-cpu-2.json"
+
 # 2. Stuck-at campaign report: a seeded 80-fault sample of the DECT
 #    gate-level netlist.
 "$OCAPI" fault --design dect --campaign stuck-at --cycles 24 \

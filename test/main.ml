@@ -19,6 +19,7 @@ let () =
       ("netopt", Test_netopt.suite);
       ("hdl", Test_hdl.suite);
       ("designs", Test_designs.suite);
+      ("gallery", Test_gallery.suite);
       ("integration", Test_integration.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("opcomplete", Test_opcomplete.suite);
@@ -29,4 +30,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("batch", Test_batch.suite);
       ("service", Test_service.suite);
+      ("diff", Test_diff.suite);
     ]
